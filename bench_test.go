@@ -1,0 +1,376 @@
+package cpm_test
+
+// The benchmark harness regenerates every data table and figure of the
+// paper's evaluation (BenchmarkTableN / BenchmarkFigNN — one per artefact,
+// reporting the headline metrics alongside timing), plus the ablation and
+// microbenchmarks DESIGN.md calls out:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches run the Quick-mode harness; `cpmsim run all` produces the
+// full-length reports.
+
+import (
+	"testing"
+
+	cpm "github.com/cpm-sim/cpm"
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/experiments"
+	"github.com/cpm-sim/cpm/internal/gpm"
+	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/noc"
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/stats"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// benchExperiment runs one registered harness per iteration and reports its
+// headline metrics through the benchmark output.
+func benchExperiment(b *testing.B, id string, reported ...string) {
+	b.Helper()
+	d, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		last, err = d.Run(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range reported {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", "dvfs_levels") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", "benchmarks") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", "mix1_cores") }
+
+func BenchmarkFig05ModelValidation(b *testing.B) {
+	benchExperiment(b, "fig5", "plant_gain", "mape_pct")
+}
+func BenchmarkFig06TransducerFits(b *testing.B) {
+	benchExperiment(b, "fig6", "avg_r2")
+}
+func BenchmarkFig07Provisioning(b *testing.B) {
+	benchExperiment(b, "fig7", "min_share_pct", "max_share_pct")
+}
+func BenchmarkFig08IslandTracking(b *testing.B) {
+	benchExperiment(b, "fig8", "worst_gap_pct_chip")
+}
+func BenchmarkFig09PICEnvelope(b *testing.B) {
+	benchExperiment(b, "fig9", "mean_overshoot", "mean_settle_invk")
+}
+func BenchmarkFig10ChipTracking(b *testing.B) {
+	benchExperiment(b, "fig10", "worst_overshoot", "worst_undershoot")
+}
+func BenchmarkFig11BudgetCurves(b *testing.B) {
+	benchExperiment(b, "fig11", "ours_worst_overshoot", "maxbips_always_below")
+}
+func BenchmarkFig12Degradation(b *testing.B) {
+	benchExperiment(b, "fig12", "degradation_at_80")
+}
+func BenchmarkFig13IslandSize(b *testing.B) {
+	benchExperiment(b, "fig13", "ours_1", "maxbips_1", "ours_4", "maxbips_4")
+}
+func BenchmarkFig14FullBudget(b *testing.B) {
+	benchExperiment(b, "fig14", "avg_degradation")
+}
+func BenchmarkFig15Scaling(b *testing.B) {
+	benchExperiment(b, "fig15", "ours_32", "maxbips_32")
+}
+func BenchmarkFig16MixSensitivity(b *testing.B) {
+	benchExperiment(b, "fig16", "Mix-1", "Mix-2")
+}
+func BenchmarkFig17Intervals(b *testing.B) {
+	benchExperiment(b, "fig17", "size2_pic2.5ms", "size2_pic5.0ms")
+}
+func BenchmarkFig18Thermal(b *testing.B) {
+	benchExperiment(b, "fig18", "perf_violation_frac", "thermal_violations")
+}
+func BenchmarkFig19Variation(b *testing.B) {
+	benchExperiment(b, "fig19", "mean_pt_improvement", "mean_throughput_loss")
+}
+
+// BenchmarkPoleAnalysis covers the §II-D controller design computation
+// (Equations 9–13): closed-loop composition, root finding, Jury test and
+// the stable-gain-range search.
+func BenchmarkPoleAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := control.Analyze(control.PaperPlantGain, control.PaperGains); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxStableGainSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := control.MaxStableGainScale(control.PaperPlantGain, control.PaperGains, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- executor ablation: sequential vs parallel island stepping -------------
+
+func benchSimStep(b *testing.B, mix workload.Mix, parallel bool) {
+	cfg := sim.DefaultConfig(mix)
+	cfg.Parallel = parallel
+	c, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkSimStep8Sequential(b *testing.B)  { benchSimStep(b, workload.Mix1(), false) }
+func BenchmarkSimStep8Parallel(b *testing.B)    { benchSimStep(b, workload.Mix1(), true) }
+func BenchmarkSimStep32Sequential(b *testing.B) { benchSimStep(b, workload.Mix3(2), false) }
+func BenchmarkSimStep32Parallel(b *testing.B)   { benchSimStep(b, workload.Mix3(2), true) }
+
+// --- sensor ablation: linear vs level-aware vs oracle feedback -------------
+
+// benchTracking measures steady-state budget-tracking error under different
+// feedback estimators; the squared-error metric is the figure of merit.
+func benchTracking(b *testing.B, mode string) {
+	cfg := cpm.DefaultConfig(cpm.Mix1())
+	cfg.Parallel = true
+	cal, err := cpm.Calibrate(cfg, 60, 240)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := cal.BudgetW(0.8)
+	var sse float64
+	for i := 0; i < b.N; i++ {
+		chip, err := cpm.NewChip(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccfg := cpm.ControllerConfig{BudgetW: budget}
+		switch mode {
+		case "linear":
+			ests := make([]cpm.Estimator, len(cal.LinearTransducers))
+			for j, t := range cal.LinearTransducers {
+				ests[j] = t
+			}
+			ccfg.Transducers = ests
+		case "level":
+			ccfg.Transducers = cal.Transducers
+		case "oracle":
+			ccfg.UseOraclePower = true
+		}
+		ctl, err := cpm.NewController(chip, ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl.Run(120)
+		sse = 0
+		for k := 0; k < 200; k++ {
+			r := ctl.Step()
+			e := (r.Sim.ChipPowerW - budget) / budget
+			sse += e * e
+		}
+	}
+	b.ReportMetric(sse, "tracking_sse")
+}
+
+func BenchmarkAblationTransducerLinear(b *testing.B)     { benchTracking(b, "linear") }
+func BenchmarkAblationTransducerLevelAware(b *testing.B) { benchTracking(b, "level") }
+func BenchmarkAblationOraclePower(b *testing.B)          { benchTracking(b, "oracle") }
+
+// --- GPM policy ablation ----------------------------------------------------
+
+func benchPolicyThroughput(b *testing.B, mk func() gpm.Policy) {
+	cfg := cpm.DefaultConfig(cpm.Mix1())
+	cfg.Parallel = true
+	cal, err := cpm.Calibrate(cfg, 60, 240)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := cal.BudgetW(0.8)
+	var bips float64
+	for i := 0; i < b.N; i++ {
+		chip, err := cpm.NewChip(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl, err := cpm.NewController(chip, cpm.ControllerConfig{
+			BudgetW: budget, Policy: mk(), Transducers: cal.Transducers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl.Run(120)
+		bips = 0
+		for k := 0; k < 200; k++ {
+			bips += ctl.Step().Sim.TotalBIPS / 200
+		}
+	}
+	b.ReportMetric(bips, "BIPS")
+}
+
+func BenchmarkAblationPolicyEqualShare(b *testing.B) {
+	benchPolicyThroughput(b, func() gpm.Policy { return gpm.EqualShare{} })
+}
+func BenchmarkAblationPolicyPerformanceAware(b *testing.B) {
+	benchPolicyThroughput(b, func() gpm.Policy { return &gpm.PerformanceAware{} })
+}
+
+// --- microbenchmarks --------------------------------------------------------
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.TableIL2PerCore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRand(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<22)) &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkPolynomialRoots(b *testing.B) {
+	p := control.CharacteristicPoly(control.PaperPlantGain, control.PaperGains)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := control.Roots(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxBIPSExhaustive4(b *testing.B) {
+	benchMaxBIPSPlan(b, 4)
+}
+
+func BenchmarkMaxBIPSDP16(b *testing.B) {
+	benchMaxBIPSPlan(b, 16)
+}
+
+func benchMaxBIPSPlan(b *testing.B, islands int) {
+	pl, err := maxbips.New(powerTable(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]maxbips.IslandObs, islands)
+	for i := range obs {
+		obs[i] = maxbips.IslandObs{Level: 7, PowerW: 15 + float64(i%5), BIPS: 2 + float64(i%3)}
+	}
+	budget := float64(islands) * 13
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := pl.Choose(budget, obs); len(got) != islands {
+			b.Fatal("bad plan")
+		}
+	}
+}
+
+func BenchmarkCalibration(b *testing.B) {
+	cfg := cpm.DefaultConfig(cpm.Mix1())
+	cfg.Parallel = true
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := cpm.Calibrate(cfg, 20, 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func powerTable(b *testing.B) *power.DVFSTable {
+	b.Helper()
+	return power.PentiumM()
+}
+
+func BenchmarkExt1EnergyPolicy(b *testing.B) {
+	benchExperiment(b, "ext1", "floor90_power_frac")
+}
+func BenchmarkExt2FaultRobustness(b *testing.B) {
+	benchExperiment(b, "ext2", "err_case0", "err_case3")
+}
+func BenchmarkExt3CalibratedExponent(b *testing.B) {
+	benchExperiment(b, "ext3", "elasticity")
+}
+
+// --- substrate ablations ------------------------------------------------
+
+// benchSubstrate measures unmanaged chip throughput under a substrate
+// variant, reporting BIPS so the ablation's effect is visible next to its
+// cost.
+func benchSubstrate(b *testing.B, mutate func(*sim.Config)) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Parallel = true
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bips float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bips = c.Step().TotalBIPS
+	}
+	b.ReportMetric(bips, "BIPS")
+}
+
+func BenchmarkAblationBaselineSubstrate(b *testing.B) { benchSubstrate(b, nil) }
+
+func BenchmarkAblationWithNoC(b *testing.B) {
+	benchSubstrate(b, func(cfg *sim.Config) {
+		n := noc.DefaultConfig(2, 4)
+		cfg.NoC = &n
+	})
+}
+
+func BenchmarkAblationWithL2Prefetch(b *testing.B) {
+	benchSubstrate(b, func(cfg *sim.Config) { cfg.L2PrefetchDegree = 4 })
+}
+
+func BenchmarkAblationSharedL2(b *testing.B) {
+	benchSubstrate(b, func(cfg *sim.Config) { cfg.SharedL2 = true })
+}
+
+// Replay skips phase generation and cache simulation; its per-interval cost
+// should be a small fraction of the live engine's (compare against
+// BenchmarkAblationBaselineSubstrate).
+func BenchmarkAblationReplayEngine(b *testing.B) {
+	recCfg := sim.DefaultConfig(workload.Mix1())
+	recCfg.RecordTraces = true
+	rec, err := sim.New(recCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 200; k++ {
+		rec.Step()
+	}
+	set, err := rec.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Parallel = true
+	cfg.Replay = &set
+	c, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,140 @@
+// Command cpmsim regenerates the paper's tables and figures on the
+// simulated CMP.
+//
+// Usage:
+//
+//	cpmsim list                 # list every reproducible artefact
+//	cpmsim run fig11 fig12      # run specific experiments
+//	cpmsim run all              # run everything (Tables I-III, Figures 5-19)
+//	cpmsim tables               # shorthand for the three tables
+//
+// Flags:
+//
+//	-quick        shortened horizons (same shapes, faster)
+//	-seed N       experiment seed (default 1)
+//	-csv DIR      also write every series as CSV files into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/cpm-sim/cpm/internal/experiments"
+	"github.com/cpm-sim/cpm/internal/trace"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened horizons")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "list":
+		listExperiments()
+	case "tables":
+		runIDs([]string{"table1", "table2", "table3"}, *quick, *seed, *csvDir)
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "cpmsim run: need experiment IDs or 'all'")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, d := range experiments.All() {
+				ids = append(ids, d.ID)
+			}
+		}
+		runIDs(ids, *quick, *seed, *csvDir)
+	default:
+		fmt.Fprintf(os.Stderr, "cpmsim: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cpmsim [flags] list | tables | run <id>...|all\n\n")
+	flag.PrintDefaults()
+}
+
+func listExperiments() {
+	var rows [][]string
+	for _, d := range experiments.All() {
+		rows = append(rows, []string{d.ID, d.Title})
+	}
+	fmt.Print(trace.Table([]string{"ID", "Reproduces"}, rows))
+}
+
+func runIDs(ids []string, quick bool, seed uint64, csvDir string) {
+	opts := experiments.Options{Quick: quick, Seed: seed}
+	failed := false
+	for _, id := range ids {
+		d, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s — %s ===\n", d.ID, d.Title)
+		fmt.Printf("Paper: %s\n\n", d.Paper)
+		r, err := d.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(r.Text)
+		if len(r.Metrics) > 0 {
+			var rows [][]string
+			for _, k := range trace.SortedKeys(r.Metrics) {
+				rows = append(rows, []string{k, fmt.Sprintf("%.4g", r.Metrics[k])})
+			}
+			fmt.Println(trace.Table([]string{"Metric", "Value"}, rows))
+		}
+		if csvDir != "" {
+			if err := writeCSVs(csvDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing CSV: %v\n", id, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeCSVs(dir string, r experiments.Result) error {
+	if len(r.Sets) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range trace.SortedKeys(r.Sets) {
+		clean := strings.ReplaceAll(name, string(filepath.Separator), "-")
+		f, err := os.Create(filepath.Join(dir, clean+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := r.Sets[name].WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Command cpmsweep runs managed-vs-baseline parameter sweeps and emits CSV,
+// the workhorse behind custom variants of Figures 11–17.
+//
+// Usage:
+//
+//	cpmsweep -mix mix1 -budgets 0.5,0.6,0.7,0.8,0.9 -epochs 16
+//	cpmsweep -mix mix3 -policy variation -budgets 0.8
+//
+// Columns: budget_frac, budget_w, ours_power_w, ours_degradation,
+// maxbips_power_w, maxbips_degradation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/gpm"
+	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/thermal"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func main() {
+	mixName := flag.String("mix", "mix1", "application mix: mix1, mix2, mix3, mix3x2, thermal")
+	policy := flag.String("policy", "performance", "GPM policy: performance, equal, thermal, variation")
+	budgets := flag.String("budgets", "0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated budget fractions of required power")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warm := flag.Int("warm", 6, "warm-up GPM epochs")
+	epochs := flag.Int("epochs", 16, "measured GPM epochs")
+	flag.Parse()
+
+	mix, err := workload.MixByName(*mixName)
+	exitOn(err)
+	fracs, err := parseBudgets(*budgets)
+	exitOn(err)
+
+	cfg := sim.DefaultConfig(mix)
+	cfg.Seed = *seed
+	cfg.Parallel = true
+
+	cal, err := core.Calibrate(cfg, 60, 240)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
+		mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
+
+	base, err := measureUnmanaged(cfg, *warm, *epochs)
+	exitOn(err)
+
+	fmt.Println("budget_frac,budget_w,ours_power_w,ours_degradation,maxbips_power_w,maxbips_degradation")
+	for _, frac := range fracs {
+		budget := cal.BudgetW(frac)
+		ours, err := measureCPM(cfg, cal, budget, makePolicy(*policy, mix), *warm, *epochs)
+		exitOn(err)
+		mb, err := measureMaxBIPS(cfg, budget, *warm, *epochs)
+		exitOn(err)
+		fmt.Printf("%.2f,%.2f,%.2f,%.4f,%.2f,%.4f\n",
+			frac, budget,
+			ours.power, degr(ours.instr, base.instr),
+			mb.power, degr(mb.instr, base.instr))
+	}
+}
+
+type meas struct {
+	power float64
+	instr float64
+}
+
+func measureUnmanaged(cfg sim.Config, warm, epochs int) (meas, error) {
+	cfg.InitialLevel = -1
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return meas{}, err
+	}
+	for k := 0; k < warm*20; k++ {
+		cmp.Step()
+	}
+	var m meas
+	n := epochs * 20
+	for k := 0; k < n; k++ {
+		r := cmp.Step()
+		m.power += r.ChipPowerW
+		for _, ir := range r.Islands {
+			m.instr += ir.Instructions
+		}
+	}
+	m.power /= float64(n)
+	return m, nil
+}
+
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int) (meas, error) {
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return meas{}, err
+	}
+	c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers})
+	if err != nil {
+		return meas{}, err
+	}
+	c.Run(warm * 20)
+	var m meas
+	n := epochs * 20
+	for k := 0; k < n; k++ {
+		r := c.Step()
+		m.power += r.Sim.ChipPowerW
+		for _, ir := range r.Sim.Islands {
+			m.instr += ir.Instructions
+		}
+	}
+	m.power /= float64(n)
+	return m, nil
+}
+
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int) (meas, error) {
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return meas{}, err
+	}
+	planner, err := maxbips.New(cmp.Table())
+	if err != nil {
+		return meas{}, err
+	}
+	if err := planner.SetStaticTable(staticTable(cmp)); err != nil {
+		return meas{}, err
+	}
+	nIsl := cmp.NumIslands()
+	obs := make([]maxbips.IslandObs, nIsl)
+	var m meas
+	total := (warm + epochs) * 20
+	for k := 0; k < total; k++ {
+		if k%20 == 0 && k > 0 {
+			for i := range obs {
+				obs[i] = maxbips.IslandObs{Level: cmp.Level(i)}
+			}
+			for i, lvl := range planner.Choose(budget, obs) {
+				cmp.SetLevel(i, lvl)
+			}
+		}
+		r := cmp.Step()
+		if k >= warm*20 {
+			m.power += r.ChipPowerW
+			for _, ir := range r.Islands {
+				m.instr += ir.Instructions
+			}
+		}
+	}
+	m.power /= float64(epochs * 20)
+	return m, nil
+}
+
+func staticTable(cmp *sim.CMP) [][]float64 {
+	model := cmp.Model()
+	levels := cmp.Table().Levels()
+	out := make([][]float64, cmp.NumIslands())
+	for i := range out {
+		out[i] = make([]float64, levels)
+		for l := 0; l < levels; l++ {
+			op := cmp.Table().Point(l)
+			core := 0.7*model.Dynamic.Power(op, power.FullActivity()) +
+				model.Leakage.Power(op.VoltageV, model.Leakage.TRefC, 1)
+			out[i][l] = core * float64(cmp.IslandCores(i))
+		}
+	}
+	return out
+}
+
+func makePolicy(name string, mix workload.Mix) gpm.Policy {
+	switch name {
+	case "equal":
+		return gpm.EqualShare{}
+	case "variation":
+		return &gpm.VariationAware{StepFrac: 0.08, HoldIntervals: 1, MinShareFrac: 0.7}
+	case "thermal":
+		fp, err := thermal.Grid(2, 4)
+		exitOn(err)
+		return &gpm.ThermalAware{
+			Base: &gpm.PerformanceAware{}, Floorplan: fp,
+			AdjacentPairCap: 0.30, ConsecutiveLimit: 2,
+			SoloCap: 0.20, SoloConsecutiveLimit: 4,
+		}
+	default:
+		return &gpm.PerformanceAware{}
+	}
+}
+
+func parseBudgets(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cpmsweep: bad budget %q", part)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("cpmsweep: budget %v out of (0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cpmsweep: no budgets")
+	}
+	return out, nil
+}
+
+func degr(run, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	d := 1 - run/base
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,179 @@
+// Command cpmtrace records and replays workload interval traces.
+//
+// A trace captures each core's frequency-independent interval behaviour
+// (phase-scaled CPI, memory intensity, measured miss fractions), so a single
+// recording can be replayed under any controller or DVFS trajectory —
+// removing workload variance from comparisons and skipping the cache
+// simulation.
+//
+// Usage:
+//
+//	cpmtrace record -mix mix1 -intervals 800 -o mix1.trace
+//	cpmtrace replay -mix mix1 -i mix1.trace -budget 0.8
+//	cpmtrace info   -i mix1.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/uarch"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "record":
+		err = record(args)
+	case "replay":
+		err = replay(args)
+	case "info":
+		err = info(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cpmtrace record -mix NAME -intervals N -o FILE [-seed N]
+  cpmtrace replay -mix NAME -i FILE -budget FRAC [-epochs N]
+  cpmtrace info   -i FILE`)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	mixName := fs.String("mix", "mix1", "application mix")
+	intervals := fs.Int("intervals", 800, "intervals to record (2.5 ms each)")
+	out := fs.String("o", "", "output file")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig(mix)
+	cfg.Seed = *seed
+	cfg.Parallel = true
+	cfg.RecordTraces = true
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	for k := 0; k < *intervals; k++ {
+		cmp.Step()
+	}
+	set, err := cmp.Traces()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := uarch.SaveTraces(f, set); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d intervals x %d cores of %s to %s\n", *intervals, len(set.Records), mix.Name, *out)
+	return f.Close()
+}
+
+func load(path string) (uarch.TraceSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return uarch.TraceSet{}, err
+	}
+	defer f.Close()
+	return uarch.LoadTraces(f)
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	mixName := fs.String("mix", "mix1", "application mix the trace was recorded from")
+	in := fs.String("i", "", "trace file")
+	budget := fs.Float64("budget", 0.8, "budget fraction of required power")
+	epochs := fs.Int("epochs", 16, "measured GPM epochs")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("replay: -i is required")
+	}
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	set, err := load(*in)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig(mix)
+	cfg.Parallel = true
+	cal, err := core.Calibrate(cfg, 60, 240)
+	if err != nil {
+		return err
+	}
+	cfg.Replay = &set
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	c, err := core.New(cmp, core.Config{BudgetW: cal.BudgetW(*budget), Transducers: cal.Transducers})
+	if err != nil {
+		return err
+	}
+	c.Run(6 * 20)
+	var power, bips float64
+	n := *epochs * 20
+	for k := 0; k < n; k++ {
+		r := c.Step()
+		power += r.Sim.ChipPowerW / float64(n)
+		bips += r.Sim.TotalBIPS / float64(n)
+	}
+	fmt.Printf("replayed %s under CPM at %.1f W (%.0f%%): mean %.1f W, %.2f BIPS\n",
+		*in, cal.BudgetW(*budget), *budget*100, power, bips)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info: -i is required")
+	}
+	set, err := load(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cores\n", len(set.Records))
+	for id := 0; id < len(set.Records); id++ {
+		recs, ok := set.Records[id]
+		if !ok {
+			continue
+		}
+		var memSum float64
+		for _, r := range recs {
+			memSum += r.MemRefs * r.PDataMem
+		}
+		fmt.Printf("  core %2d: %-8s %5d intervals, avg %.4f memory misses/instr\n",
+			id, set.Benchmarks[id], len(recs), memSum/float64(len(recs)))
+	}
+	return nil
+}

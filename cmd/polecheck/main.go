@@ -1,0 +1,90 @@
+// Command polecheck performs the §II-D controller analysis that the paper
+// did offline in Matlab: given a plant gain a and PID gains, it reports the
+// closed-loop transfer function, its poles, the Jury stability verdict, the
+// step-response metrics, and the range of run-time gain drift g the design
+// tolerates (Equation 13's analysis).
+//
+// It can also search for gains meeting a specification (-design).
+//
+// Usage:
+//
+//	polecheck                       # the paper's design: a=0.79, K=(0.4,0.4,0.3)
+//	polecheck -a 0.45               # the gain identified on this repository's substrate
+//	polecheck -kp 0.5 -ki 0.3 -kd 0.2
+//	polecheck -design               # grid-search gains for the default spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"os"
+
+	"github.com/cpm-sim/cpm/internal/control"
+)
+
+func main() {
+	a := flag.Float64("a", control.PaperPlantGain, "plant gain of P(z) = a/(z-1)")
+	kp := flag.Float64("kp", control.PaperGains.KP, "proportional gain")
+	ki := flag.Float64("ki", control.PaperGains.KI, "integral gain")
+	kd := flag.Float64("kd", control.PaperGains.KD, "derivative gain")
+	design := flag.Bool("design", false, "search for gains meeting the default spec instead")
+	flag.Parse()
+
+	if *design {
+		runDesign(*a)
+		return
+	}
+
+	g := control.Gains{KP: *kp, KI: *ki, KD: *kd}
+	an, err := control.Analyze(*a, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Plant      : P(z) = %.3f/(z-1)\n", *a)
+	fmt.Printf("Controller : C(z) with (K_P, K_I, K_D) = (%.3g, %.3g, %.3g)\n", g.KP, g.KI, g.KD)
+	fmt.Printf("Closed loop: Y(z) = %v\n", an.Closed)
+	fmt.Printf("Char. poly : %v\n\n", an.CharPoly)
+	fmt.Println("Closed-loop poles:")
+	for _, p := range an.Poles {
+		fmt.Printf("  %v  (|.| = %.4f)\n", p, cmplx.Abs(p))
+	}
+	fmt.Printf("Spectral radius: %.4f — %s\n", an.SpectralRadius, verdict(an.Stable))
+	if !an.Stable {
+		return
+	}
+	fmt.Printf("\nUnit-step response:\n")
+	fmt.Printf("  max overshoot      : %.1f%% of the step\n", an.Step.MaxOvershoot*100)
+	fmt.Printf("  settling time (2%%) : %d invocations\n", an.Step.SettlingTime)
+	fmt.Printf("  steady-state error : %.2g\n", an.Step.SteadyStateError)
+
+	gmax, err := control.MaxStableGainScale(*a, g, 1e-5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nStability is preserved for plant-gain drift 0 < g < %.4f\n", gmax)
+	fmt.Printf("(the paper reports 0 < g < 2.1 for a = 0.79 with its gains)\n")
+}
+
+func runDesign(a float64) {
+	spec := control.PaperSpec
+	g, an, err := control.DesignGains(a, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polecheck: design failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Designed gains for a = %.3f: (K_P, K_I, K_D) = (%.2f, %.2f, %.2f)\n", a, g.KP, g.KI, g.KD)
+	fmt.Printf("  poles            : %v\n", an.Poles)
+	fmt.Printf("  overshoot        : %.1f%% of the step\n", an.Step.MaxOvershoot*100)
+	fmt.Printf("  settling (2%%)    : %d invocations\n", an.Step.SettlingTime)
+	fmt.Printf("  steady-state err : %.2g\n", an.Step.SteadyStateError)
+}
+
+func verdict(stable bool) string {
+	if stable {
+		return "STABLE (all poles inside the unit circle; Jury criterion agrees)"
+	}
+	return "UNSTABLE"
+}

@@ -1,0 +1,3 @@
+module github.com/cpm-sim/cpm
+
+go 1.22

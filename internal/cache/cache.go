@@ -1,0 +1,177 @@
+// Package cache implements the set-associative cache hierarchy of the CMP
+// simulator: private L1 instruction/data caches per core and a shared,
+// banked last-level cache, all with true LRU replacement — the configuration
+// of Table I of the paper (the role g-cache played in the original Simics
+// setup).
+//
+// The simulator drives caches with sampled synthetic address streams each
+// control interval; the resulting miss rates feed the interval-analysis core
+// model and, through it, utilization and power.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a power-of-two multiple of
+	// BlockBytes*Assoc.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// BlockBytes is the line size.
+	BlockBytes int
+	// LatencyCycles is the access latency in core cycles.
+	LatencyCycles int
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.BlockBytes <= 0 {
+		return errors.New("cache: non-positive geometry parameter")
+	}
+	if c.LatencyCycles < 0 {
+		return errors.New("cache: negative latency")
+	}
+	if bits.OnesCount(uint(c.BlockBytes)) != 1 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by block*assoc", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Assoc)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
+
+// Stats accumulates access counters.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single set-associative cache with true LRU replacement.
+// It is not safe for concurrent use; in the parallel simulator each cache is
+// owned by exactly one island goroutine.
+type Cache struct {
+	cfg       Config
+	sets      [][]uint64 // per-set tag list, most recently used first
+	setMask   uint64
+	blockBits uint
+	stats     Stats
+	// prefetched marks lines filled by a prefetcher but not yet touched by
+	// demand (lazily allocated; nil when no prefetcher is attached).
+	prefetched map[prefKey]struct{}
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]uint64, nsets),
+		setMask:   uint64(nsets - 1),
+		blockBits: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without touching cache contents, as done at
+// control-interval boundaries.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates all contents and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.stats = Stats{}
+	c.prefetched = nil
+}
+
+// Access looks up the block containing addr, updating LRU state and
+// counters, and reports whether it hit. On a miss the block is filled,
+// evicting the LRU line of its set if needed.
+func (c *Cache) Access(addr uint64) bool {
+	block := addr >> c.blockBits
+	setIdx := block & c.setMask
+	tag := block >> bits.TrailingZeros64(c.setMask+1)
+
+	set := c.sets[setIdx]
+	c.stats.Accesses++
+	for i, t := range set {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	if len(set) < c.cfg.Assoc {
+		set = append(set, 0)
+	} else {
+		c.stats.Evictions++
+		if c.prefetched != nil {
+			delete(c.prefetched, prefKey{setIdx, set[len(set)-1]})
+		}
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[setIdx] = set
+	return false
+}
+
+// Probe reports whether the block containing addr is present without
+// updating LRU state or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	block := addr >> c.blockBits
+	setIdx := block & c.setMask
+	tag := block >> bits.TrailingZeros64(c.setMask+1)
+	for _, t := range c.sets[setIdx] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Banked is a last-level cache split into address-interleaved banks, as in
+// the paper's layout (Figure 1: shared last-level cache banks in the middle
+// of the die). Banking is by block address, so consecutive blocks map to
+// different banks.
+type Banked struct {
+	banks     []*Cache
+	blockBits uint
+}
+
+// NewBanked builds n identical banks from cfg. n must be a power of two.
+func NewBanked(cfg Config, n int) (*Banked, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("cache: bank count %d not a positive power of two", n)
+	}
+	b := &Banked{banks: make([]*Cache, n)}
+	for i := range b.banks {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.banks[i] = c
+	}
+	b.blockBits = b.banks[0].blockBits
+	return b, nil
+}
+
+// Banks returns the number of banks.
+func (b *Banked) Banks() int { return len(b.banks) }
+
+// BankFor returns the bank index addr maps to.
+func (b *Banked) BankFor(addr uint64) int {
+	return int((addr >> b.blockBits) & uint64(len(b.banks)-1))
+}
+
+// Access routes the access to its bank.
+func (b *Banked) Access(addr uint64) bool {
+	return b.banks[b.BankFor(addr)].Access(addr)
+}
+
+// Stats sums counters across banks.
+func (b *Banked) Stats() Stats {
+	var s Stats
+	for _, bank := range b.banks {
+		bs := bank.Stats()
+		s.Accesses += bs.Accesses
+		s.Hits += bs.Hits
+		s.Misses += bs.Misses
+		s.Evictions += bs.Evictions
+	}
+	return s
+}
+
+// ResetStats clears all bank counters.
+func (b *Banked) ResetStats() {
+	for _, bank := range b.banks {
+		bank.ResetStats()
+	}
+}
+
+// Hierarchy is one core's view of the memory system: private L1I and L1D,
+// and a (possibly shared) L2. The L2 is abstracted behind the Level2
+// interface so that a private slice and a shared banked cache are
+// interchangeable.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  Level2
+}
+
+// Level2 is the minimal interface the hierarchy needs from its second level.
+type Level2 interface {
+	Access(addr uint64) bool
+	Stats() Stats
+	ResetStats()
+}
+
+// AccessResult classifies where a data access was satisfied.
+type AccessResult int
+
+// Access outcome levels.
+const (
+	HitL1 AccessResult = iota
+	HitL2
+	HitMemory
+)
+
+// NewHierarchy wires a hierarchy after validating the pieces exist.
+func NewHierarchy(l1i, l1d *Cache, l2 Level2) (*Hierarchy, error) {
+	if l1i == nil || l1d == nil || l2 == nil {
+		return nil, errors.New("cache: hierarchy needs all three levels")
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2}, nil
+}
+
+// Data performs a data access: L1D first, then L2 on a miss, then memory.
+func (h *Hierarchy) Data(addr uint64) AccessResult {
+	if h.L1D.Access(addr) {
+		return HitL1
+	}
+	if h.L2.Access(addr) {
+		return HitL2
+	}
+	return HitMemory
+}
+
+// Fetch performs an instruction access: L1I first, then L2, then memory.
+func (h *Hierarchy) Fetch(addr uint64) AccessResult {
+	if h.L1I.Access(addr) {
+		return HitL1
+	}
+	if h.L2.Access(addr) {
+		return HitL2
+	}
+	return HitMemory
+}
+
+// ResetStats clears counters at every level. Note that for a shared L2 this
+// clears the shared counters too; the simulator resets per interval before
+// any core runs.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+}
+
+// TableIL1 returns the paper's L1 configuration: 16 KB, 2-way, 64 B blocks,
+// 1-cycle access (Table I).
+func TableIL1() Config {
+	return Config{SizeBytes: 16 * 1024, Assoc: 2, BlockBytes: 64, LatencyCycles: 1}
+}
+
+// TableIL2PerCore returns the paper's per-core share of the shared L2:
+// 512 KB, 16-way, 64 B blocks, 10-cycle access (Table I).
+func TableIL2PerCore() Config {
+	return Config{SizeBytes: 512 * 1024, Assoc: 16, BlockBytes: 64, LatencyCycles: 10}
+}

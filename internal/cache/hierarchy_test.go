@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+func TestNewBankedValidation(t *testing.T) {
+	cfg := TableIL2PerCore()
+	if _, err := NewBanked(cfg, 0); err == nil {
+		t.Error("zero banks should be rejected")
+	}
+	if _, err := NewBanked(cfg, 3); err == nil {
+		t.Error("non-power-of-two banks should be rejected")
+	}
+	b, err := NewBanked(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Banks() != 4 {
+		t.Errorf("Banks = %d", b.Banks())
+	}
+}
+
+func TestBankedInterleaving(t *testing.T) {
+	b, err := NewBanked(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive blocks round-robin across banks.
+	for i := 0; i < 8; i++ {
+		want := i % 4
+		if got := b.BankFor(uint64(i * 64)); got != want {
+			t.Errorf("BankFor(block %d) = %d, want %d", i, got, want)
+		}
+	}
+	// Same block, any offset: same bank.
+	if b.BankFor(0x40) != b.BankFor(0x7F) {
+		t.Error("offsets within a block must map to one bank")
+	}
+}
+
+func TestBankedStatsAggregate(t *testing.T) {
+	b, err := NewBanked(Config{SizeBytes: 1024, Assoc: 2, BlockBytes: 64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Access(uint64(i * 64))
+	}
+	for i := 0; i < 10; i++ {
+		b.Access(uint64(i * 64))
+	}
+	s := b.Stats()
+	if s.Accesses != 20 {
+		t.Errorf("accesses = %d, want 20", s.Accesses)
+	}
+	if s.Misses != 10 || s.Hits != 10 {
+		t.Errorf("stats = %+v, want 10 hits and 10 misses", s)
+	}
+	b.ResetStats()
+	if b.Stats().Accesses != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func newTestHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	l1i := mustCache(t, TableIL1())
+	l1d := mustCache(t, TableIL1())
+	l2 := mustCache(t, TableIL2PerCore())
+	h, err := NewHierarchy(l1i, l1d, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(nil, nil, nil); err == nil {
+		t.Error("nil levels should be rejected")
+	}
+}
+
+func TestHierarchyDataPath(t *testing.T) {
+	h := newTestHierarchy(t)
+	addr := uint64(0x12340)
+	if r := h.Data(addr); r != HitMemory {
+		t.Errorf("cold access = %v, want HitMemory", r)
+	}
+	if r := h.Data(addr); r != HitL1 {
+		t.Errorf("warm access = %v, want HitL1", r)
+	}
+	// Evict from tiny L1 by sweeping conflicting blocks; L2 retains it.
+	l1sets := h.L1D.Config().Sets()
+	stride := uint64(l1sets * h.L1D.Config().BlockBytes)
+	for i := 1; i <= h.L1D.Config().Assoc; i++ {
+		h.Data(addr + uint64(i)*stride)
+	}
+	if r := h.Data(addr); r != HitL2 {
+		t.Errorf("post-L1-eviction access = %v, want HitL2", r)
+	}
+}
+
+func TestHierarchyFetchPath(t *testing.T) {
+	h := newTestHierarchy(t)
+	if r := h.Fetch(0x400000); r != HitMemory {
+		t.Errorf("cold fetch = %v", r)
+	}
+	if r := h.Fetch(0x400000); r != HitL1 {
+		t.Errorf("warm fetch = %v", r)
+	}
+	// Fetch and Data use separate L1s.
+	if r := h.Data(0x400000); r != HitL2 {
+		t.Errorf("data access to fetched block = %v, want HitL2", r)
+	}
+}
+
+func TestHierarchySharedL2AcrossCores(t *testing.T) {
+	// Two hierarchies sharing one banked L2: core 1 warms a block into L2,
+	// core 2's first access then hits L2 despite a cold private L1.
+	shared, err := NewBanked(TableIL2PerCore(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Hierarchy {
+		l1i := mustCache(t, TableIL1())
+		l1d := mustCache(t, TableIL1())
+		h, err := NewHierarchy(l1i, l1d, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	c1, c2 := mk(), mk()
+	c1.Data(0x9000)
+	if r := c2.Data(0x9000); r != HitL2 {
+		t.Errorf("cross-core shared access = %v, want HitL2", r)
+	}
+}
+
+// Property: the data path never reports a deeper level than the shallowest
+// cache that actually holds the block (verified with Probe before access).
+func TestHierarchyLevelConsistencyProperty(t *testing.T) {
+	h := newTestHierarchy(t)
+	r := stats.NewRand(77)
+	for i := 0; i < 5000; i++ {
+		addr := uint64(r.Intn(1 << 20))
+		inL1 := h.L1D.Probe(addr)
+		res := h.Data(addr)
+		if inL1 && res != HitL1 {
+			t.Fatalf("block in L1 reported as %v", res)
+		}
+		if !inL1 && res == HitL1 {
+			t.Fatal("L1 hit reported for absent block")
+		}
+	}
+}

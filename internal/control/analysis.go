@@ -1,0 +1,158 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// This file completes the classical analysis toolkit §II-D name-drops
+// alongside pole placement: root-locus traces and frequency responses
+// (Bode data), plus discrete-time stability margins derived from them.
+
+// LocusPoint is one root-locus sample: the closed-loop pole set at a given
+// loop-gain scale.
+type LocusPoint struct {
+	// Scale is the gain multiplier g applied to the plant gain.
+	Scale float64
+	// Poles are the closed-loop poles at that scale.
+	Poles []complex128
+	// Stable reports whether all poles are inside the unit circle.
+	Stable bool
+}
+
+// RootLocus traces the closed-loop poles of the CPM loop as the plant gain
+// drifts from lo·a to hi·a in n steps — the discrete-time root locus the
+// paper's g-range analysis (Equation 13) walks along. Points where root
+// finding fails are skipped.
+func RootLocus(a float64, g Gains, lo, hi float64, n int) ([]LocusPoint, error) {
+	if a <= 0 {
+		return nil, errors.New("control: plant gain must be positive")
+	}
+	if n < 2 || hi <= lo || lo <= 0 {
+		return nil, errors.New("control: bad root-locus range")
+	}
+	out := make([]LocusPoint, 0, n)
+	for i := 0; i < n; i++ {
+		scale := lo + (hi-lo)*float64(i)/float64(n-1)
+		poles, err := Roots(CharacteristicPoly(scale*a, g))
+		if err != nil {
+			continue
+		}
+		pt := LocusPoint{Scale: scale, Poles: poles, Stable: true}
+		for _, p := range poles {
+			if cmplx.Abs(p) >= 1-1e-12 {
+				pt.Stable = false
+				break
+			}
+		}
+		out = append(out, pt)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoConvergence
+	}
+	return out, nil
+}
+
+// FreqPoint is one frequency-response sample of a discrete-time transfer
+// function evaluated on the unit circle.
+type FreqPoint struct {
+	// Omega is the normalized angular frequency in (0, π].
+	Omega float64
+	// MagDB is the magnitude in decibels.
+	MagDB float64
+	// PhaseDeg is the phase in degrees, unwrapped within the sweep.
+	PhaseDeg float64
+}
+
+// FrequencyResponse evaluates t at n logarithmically spaced frequencies
+// between loOmega and π (Bode data for a sampled system). loOmega must be
+// positive and below π.
+func FrequencyResponse(t TF, loOmega float64, n int) ([]FreqPoint, error) {
+	if loOmega <= 0 || loOmega >= math.Pi {
+		return nil, errors.New("control: low frequency out of (0, π)")
+	}
+	if n < 2 {
+		return nil, errors.New("control: need at least two frequency points")
+	}
+	out := make([]FreqPoint, n)
+	logLo, logHi := math.Log(loOmega), math.Log(math.Pi)
+	prevPhase := math.NaN()
+	wrap := 0.0
+	for i := 0; i < n; i++ {
+		w := math.Exp(logLo + (logHi-logLo)*float64(i)/float64(n-1))
+		z := cmplx.Rect(1, w)
+		den := t.Den.EvalC(z)
+		if den == 0 {
+			return nil, errors.New("control: pole on the unit circle in sweep")
+		}
+		h := t.Num.EvalC(z) / den
+		mag := cmplx.Abs(h)
+		phase := cmplx.Phase(h) * 180 / math.Pi
+		// Unwrap: keep successive phases within 180° of each other.
+		if !math.IsNaN(prevPhase) {
+			for phase+wrap-prevPhase > 180 {
+				wrap -= 360
+			}
+			for phase+wrap-prevPhase < -180 {
+				wrap += 360
+			}
+		}
+		phase += wrap
+		prevPhase = phase
+		out[i] = FreqPoint{Omega: w, MagDB: 20 * math.Log10(mag), PhaseDeg: phase}
+	}
+	return out, nil
+}
+
+// Margins are the classical stability margins of an open-loop transfer
+// function under unity negative feedback.
+type Margins struct {
+	// GainMarginDB is the gain margin in dB (how much extra loop gain the
+	// system tolerates); +Inf when the phase never crosses −180°.
+	GainMarginDB float64
+	// PhaseCrossOmega is the frequency of the −180° crossing.
+	PhaseCrossOmega float64
+	// PhaseMarginDeg is the phase margin in degrees; +Inf when the
+	// magnitude never crosses 0 dB.
+	PhaseMarginDeg float64
+	// GainCrossOmega is the frequency of the 0 dB crossing.
+	GainCrossOmega float64
+}
+
+// LoopMargins computes gain and phase margins of the CPM open loop
+// L(z) = P(z)·C(z) by sweeping the unit circle. The gain margin should
+// agree with the g-range found by MaxStableGainScale — a cross-check tests
+// exploit.
+func LoopMargins(a float64, g Gains) (Margins, error) {
+	pid := PID{KP: g.KP, KI: g.KI, KD: g.KD}
+	open := PlantTF(a).Series(pid.TF())
+	resp, err := FrequencyResponse(open, 1e-3, 2000)
+	if err != nil {
+		return Margins{}, err
+	}
+	m := Margins{GainMarginDB: math.Inf(1), PhaseMarginDeg: math.Inf(1)}
+	for i := 1; i < len(resp); i++ {
+		a0, a1 := resp[i-1], resp[i]
+		// Phase crossing of -180° (modulo the unwrap, search for crossing
+		// through any odd multiple of 180°).
+		if crossed(a0.PhaseDeg, a1.PhaseDeg, -180) && math.IsInf(m.GainMarginDB, 1) {
+			t := (-180 - a0.PhaseDeg) / (a1.PhaseDeg - a0.PhaseDeg)
+			magAt := a0.MagDB + t*(a1.MagDB-a0.MagDB)
+			m.GainMarginDB = -magAt
+			m.PhaseCrossOmega = a0.Omega + t*(a1.Omega-a0.Omega)
+		}
+		// Gain crossing of 0 dB.
+		if crossed(a0.MagDB, a1.MagDB, 0) && math.IsInf(m.PhaseMarginDeg, 1) {
+			t := (0 - a0.MagDB) / (a1.MagDB - a0.MagDB)
+			phaseAt := a0.PhaseDeg + t*(a1.PhaseDeg-a0.PhaseDeg)
+			m.PhaseMarginDeg = 180 + phaseAt
+			m.GainCrossOmega = a0.Omega + t*(a1.Omega-a0.Omega)
+		}
+	}
+	return m, nil
+}
+
+func crossed(v0, v1, level float64) bool {
+	return (v0-level)*(v1-level) <= 0 && v0 != v1
+}

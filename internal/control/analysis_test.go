@@ -1,0 +1,131 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRootLocusBracketsStabilityBoundary(t *testing.T) {
+	pts, err := RootLocus(PaperPlantGain, PaperGains, 0.1, 3.0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 50 {
+		t.Fatalf("only %d locus points", len(pts))
+	}
+	// Scales must be increasing and poles present.
+	for i, p := range pts {
+		if len(p.Poles) != 3 {
+			t.Fatalf("point %d has %d poles", i, len(p.Poles))
+		}
+		if i > 0 && p.Scale <= pts[i-1].Scale {
+			t.Fatal("scales not increasing")
+		}
+	}
+	// The locus must transition stable→unstable exactly once, at the g
+	// found by MaxStableGainScale.
+	gmax, err := MaxStableGainScale(PaperPlantGain, PaperGains, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		want := p.Scale < gmax
+		// Skip points within locus resolution of the boundary.
+		if math.Abs(p.Scale-gmax) < 0.05 {
+			continue
+		}
+		if p.Stable != want {
+			t.Errorf("scale %.3f: stable=%v, want %v (boundary %.3f)", p.Scale, p.Stable, want, gmax)
+		}
+	}
+}
+
+func TestRootLocusValidation(t *testing.T) {
+	if _, err := RootLocus(0, PaperGains, 0.1, 2, 10); err == nil {
+		t.Error("zero plant gain should be rejected")
+	}
+	if _, err := RootLocus(1, PaperGains, 2, 1, 10); err == nil {
+		t.Error("inverted range should be rejected")
+	}
+	if _, err := RootLocus(1, PaperGains, 0.1, 2, 1); err == nil {
+		t.Error("single point should be rejected")
+	}
+}
+
+func TestFrequencyResponseFirstOrder(t *testing.T) {
+	// H(z) = (1-p)/(z-p): DC gain 1 (0 dB at ω→0), monotone low-pass.
+	p := 0.8
+	h, err := NewTF([]float64{1 - p}, []float64{1, -p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := FrequencyResponse(h, 1e-4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp[0].MagDB) > 0.01 {
+		t.Errorf("DC magnitude = %.3f dB, want ≈0", resp[0].MagDB)
+	}
+	for i := 1; i < len(resp); i++ {
+		if resp[i].MagDB > resp[i-1].MagDB+1e-9 {
+			t.Fatalf("low-pass magnitude not monotone at ω=%.4f", resp[i].Omega)
+		}
+	}
+	// At the Nyquist frequency H(-1) = (1-p)/(-1-p): |H| = 0.2/1.8.
+	wantDB := 20 * math.Log10(0.2/1.8)
+	last := resp[len(resp)-1]
+	if math.Abs(last.MagDB-wantDB) > 0.05 {
+		t.Errorf("Nyquist magnitude = %.2f dB, want %.2f", last.MagDB, wantDB)
+	}
+}
+
+func TestFrequencyResponseValidation(t *testing.T) {
+	h := Gain(1)
+	if _, err := FrequencyResponse(h, 0, 10); err == nil {
+		t.Error("zero low frequency should be rejected")
+	}
+	if _, err := FrequencyResponse(h, 4, 10); err == nil {
+		t.Error("low frequency above π should be rejected")
+	}
+	if _, err := FrequencyResponse(h, 0.1, 1); err == nil {
+		t.Error("single point should be rejected")
+	}
+}
+
+// The Bode gain margin of the open loop must agree with the algebraic
+// stable-gain range: gm_dB ≈ 20·log10(gmax).
+func TestLoopMarginsAgreeWithGainRange(t *testing.T) {
+	m, err := LoopMargins(PaperPlantGain, PaperGains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmax, err := MaxStableGainScale(PaperPlantGain, PaperGains, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDB := 20 * math.Log10(gmax)
+	if math.IsInf(m.GainMarginDB, 0) {
+		t.Fatalf("no gain margin found; margins = %+v", m)
+	}
+	if math.Abs(m.GainMarginDB-wantDB) > 0.2 {
+		t.Errorf("gain margin = %.2f dB, want ≈%.2f dB (g=%.3f)", m.GainMarginDB, wantDB, gmax)
+	}
+	// A stable loop has positive margins.
+	if m.GainMarginDB <= 0 {
+		t.Error("gain margin should be positive for a stable design")
+	}
+	if !math.IsInf(m.PhaseMarginDeg, 1) && m.PhaseMarginDeg <= 0 {
+		t.Errorf("phase margin = %.1f°, want positive", m.PhaseMarginDeg)
+	}
+}
+
+func TestLoopMarginsDetectInstability(t *testing.T) {
+	// Triple the plant gain past the boundary: margin goes negative.
+	m, err := LoopMargins(3*PaperPlantGain, PaperGains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GainMarginDB >= 0 {
+		t.Errorf("gain margin = %.2f dB for an unstable loop, want negative", m.GainMarginDB)
+	}
+}

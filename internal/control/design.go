@@ -1,0 +1,260 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// Gains bundles the three PID design parameters.
+type Gains struct {
+	KP, KI, KD float64
+}
+
+// PaperGains are the gains chosen in §II-D of the paper: (0.4, 0.4, 0.3).
+var PaperGains = Gains{KP: 0.4, KI: 0.4, KD: 0.3}
+
+// PaperPlantGain is the island power system gain a_i identified in §II-D by
+// averaging fits of the difference model P(t+1) = P(t) + a·d(t) across the
+// PARSEC suite: 0.79 (in percent-of-max-chip-power per normalized frequency
+// step). cmd/sysid re-derives this value on the synthetic workloads.
+const PaperPlantGain = 0.79
+
+// PlantTF returns the open-loop island power model of Equation (9),
+// P(z) = a/(z−1): an integrator with gain a relating frequency deltas to
+// power deltas.
+func PlantTF(a float64) TF {
+	return TF{Num: Poly{a}, Den: NewPoly(1, -1)}
+}
+
+// ClosedLoop composes the plant with a PID controller under unity negative
+// feedback, Y(z) = P·C/(1+P·C) (Equation 11).
+func ClosedLoop(a float64, g Gains) TF {
+	c := PID{KP: g.KP, KI: g.KI, KD: g.KD}
+	return PlantTF(a).Series(c.TF()).Feedback()
+}
+
+// CharacteristicPoly returns the denominator of the closed loop in monic
+// form:
+//
+//	z³ + (a(K_P+K_I+K_D) − 2)z² + (1 − a(K_P+2K_D))z + a·K_D
+//
+// This closed form is asserted against the composed transfer function by
+// tests.
+func CharacteristicPoly(a float64, g Gains) Poly {
+	return NewPoly(
+		1,
+		a*(g.KP+g.KI+g.KD)-2,
+		1-a*(g.KP+2*g.KD),
+		a*g.KD,
+	)
+}
+
+// Analysis is the full controller design report for one (plant gain, gains)
+// pair, mirroring the analysis of §II-D.
+type Analysis struct {
+	PlantGain float64
+	Gains     Gains
+	Closed    TF
+	CharPoly  Poly
+	Poles     []complex128
+	// SpectralRadius is the largest pole magnitude; stability requires < 1.
+	SpectralRadius float64
+	Stable         bool
+	// Step holds overshoot/settling/steady-state-error measured from the
+	// simulated unit-step response (only meaningful when Stable).
+	Step StepMetrics
+}
+
+// Analyze designs and evaluates the closed loop for plant gain a and PID
+// gains g: it computes poles, checks stability by both root magnitude and the
+// Jury criterion (they must agree), and measures the step-response metrics.
+func Analyze(a float64, g Gains) (Analysis, error) {
+	if a <= 0 {
+		return Analysis{}, errors.New("control: plant gain must be positive")
+	}
+	an := Analysis{PlantGain: a, Gains: g}
+	an.Closed = ClosedLoop(a, g)
+	an.CharPoly = CharacteristicPoly(a, g)
+
+	poles, err := Roots(an.CharPoly)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("control: analyzing poles: %w", err)
+	}
+	an.Poles = poles
+	for _, p := range poles {
+		if m := cmplx.Abs(p); m > an.SpectralRadius {
+			an.SpectralRadius = m
+		}
+	}
+	an.Stable = an.SpectralRadius < 1-1e-12
+
+	jury, err := Jury(an.CharPoly)
+	if err != nil {
+		return Analysis{}, err
+	}
+	if jury != an.Stable {
+		return Analysis{}, fmt.Errorf("control: Jury test (%v) disagrees with pole magnitudes (radius %.6f)",
+			jury, an.SpectralRadius)
+	}
+
+	if an.Stable {
+		y, err := an.Closed.StepResponse(200)
+		if err != nil {
+			return Analysis{}, err
+		}
+		an.Step = MeasureStep(y, 1, 0)
+	}
+	return an, nil
+}
+
+// MaxStableGainScale returns the largest g such that the closed loop remains
+// stable when the plant gain drifts from a to g·a at run time, holding the
+// PID gains fixed — the robustness guarantee of §II-D ("for 0 < g < 2.1 the
+// system will always be stable" with the paper's parameters). The bound is
+// located by bisection to within tol (pass 0 for 1e-4).
+func MaxStableGainScale(a float64, g Gains, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	base, err := Analyze(a, g)
+	if err != nil {
+		return 0, err
+	}
+	if !base.Stable {
+		return 0, errors.New("control: nominal design is unstable")
+	}
+
+	stableAt := func(scale float64) (bool, error) {
+		return IsStablePoly(CharacteristicPoly(scale*a, g))
+	}
+
+	// Find an unstable upper bracket by doubling.
+	hi := 2.0
+	for {
+		ok, err := stableAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		hi *= 2
+		if hi > 1e6 {
+			return 0, errors.New("control: no instability found below gain scale 1e6")
+		}
+	}
+	lo := hi / 2
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := stableAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// DesignSpec expresses the closed-loop requirements used to select gains.
+type DesignSpec struct {
+	// MaxOvershoot is the largest acceptable step overshoot (fraction).
+	MaxOvershoot float64
+	// MaxSettling is the largest acceptable settling time in controller
+	// invocations.
+	MaxSettling int
+	// MaxSteadyStateError is the largest acceptable steady-state error
+	// (fraction). Any design with K_I > 0 drives this to ~0.
+	MaxSteadyStateError float64
+	// MinGainMargin, if > 1, additionally requires MaxStableGainScale to be
+	// at least this large, guarding against run-time plant-gain drift.
+	MinGainMargin float64
+}
+
+// PaperSpec is the design envelope satisfied by the paper's gains, expressed
+// in unit-step terms. Note the unit difference from the paper's reported
+// run-time numbers: the paper's "overshoot within 2–4% and settling in 5–6
+// invocations" are measured relative to the island's absolute power target,
+// while a GPM budget adjustment is a small step on top of a large operating
+// point. A 40% overshoot of a 2%-of-target step is a 0.8%-of-target
+// excursion — comfortably inside the paper's envelope. The scenario-level
+// test TestOperatingPointStepMatchesPaperEnvelope makes this mapping precise.
+var PaperSpec = DesignSpec{
+	MaxOvershoot:        0.45,
+	MaxSettling:         25,
+	MaxSteadyStateError: 0.01,
+	MinGainMargin:       2.0,
+}
+
+// DesignGains searches a coarse-to-fine grid of PID gains for a design
+// meeting spec with plant gain a, preferring (in order) faster settling,
+// lower overshoot, then larger gain margin. It returns an error if no point
+// on the grid satisfies the specification.
+func DesignGains(a float64, spec DesignSpec) (Gains, Analysis, error) {
+	if a <= 0 {
+		return Gains{}, Analysis{}, errors.New("control: plant gain must be positive")
+	}
+	var (
+		best      Gains
+		bestAn    Analysis
+		bestScore = [3]float64{1e18, 1e18, 1e18}
+		found     bool
+	)
+	grid := func(lo, hi, step float64) []float64 {
+		var vs []float64
+		for v := lo; v <= hi+1e-12; v += step {
+			vs = append(vs, v)
+		}
+		return vs
+	}
+	// K_I starts at 0.1: with K_I = 0 the controller's (z-1) factor exactly
+	// cancels the plant integrator, leaving an unobservable marginal mode
+	// that Analyze (correctly) rejects rather than cancelling symbolically.
+	for _, kp := range grid(0.1, 1.0, 0.1) {
+		for _, ki := range grid(0.1, 1.0, 0.1) {
+			for _, kd := range grid(0.0, 0.6, 0.1) {
+				g := Gains{KP: kp, KI: ki, KD: kd}
+				an, err := Analyze(a, g)
+				if err != nil || !an.Stable {
+					continue
+				}
+				if an.Step.MaxOvershoot > spec.MaxOvershoot ||
+					an.Step.SettlingTime < 0 ||
+					(spec.MaxSettling > 0 && an.Step.SettlingTime > spec.MaxSettling) ||
+					an.Step.SteadyStateError > spec.MaxSteadyStateError {
+					continue
+				}
+				margin := 0.0
+				if spec.MinGainMargin > 1 {
+					m, err := MaxStableGainScale(a, g, 1e-3)
+					if err != nil || m < spec.MinGainMargin {
+						continue
+					}
+					margin = m
+				}
+				score := [3]float64{float64(an.Step.SettlingTime), an.Step.MaxOvershoot, -margin}
+				if !found || less3(score, bestScore) {
+					found = true
+					best, bestAn, bestScore = g, an, score
+				}
+			}
+		}
+	}
+	if !found {
+		return Gains{}, Analysis{}, errors.New("control: no gains on the search grid satisfy the specification")
+	}
+	return best, bestAn, nil
+}
+
+func less3(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

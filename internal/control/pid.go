@@ -1,0 +1,110 @@
+package control
+
+import "math"
+
+// PID is a discrete Proportional-Integral-Derivative controller implementing
+// Equation (7) of the paper:
+//
+//	u(t) = K_P·e(t) + K_I·Σ e(u) + K_D·(e(t) - e(t-1))
+//
+// with output clamping and conditional-integration anti-windup: when the
+// actuator saturates (the DVFS knob is already at its highest or lowest
+// voltage/frequency pair), the integral term stops accumulating in the
+// direction of saturation, preventing the long budget-chasing transients that
+// a wound-up integrator would cause once headroom returns.
+//
+// PID is not safe for concurrent use; each island owns its own instance.
+type PID struct {
+	KP, KI, KD float64
+
+	// OutMin and OutMax clamp the controller output when OutMax > OutMin;
+	// otherwise the output is unbounded.
+	OutMin, OutMax float64
+
+	// IntMin and IntMax clamp the raw integral accumulator when
+	// IntMax > IntMin, bounding worst-case windup independently of the
+	// output clamp.
+	IntMin, IntMax float64
+
+	// Frozen, while true, stops the integral accumulator from changing.
+	// Callers whose actuator saturates *downstream* of the controller (the
+	// PIC's quantized frequency target) set this for conditional-
+	// integration anti-windup; the proportional and derivative terms keep
+	// operating.
+	Frozen bool
+
+	integral float64
+	prevErr  float64
+}
+
+// NewPID returns a controller with the given gains and no clamping.
+func NewPID(kp, ki, kd float64) *PID {
+	return &PID{KP: kp, KI: ki, KD: kd}
+}
+
+// Reset clears the controller state (integral accumulator and derivative
+// history), as done when a new power budget epoch begins.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+}
+
+// Integral exposes the current integral accumulator, for tests and
+// telemetry.
+func (c *PID) Integral() float64 { return c.integral }
+
+// Update advances the controller by one invocation with the measured error
+// e = reference − measurement and returns the control output. The error
+// history starts at zero, matching the linear model in which e(-1) = 0, so a
+// fresh controller's first derivative term is K_D·e(0).
+func (c *PID) Update(e float64) float64 {
+	deriv := e - c.prevErr
+
+	// Tentatively integrate, then apply anti-windup below.
+	newIntegral := c.integral + e
+	if c.Frozen {
+		newIntegral = c.integral
+	}
+	if c.IntMax > c.IntMin {
+		newIntegral = clamp(newIntegral, c.IntMin, c.IntMax)
+	}
+
+	u := c.KP*e + c.KI*newIntegral + c.KD*deriv
+
+	if c.OutMax > c.OutMin {
+		clamped := clamp(u, c.OutMin, c.OutMax)
+		if clamped != u {
+			// Saturated: only accept the new integral if it drives the
+			// output back toward the admissible range.
+			saturatedHigh := u > c.OutMax
+			if (saturatedHigh && e > 0) || (!saturatedHigh && e < 0) {
+				newIntegral = c.integral
+				u = c.KP*e + c.KI*newIntegral + c.KD*deriv
+				u = clamp(u, c.OutMin, c.OutMax)
+			} else {
+				u = clamped
+			}
+		}
+	}
+
+	c.integral = newIntegral
+	c.prevErr = e
+	return u
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// TF returns the z-domain transfer function of the controller,
+//
+//	C(z) = K_P + K_I·z/(z−1) + K_D·(z−1)/z
+//	     = ((K_P+K_I+K_D)z² − (K_P+2K_D)z + K_D) / (z(z−1))
+//
+// which is Equation (10) of the paper. Clamping is a nonlinearity and is not
+// represented in the linear model.
+func (c *PID) TF() TF {
+	num := NewPoly(c.KP+c.KI+c.KD, -(c.KP + 2*c.KD), c.KD)
+	den := NewPoly(1, -1, 0) // z(z-1) = z² - z
+	return TF{Num: num, Den: den}
+}

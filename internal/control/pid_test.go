@@ -1,0 +1,145 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDMatchesEquationSeven(t *testing.T) {
+	// Hand-compute Equation (7) for a short error sequence.
+	c := NewPID(0.4, 0.4, 0.3)
+	errs := []float64{1.0, 0.5, -0.25, 0.0}
+	integral, prev := 0.0, 0.0
+	for i, e := range errs {
+		integral += e
+		want := 0.4*e + 0.4*integral + 0.3*(e-prev)
+		got := c.Update(e)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("step %d: Update = %v, want %v", i, got, want)
+		}
+		prev = e
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	c := NewPID(1, 1, 1)
+	c.Update(5)
+	c.Update(3)
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Error("Reset did not clear integral")
+	}
+	// After reset the first update behaves like a fresh controller.
+	got := c.Update(2)
+	want := 1*2.0 + 1*2.0 + 1*2.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("post-reset Update = %v, want %v", got, want)
+	}
+}
+
+func TestPIDOutputClamp(t *testing.T) {
+	c := NewPID(1, 0, 0)
+	c.OutMin, c.OutMax = -1, 1
+	if got := c.Update(100); got != 1 {
+		t.Errorf("clamped output = %v, want 1", got)
+	}
+	if got := c.Update(-100); got != -1 {
+		t.Errorf("clamped output = %v, want -1", got)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	// Pure-integral controller pushed into saturation for a long time must
+	// recover quickly once the error reverses, instead of unwinding a huge
+	// accumulator.
+	c := NewPID(0, 0.5, 0)
+	c.OutMin, c.OutMax = -1, 1
+	for i := 0; i < 100; i++ {
+		c.Update(10) // deep saturation high
+	}
+	integralAtSat := c.Integral()
+	if integralAtSat > 25 {
+		t.Fatalf("integral wound up to %v despite anti-windup", integralAtSat)
+	}
+	// A few reversed-error steps should bring the output off the rail.
+	steps := 0
+	for ; steps < 20; steps++ {
+		if c.Update(-10) < 1 {
+			break
+		}
+	}
+	if steps >= 20 {
+		t.Error("controller stuck at saturation after error reversal")
+	}
+}
+
+func TestPIDIntegralClamp(t *testing.T) {
+	c := NewPID(0, 1, 0)
+	c.IntMin, c.IntMax = -2, 2
+	for i := 0; i < 50; i++ {
+		c.Update(1)
+	}
+	if c.Integral() != 2 {
+		t.Errorf("integral = %v, want clamped at 2", c.Integral())
+	}
+}
+
+func TestPIDTFMatchesEquationTen(t *testing.T) {
+	c := NewPID(0.4, 0.4, 0.3)
+	tf := c.TF()
+	// ((KP+KI+KD)z² − (KP+2KD)z + KD) / (z² − z)
+	wantNum := NewPoly(1.1, -1.0, 0.3)
+	wantDen := NewPoly(1, -1, 0)
+	if !polyEq(tf.Num, wantNum, 1e-12) || !polyEq(tf.Den, wantDen, 1e-12) {
+		t.Errorf("TF = %v, want (%v)/(%v)", tf, wantNum, wantDen)
+	}
+}
+
+// Property: without clamping, the controller is linear — scaling the error
+// sequence scales the output sequence.
+func TestPIDLinearityProperty(t *testing.T) {
+	f := func(e1, e2, e3, k float64) bool {
+		in := func(v float64) float64 { return math.Mod(v, 10) }
+		errs := []float64{in(e1), in(e2), in(e3)}
+		kk := in(k)
+		a := NewPID(0.4, 0.4, 0.3)
+		b := NewPID(0.4, 0.4, 0.3)
+		for _, e := range errs {
+			ua := a.Update(e) * kk
+			ub := b.Update(e * kk)
+			if math.Abs(ua-ub) > 1e-9*(1+math.Abs(ua)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func polyEq(a, b Poly, tol float64) bool {
+	d := a.Sub(b)
+	for _, c := range d {
+		if math.Abs(c) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPIDFrozenIntegral(t *testing.T) {
+	c := NewPID(0.5, 0.5, 0)
+	c.Frozen = true
+	c.Update(1)
+	c.Update(1)
+	if c.Integral() != 0 {
+		t.Errorf("frozen integral moved to %v", c.Integral())
+	}
+	c.Frozen = false
+	c.Update(1)
+	if c.Integral() != 1 {
+		t.Errorf("unfrozen integral = %v, want 1", c.Integral())
+	}
+}

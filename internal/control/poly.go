@@ -1,0 +1,183 @@
+// Package control implements the discrete-time control-theory toolkit that
+// the CPM power-management architecture is designed and verified with.
+//
+// It provides polynomial algebra over real coefficients, complex root finding
+// (Durand–Kerner), z-domain transfer functions with series/feedback
+// composition, stability analysis (pole magnitudes and the Jury criterion),
+// step-response simulation with the three robustness metrics the paper uses
+// (maximum overshoot, settling time, steady-state error), and a discrete PID
+// controller with anti-windup suitable for driving a DVFS actuator.
+//
+// The package replaces the offline Matlab pole-placement analysis of §II-D of
+// the paper with tested, in-repo code: given the identified plant
+// P(z) = a/(z-1) and PID gains (K_P, K_I, K_D), it constructs the closed-loop
+// transfer function, verifies that every pole lies inside the unit circle and
+// reports the range of gain scalings g for which stability is preserved.
+package control
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a real polynomial stored by ascending powers: Poly{c0, c1, c2}
+// represents c0 + c1*z + c2*z². The zero value is the zero polynomial.
+type Poly []float64
+
+// NewPoly returns a polynomial from descending-power coefficients, which is
+// the order polynomials are conventionally written in (z² + 2z + 3 is
+// NewPoly(1, 2, 3)).
+func NewPoly(desc ...float64) Poly {
+	p := make(Poly, len(desc))
+	for i, c := range desc {
+		p[len(desc)-1-i] = c
+	}
+	return p.trim()
+}
+
+// trim removes leading (highest-power) zero coefficients.
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p; the zero polynomial has degree -1.
+func (p Poly) Degree() int { return len(p.trim()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly { return append(Poly(nil), p...) }
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		if i < len(p) {
+			r[i] += p[i]
+		}
+		if i < len(q) {
+			r[i] += q[i]
+		}
+	}
+	return r.trim()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly { return p.Add(q.Scale(-1)) }
+
+// Scale returns k*p.
+func (p Poly) Scale(k float64) Poly {
+	r := make(Poly, len(p))
+	for i, c := range p {
+		r[i] = k * c
+	}
+	return r.trim()
+}
+
+// Mul returns p*q.
+func (p Poly) Mul(q Poly) Poly {
+	p, q = p.trim(), q.trim()
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		for j, b := range q {
+			r[i+j] += a * b
+		}
+	}
+	return r.trim()
+}
+
+// Eval evaluates p at the real point x using Horner's method.
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// EvalC evaluates p at the complex point z using Horner's method.
+func (p Poly) EvalC(z complex128) complex128 {
+	v := complex(0, 0)
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*z + complex(p[i], 0)
+	}
+	return v
+}
+
+// Monic returns p scaled so its leading coefficient is 1. It panics on the
+// zero polynomial.
+func (p Poly) Monic() Poly {
+	p = p.trim()
+	if len(p) == 0 {
+		panic("control: Monic of zero polynomial")
+	}
+	return p.Scale(1 / p[len(p)-1])
+}
+
+// Derivative returns dp/dz.
+func (p Poly) Derivative() Poly {
+	p = p.trim()
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		r[i-1] = float64(i) * p[i]
+	}
+	return r.trim()
+}
+
+// String renders p in conventional descending-power notation, e.g.
+// "z^2 - 1.131z + 0.21".
+func (p Poly) String() string {
+	p = p.trim()
+	if len(p) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := len(p) - 1; i >= 0; i-- {
+		c := p[i]
+		if c == 0 && len(p) > 1 {
+			continue
+		}
+		switch {
+		case first && c < 0:
+			b.WriteString("-")
+		case !first && c < 0:
+			b.WriteString(" - ")
+		case !first:
+			b.WriteString(" + ")
+		}
+		first = false
+		ac := math.Abs(c)
+		if ac != 1 || i == 0 {
+			b.WriteString(trimFloat(ac))
+		}
+		switch {
+		case i == 1:
+			b.WriteString("z")
+		case i > 1:
+			fmt.Fprintf(&b, "z^%d", i)
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}

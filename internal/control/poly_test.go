@@ -1,0 +1,152 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPolyDescendingOrder(t *testing.T) {
+	p := NewPoly(1, 2, 3) // z² + 2z + 3
+	if got := p.Eval(0); got != 3 {
+		t.Errorf("Eval(0) = %v, want 3", got)
+	}
+	if got := p.Eval(1); got != 6 {
+		t.Errorf("Eval(1) = %v, want 6", got)
+	}
+	if got := p.Eval(2); got != 4+4+3 {
+		t.Errorf("Eval(2) = %v, want 11", got)
+	}
+	if p.Degree() != 2 {
+		t.Errorf("Degree = %d, want 2", p.Degree())
+	}
+}
+
+func TestPolyTrim(t *testing.T) {
+	p := NewPoly(0, 0, 1, 2)
+	if p.Degree() != 1 {
+		t.Errorf("Degree = %d, want 1", p.Degree())
+	}
+	if !NewPoly(0).IsZero() {
+		t.Error("NewPoly(0) should be zero")
+	}
+	if (Poly{}).Degree() != -1 {
+		t.Error("zero polynomial should have degree -1")
+	}
+}
+
+func TestPolyAddSub(t *testing.T) {
+	p := NewPoly(1, 2, 3)
+	q := NewPoly(-1, 0, 1)
+	sum := p.Add(q)
+	want := NewPoly(2, 4) // z² cancels: (1-1)z² + 2z + 4
+	if len(sum) != len(want) {
+		t.Fatalf("Add result %v, want %v", sum, want)
+	}
+	for i := range sum {
+		if sum[i] != want[i] {
+			t.Fatalf("Add result %v, want %v", sum, want)
+		}
+	}
+	diff := p.Sub(p)
+	if !diff.IsZero() {
+		t.Errorf("p - p = %v, want zero", diff)
+	}
+}
+
+func TestPolyMulKnown(t *testing.T) {
+	// (z+1)(z-1) = z² - 1
+	p := NewPoly(1, 1).Mul(NewPoly(1, -1))
+	want := NewPoly(1, 0, -1)
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-15 {
+			t.Fatalf("Mul = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestPolyMulZero(t *testing.T) {
+	p := NewPoly(1, 2, 3)
+	if !p.Mul(Poly{}).IsZero() {
+		t.Error("p * 0 should be zero")
+	}
+	if !(Poly{}).Mul(p).IsZero() {
+		t.Error("0 * p should be zero")
+	}
+}
+
+func TestPolyMonic(t *testing.T) {
+	p := NewPoly(2, 4, 6).Monic()
+	want := NewPoly(1, 2, 3)
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-15 {
+			t.Fatalf("Monic = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestPolyDerivative(t *testing.T) {
+	// d/dz (z³ + 2z² + 3z + 4) = 3z² + 4z + 3
+	p := NewPoly(1, 2, 3, 4).Derivative()
+	want := NewPoly(3, 4, 3)
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Derivative = %v, want %v", p, want)
+		}
+	}
+	if !NewPoly(5).Derivative().IsZero() {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{NewPoly(1, -1.131, 0.21), "z^2 - 1.131z + 0.21"},
+		{NewPoly(1, 0, -1), "z^2 - 1"},
+		{NewPoly(0), "0"},
+		{NewPoly(-1, 1), "-z + 1"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", []float64(c.p), got, c.want)
+		}
+	}
+}
+
+// Property: evaluation is a ring homomorphism — (p·q)(x) = p(x)·q(x) and
+// (p+q)(x) = p(x)+q(x).
+func TestPolyRingHomomorphismProperty(t *testing.T) {
+	f := func(a, b, c, d, e, x float64) bool {
+		// Keep magnitudes tame to avoid float blowup dominating tolerance.
+		clampIn := func(v float64) float64 { return math.Mod(v, 4) }
+		p := NewPoly(clampIn(a), clampIn(b), clampIn(c))
+		q := NewPoly(clampIn(d), clampIn(e))
+		xx := clampIn(x)
+		lhsMul := p.Mul(q).Eval(xx)
+		rhsMul := p.Eval(xx) * q.Eval(xx)
+		lhsAdd := p.Add(q).Eval(xx)
+		rhsAdd := p.Eval(xx) + q.Eval(xx)
+		tol := 1e-9 * (1 + math.Abs(rhsMul) + math.Abs(rhsAdd))
+		return math.Abs(lhsMul-rhsMul) <= tol && math.Abs(lhsAdd-rhsAdd) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyEvalCMatchesEvalOnRealAxis(t *testing.T) {
+	f := func(a, b, c, x float64) bool {
+		clampIn := func(v float64) float64 { return math.Mod(v, 8) }
+		p := NewPoly(clampIn(a), clampIn(b), clampIn(c))
+		xx := clampIn(x)
+		got := p.EvalC(complex(xx, 0))
+		want := p.Eval(xx)
+		return math.Abs(real(got)-want) <= 1e-9*(1+math.Abs(want)) && imag(got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

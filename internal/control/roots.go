@@ -1,0 +1,157 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrNoConvergence is returned by Roots when the Durand–Kerner iteration
+// fails to converge, which for well-scaled control polynomials indicates a
+// malformed input (e.g. wildly separated coefficient magnitudes).
+var ErrNoConvergence = errors.New("control: root finding did not converge")
+
+// Roots returns all complex roots of p using the Durand–Kerner
+// (Weierstrass) simultaneous iteration. Roots are sorted by descending
+// magnitude, then by descending real part, so output order is deterministic.
+//
+// The method converges for any polynomial with simple roots and, in practice,
+// for the mildly clustered roots that arise in low-order controller design;
+// accuracy is on the order of 1e-10 for the degree ≤ 6 polynomials this
+// package manipulates.
+func Roots(p Poly) ([]complex128, error) {
+	p = p.trim()
+	n := p.Degree()
+	switch {
+	case n < 0:
+		return nil, errors.New("control: roots of zero polynomial")
+	case n == 0:
+		return []complex128{}, nil
+	case n == 1:
+		// c0 + c1 z = 0
+		return []complex128{complex(-p[0]/p[1], 0)}, nil
+	case n == 2:
+		return quadraticRoots(p), nil
+	}
+
+	m := p.Monic()
+	// Initial guesses: points on a circle of radius r (Cauchy bound estimate)
+	// with an irrational angular offset to avoid symmetry traps.
+	r := rootRadius(m)
+	roots := make([]complex128, n)
+	for i := range roots {
+		theta := 2*math.Pi*float64(i)/float64(n) + 0.4
+		roots[i] = cmplx.Rect(r, theta)
+	}
+
+	const (
+		maxIter = 500
+		tol     = 1e-12
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for i := range roots {
+			num := m.EvalC(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident estimates and keep iterating.
+				roots[i] += complex(1e-6, 1e-6)
+				maxDelta = math.Inf(1)
+				continue
+			}
+			delta := num / den
+			roots[i] -= delta
+			if d := cmplx.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tol {
+			cleanRoots(roots)
+			sortRoots(roots)
+			return roots, nil
+		}
+	}
+	// Near-multiple roots converge only linearly and stall above the delta
+	// tolerance; accept the estimates if their residuals are already tiny
+	// relative to the coefficient scale.
+	maxResid := 0.0
+	for _, z := range roots {
+		if r := cmplx.Abs(m.EvalC(z)); r > maxResid {
+			maxResid = r
+		}
+	}
+	if maxResid < 1e-7*math.Pow(r, float64(n)) {
+		cleanRoots(roots)
+		sortRoots(roots)
+		return roots, nil
+	}
+	return nil, ErrNoConvergence
+}
+
+func quadraticRoots(p Poly) []complex128 {
+	a, b, c := p[2], p[1], p[0]
+	disc := complex(b*b-4*a*c, 0)
+	sq := cmplx.Sqrt(disc)
+	r := []complex128{(-complex(b, 0) + sq) / complex(2*a, 0), (-complex(b, 0) - sq) / complex(2*a, 0)}
+	cleanRoots(r)
+	sortRoots(r)
+	return r
+}
+
+// rootRadius returns the Cauchy upper bound 1 + max|c_i| on the magnitude of
+// any root of the monic polynomial m.
+func rootRadius(m Poly) float64 {
+	maxC := 0.0
+	for _, c := range m[:len(m)-1] {
+		if a := math.Abs(c); a > maxC {
+			maxC = a
+		}
+	}
+	return 1 + maxC
+}
+
+// cleanRoots zeroes out negligible imaginary parts left by the iteration on
+// real roots.
+func cleanRoots(roots []complex128) {
+	for i, z := range roots {
+		if math.Abs(imag(z)) < 1e-9*(1+math.Abs(real(z))) {
+			roots[i] = complex(real(z), 0)
+		}
+	}
+}
+
+func sortRoots(roots []complex128) {
+	sort.Slice(roots, func(i, j int) bool {
+		mi, mj := cmplx.Abs(roots[i]), cmplx.Abs(roots[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if real(roots[i]) != real(roots[j]) {
+			return real(roots[i]) > real(roots[j])
+		}
+		return imag(roots[i]) > imag(roots[j])
+	})
+}
+
+// SpectralRadius returns the largest root magnitude of p, i.e. the spectral
+// radius of its companion matrix. For a closed-loop characteristic polynomial
+// this is the quantity that must be < 1 for stability.
+func SpectralRadius(p Poly) (float64, error) {
+	roots, err := Roots(p)
+	if err != nil {
+		return 0, err
+	}
+	r := 0.0
+	for _, z := range roots {
+		if a := cmplx.Abs(z); a > r {
+			r = a
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,165 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootsLinear(t *testing.T) {
+	roots, err := Roots(NewPoly(2, -6)) // 2z - 6 = 0 -> z = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 || cmplx.Abs(roots[0]-3) > 1e-12 {
+		t.Errorf("roots = %v, want [3]", roots)
+	}
+}
+
+func TestRootsQuadraticReal(t *testing.T) {
+	// (z-2)(z+5) = z² + 3z - 10
+	roots, err := Roots(NewPoly(1, 3, -10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{-5, 2}
+	assertRootSet(t, roots, want, 1e-10)
+}
+
+func TestRootsQuadraticComplex(t *testing.T) {
+	// z² + 1 -> ±i
+	roots, err := Roots(NewPoly(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRootSet(t, roots, []complex128{complex(0, 1), complex(0, -1)}, 1e-10)
+}
+
+func TestRootsCubicKnown(t *testing.T) {
+	// (z-1)(z-2)(z-3) = z³ - 6z² + 11z - 6
+	roots, err := Roots(NewPoly(1, -6, 11, -6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRootSet(t, roots, []complex128{1, 2, 3}, 1e-8)
+}
+
+func TestRootsQuinticMixed(t *testing.T) {
+	// (z² + 2z + 5)(z - 0.5)(z + 4)(z - 1): roots -1±2i, 0.5, -4, 1
+	p := NewPoly(1, 2, 5).Mul(NewPoly(1, -0.5)).Mul(NewPoly(1, 4)).Mul(NewPoly(1, -1))
+	roots, err := Roots(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{complex(-1, 2), complex(-1, -2), 0.5, -4, 1}
+	assertRootSet(t, roots, want, 1e-7)
+}
+
+func TestRootsDeterministicOrder(t *testing.T) {
+	p := NewPoly(1, -6, 11, -6)
+	a, err := Roots(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Roots(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic root order: %v vs %v", a, b)
+		}
+	}
+	// Sorted by descending magnitude.
+	for i := 1; i < len(a); i++ {
+		if cmplx.Abs(a[i]) > cmplx.Abs(a[i-1])+1e-12 {
+			t.Fatalf("roots not sorted by magnitude: %v", a)
+		}
+	}
+}
+
+func TestRootsZeroPolynomial(t *testing.T) {
+	if _, err := Roots(Poly{}); err == nil {
+		t.Error("expected error for zero polynomial")
+	}
+}
+
+// Property: build a polynomial from random real roots in [-2, 2], recover
+// them with Roots.
+func TestRootsRoundTripProperty(t *testing.T) {
+	f := func(r1, r2, r3, r4 float64) bool {
+		in := func(v float64) float64 { return math.Mod(v, 2) }
+		want := []complex128{
+			complex(in(r1), 0), complex(in(r2), 0),
+			complex(in(r3), 0), complex(in(r4), 0),
+		}
+		// Require minimum separation; Durand–Kerner accuracy degrades with
+		// (near-)multiple roots, which controller design never produces.
+		for i := range want {
+			for j := i + 1; j < len(want); j++ {
+				if cmplx.Abs(want[i]-want[j]) < 0.05 {
+					return true // skip degenerate draw
+				}
+			}
+		}
+		p := Poly{1}
+		for _, r := range want {
+			p = p.Mul(NewPoly(1, -real(r)))
+		}
+		got, err := Roots(p)
+		if err != nil {
+			return false
+		}
+		return rootSetsMatch(got, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	// (z-0.5)(z+0.9): radius 0.9
+	r, err := SpectralRadius(NewPoly(1, 0.4, -0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.9) > 1e-9 {
+		t.Errorf("SpectralRadius = %v, want 0.9", r)
+	}
+}
+
+func assertRootSet(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	if !rootSetsMatch(got, want, tol) {
+		t.Errorf("roots = %v, want %v", got, want)
+	}
+}
+
+func rootSetsMatch(got, want []complex128, tol float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	g := append([]complex128(nil), got...)
+	w := append([]complex128(nil), want...)
+	key := func(z complex128) (float64, float64) { return real(z), imag(z) }
+	less := func(s []complex128) func(i, j int) bool {
+		return func(i, j int) bool {
+			ri, ii := key(s[i])
+			rj, ij := key(s[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return ii < ij
+		}
+	}
+	sort.Slice(g, less(g))
+	sort.Slice(w, less(w))
+	for i := range g {
+		if cmplx.Abs(g[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

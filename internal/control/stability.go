@@ -1,0 +1,143 @@
+package control
+
+import (
+	"errors"
+	"math"
+)
+
+// IsStablePoly reports whether every root of the characteristic polynomial p
+// lies strictly inside the unit circle, using root magnitudes. Marginal
+// systems (a root exactly on the circle) are reported as unstable.
+func IsStablePoly(p Poly) (bool, error) {
+	r, err := SpectralRadius(p)
+	if err != nil {
+		return false, err
+	}
+	return r < 1-1e-12, nil
+}
+
+// Jury applies the Jury stability criterion to the characteristic polynomial
+// p (the discrete-time analogue of Routh–Hurwitz): it reports whether all
+// roots lie strictly inside the unit circle without computing them.
+//
+// The criterion requires a polynomial of degree >= 1; equality in any Jury
+// condition (a marginally stable system) is reported as unstable, matching
+// IsStablePoly. Jury and IsStablePoly are cross-checked against each other by
+// a property-based test.
+func Jury(p Poly) (bool, error) {
+	p = p.trim()
+	n := p.Degree()
+	if n < 1 {
+		return false, errors.New("control: Jury test requires degree >= 1")
+	}
+	// Normalize sign so the leading coefficient is positive.
+	c := p.Clone()
+	if c[n] < 0 {
+		c = c.Scale(-1)
+	}
+
+	// Condition 1: D(1) > 0.
+	if c.Eval(1) <= 0 {
+		return false, nil
+	}
+	// Condition 2: (-1)^n D(-1) > 0.
+	v := c.Eval(-1)
+	if n%2 == 1 {
+		v = -v
+	}
+	if v <= 0 {
+		return false, nil
+	}
+	// Condition 3: |a_0| < a_n.
+	if math.Abs(c[0]) >= c[n] {
+		return false, nil
+	}
+	// First-order polynomials are fully decided by the above.
+	if n == 1 {
+		return true, nil
+	}
+
+	// Jury table reduction: from row (r_0 ... r_m) derive
+	// s_k = r_0*r_k - r_m*r_{m-k}, requiring |s_0| > |s_{m-1}| at each stage,
+	// until three coefficients remain.
+	row := append([]float64(nil), c...)
+	for len(row) > 3 {
+		m := len(row) - 1
+		next := make([]float64, m)
+		for k := 0; k < m; k++ {
+			next[k] = row[0]*row[k] - row[m]*row[m-k]
+		}
+		if math.Abs(next[0]) <= math.Abs(next[m-1]) {
+			return false, nil
+		}
+		row = next
+	}
+	return true, nil
+}
+
+// StepMetrics are the three robustness metrics of §II-A of the paper,
+// measured from a closed-loop unit-step response.
+type StepMetrics struct {
+	// MaxOvershoot is the peak output minus the reference, as a fraction of
+	// the reference (0.04 = 4% overshoot). Zero when the response never
+	// exceeds the reference.
+	MaxOvershoot float64
+	// SettlingTime is the number of controller invocations after which the
+	// output stays within the settling band of its final value. It is -1 if
+	// the response never settles within the simulated horizon.
+	SettlingTime int
+	// SteadyStateError is the absolute difference between the reference and
+	// the final settled output, as a fraction of the reference.
+	SteadyStateError float64
+}
+
+// DefaultSettlingBand is the ±band (fraction of the reference) used to judge
+// settling; 2% is the conventional choice.
+const DefaultSettlingBand = 0.02
+
+// MeasureStep computes StepMetrics from a recorded step response y toward
+// reference ref, with the given settling band (fraction of ref; pass 0 for
+// DefaultSettlingBand).
+func MeasureStep(y []float64, ref, band float64) StepMetrics {
+	if band <= 0 {
+		band = DefaultSettlingBand
+	}
+	m := StepMetrics{SettlingTime: -1}
+	if len(y) == 0 || ref == 0 {
+		return m
+	}
+	peak := math.Inf(-1)
+	for _, v := range y {
+		if v > peak {
+			peak = v
+		}
+	}
+	if over := (peak - ref) / math.Abs(ref); over > 0 {
+		m.MaxOvershoot = over
+	}
+
+	// Final value: mean of the last 10% of samples (at least one).
+	tail := len(y) / 10
+	if tail < 1 {
+		tail = 1
+	}
+	final := 0.0
+	for _, v := range y[len(y)-tail:] {
+		final += v
+	}
+	final /= float64(tail)
+	m.SteadyStateError = math.Abs(ref-final) / math.Abs(ref)
+
+	// Settling time: first index from which the response stays within
+	// band·|ref| of the final value.
+	lim := band * math.Abs(ref)
+	settle := -1
+	for k := len(y) - 1; k >= 0; k-- {
+		if math.Abs(y[k]-final) > lim {
+			break
+		}
+		settle = k
+	}
+	m.SettlingTime = settle
+	return m
+}

@@ -1,0 +1,163 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJuryKnownStable(t *testing.T) {
+	cases := []struct {
+		p      Poly
+		stable bool
+	}{
+		{NewPoly(1, -0.5), true},           // root 0.5
+		{NewPoly(1, -1.5), false},          // root 1.5
+		{NewPoly(1, 0, 0.25), true},        // roots ±0.5i
+		{NewPoly(1, 0, 4), false},          // roots ±2i
+		{NewPoly(1, -1.2, 0.35), true},     // roots 0.5, 0.7
+		{NewPoly(1, -2.5, 1.0), false},     // roots 0.5, 2.0
+		{NewPoly(1, -1, 0.5), true},        // roots 0.5±0.5i (|·|≈0.707)
+		{NewPoly(1, -1.0, 0.0, 0.0), true}, // roots 1? No: z³-z² -> roots 0,0,1 (marginal)
+	}
+	for i, c := range cases {
+		got, err := Jury(c.p)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// Case with a root exactly on the circle must be reported unstable.
+		want := c.stable
+		if i == len(cases)-1 {
+			want = false
+		}
+		if got != want {
+			t.Errorf("case %d (%v): Jury = %v, want %v", i, c.p, got, want)
+		}
+	}
+}
+
+func TestJuryDegreeZeroRejected(t *testing.T) {
+	if _, err := Jury(NewPoly(5)); err == nil {
+		t.Error("expected error for constant polynomial")
+	}
+}
+
+// Property: Jury agrees with explicit root magnitudes on random cubics and
+// quartics built from known roots.
+func TestJuryMatchesRootsProperty(t *testing.T) {
+	f := func(r1, r2, r3, r4 float64) bool {
+		in := func(v float64) float64 { return math.Mod(v, 1.8) }
+		roots := []float64{in(r1), in(r2), in(r3), in(r4)}
+		// Skip near-coincident roots, where root-finding accuracy (not the
+		// stability logic) becomes the limiting factor.
+		for i := range roots {
+			for j := i + 1; j < len(roots); j++ {
+				if math.Abs(roots[i]-roots[j]) < 0.02 {
+					return true
+				}
+			}
+		}
+		stable := true
+		p := Poly{1}
+		for _, r := range roots {
+			// Skip draws too close to the unit circle where float error in
+			// the expanded coefficients can flip the verdict.
+			if math.Abs(math.Abs(r)-1) < 0.02 {
+				return true
+			}
+			if math.Abs(r) >= 1 {
+				stable = false
+			}
+			p = p.Mul(NewPoly(1, -r))
+		}
+		got, err := Jury(p)
+		if err != nil {
+			return false
+		}
+		byRoots, err := IsStablePoly(p)
+		if err != nil {
+			return false
+		}
+		return got == stable && byRoots == stable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Jury agrees with root magnitudes on complex-conjugate pairs too.
+func TestJuryComplexPairsProperty(t *testing.T) {
+	f := func(rr, ri, s float64) bool {
+		re := math.Mod(rr, 1.5)
+		im := math.Mod(ri, 1.5)
+		real3 := math.Mod(s, 1.5)
+		mag := math.Hypot(re, im)
+		if math.Abs(mag-1) < 0.02 || math.Abs(math.Abs(real3)-1) < 0.02 {
+			return true
+		}
+		stable := mag < 1 && math.Abs(real3) < 1
+		// (z² - 2re·z + re²+im²)(z - real3)
+		p := NewPoly(1, -2*re, re*re+im*im).Mul(NewPoly(1, -real3))
+		got, err := Jury(p)
+		if err != nil {
+			return false
+		}
+		return got == stable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureStepIdealResponses(t *testing.T) {
+	// Perfect step: settles immediately, no overshoot, no error.
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = 1
+	}
+	m := MeasureStep(y, 1, 0)
+	if m.MaxOvershoot != 0 || m.SettlingTime != 0 || m.SteadyStateError > 1e-12 {
+		t.Errorf("ideal step metrics = %+v", m)
+	}
+}
+
+func TestMeasureStepOvershootAndSettling(t *testing.T) {
+	// Damped oscillation toward 1 with a 20% first peak.
+	y := make([]float64, 100)
+	for k := range y {
+		y[k] = 1 + 0.2*math.Pow(0.7, float64(k))*math.Cos(float64(k))
+	}
+	m := MeasureStep(y, 1, 0)
+	if m.MaxOvershoot < 0.15 || m.MaxOvershoot > 0.25 {
+		t.Errorf("MaxOvershoot = %v, want ≈0.2", m.MaxOvershoot)
+	}
+	if m.SettlingTime <= 0 || m.SettlingTime > 30 {
+		t.Errorf("SettlingTime = %v, want small positive", m.SettlingTime)
+	}
+	if m.SteadyStateError > 0.01 {
+		t.Errorf("SteadyStateError = %v, want ≈0", m.SteadyStateError)
+	}
+}
+
+func TestMeasureStepNeverSettles(t *testing.T) {
+	// Sustained oscillation far outside any settling band.
+	y := make([]float64, 60)
+	for k := range y {
+		y[k] = 1 + 0.5*math.Cos(float64(k))
+	}
+	m := MeasureStep(y, 1, 0)
+	if m.SettlingTime != -1 && m.SettlingTime < len(y)-5 {
+		// The last sample may coincidentally be near the mean; only a
+		// genuine settled suffix counts.
+		t.Errorf("SettlingTime = %v for non-settling response", m.SettlingTime)
+	}
+}
+
+func TestMeasureStepEmptyAndZeroRef(t *testing.T) {
+	if m := MeasureStep(nil, 1, 0); m.SettlingTime != -1 {
+		t.Error("empty response should not settle")
+	}
+	if m := MeasureStep([]float64{1, 2}, 0, 0); m.SettlingTime != -1 {
+		t.Error("zero reference should not settle")
+	}
+}

@@ -1,0 +1,137 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TF is a discrete-time (z-domain) transfer function Num(z)/Den(z) with real
+// coefficients. TFs are immutable by convention: composition methods return
+// new values.
+type TF struct {
+	Num Poly
+	Den Poly
+}
+
+// NewTF builds a transfer function from descending-power numerator and
+// denominator coefficients.
+func NewTF(num, den []float64) (TF, error) {
+	tf := TF{Num: NewPoly(num...), Den: NewPoly(den...)}
+	if tf.Den.IsZero() {
+		return TF{}, errors.New("control: transfer function with zero denominator")
+	}
+	return tf, nil
+}
+
+// Gain returns the scalar transfer function k.
+func Gain(k float64) TF { return TF{Num: Poly{k}, Den: Poly{1}} }
+
+// String renders the transfer function as "Num / Den".
+func (t TF) String() string {
+	return fmt.Sprintf("(%s) / (%s)", t.Num.String(), t.Den.String())
+}
+
+// Series returns the cascade t·u (output of t feeding u).
+func (t TF) Series(u TF) TF {
+	return TF{Num: t.Num.Mul(u.Num), Den: t.Den.Mul(u.Den)}
+}
+
+// Add returns t + u over a common denominator.
+func (t TF) Add(u TF) TF {
+	return TF{
+		Num: t.Num.Mul(u.Den).Add(u.Num.Mul(t.Den)),
+		Den: t.Den.Mul(u.Den),
+	}
+}
+
+// Scale returns k·t.
+func (t TF) Scale(k float64) TF { return TF{Num: t.Num.Scale(k), Den: t.Den.Clone()} }
+
+// Feedback closes a unity negative-feedback loop around the open-loop
+// transfer function t, returning t/(1+t). This is the Y(z) = P·C/(1+P·C)
+// composition of Equation (11) of the paper when t = P·C.
+func (t TF) Feedback() TF {
+	return TF{
+		Num: t.Num,
+		Den: t.Den.Add(t.Num),
+	}
+}
+
+// Poles returns the roots of the denominator, sorted by descending magnitude.
+func (t TF) Poles() ([]complex128, error) { return Roots(t.Den) }
+
+// Zeros returns the roots of the numerator, sorted by descending magnitude.
+func (t TF) Zeros() ([]complex128, error) {
+	if t.Num.Degree() < 1 {
+		return []complex128{}, nil
+	}
+	return Roots(t.Num)
+}
+
+// DCGain evaluates the transfer function at z = 1, the steady-state gain for
+// step inputs. It returns an error when z = 1 is a pole (infinite DC gain, as
+// with a pure integrator).
+func (t TF) DCGain() (float64, error) {
+	den := t.Den.Eval(1)
+	if den == 0 {
+		return 0, errors.New("control: pole at z=1, DC gain is unbounded")
+	}
+	return t.Num.Eval(1) / den, nil
+}
+
+// Simulate runs the difference equation implied by the transfer function on
+// the input sequence u, returning the output sequence of equal length. The
+// filter state starts at rest. Coefficients are normalized so the highest
+// denominator coefficient is 1; numerator shorter than the denominator is
+// treated as delayed (strictly proper systems respond with latency).
+func (t TF) Simulate(u []float64) ([]float64, error) {
+	den := t.Den.trim()
+	num := t.Num.trim()
+	if len(den) == 0 {
+		return nil, errors.New("control: zero denominator")
+	}
+	if len(num) > len(den) {
+		return nil, errors.New("control: improper transfer function (numerator degree exceeds denominator)")
+	}
+	n := len(den)
+	// Normalize: a_{n-1} (leading) = 1.
+	lead := den[n-1]
+	a := make([]float64, n) // ascending powers
+	b := make([]float64, n)
+	for i := range den {
+		a[i] = den[i] / lead
+	}
+	for i := range num {
+		b[i] = num[i] / lead
+	}
+	// Difference equation for H(z) = (b_{n-1} z^{n-1} + ... + b_0) /
+	// (z^{n-1} + a_{n-2} z^{n-2} + ... + a_0):
+	// y[k] = -sum_{i=0}^{n-2} a_i y[k-(n-1-i)] + sum_{i=0}^{n-1} b_i u[k-(n-1-i)]
+	y := make([]float64, len(u))
+	for k := range u {
+		acc := 0.0
+		for i := 0; i < n-1; i++ {
+			lag := n - 1 - i
+			if k-lag >= 0 {
+				acc -= a[i] * y[k-lag]
+			}
+		}
+		for i := 0; i < n; i++ {
+			lag := n - 1 - i
+			if k-lag >= 0 {
+				acc += b[i] * u[k-lag]
+			}
+		}
+		y[k] = acc
+	}
+	return y, nil
+}
+
+// StepResponse simulates the unit-step response of t for n samples.
+func (t TF) StepResponse(n int) ([]float64, error) {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	return t.Simulate(u)
+}

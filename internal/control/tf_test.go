@@ -1,0 +1,113 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTFSeriesAndFeedbackAlgebra(t *testing.T) {
+	// P = a/(z-1), C = k. Open loop L = ak/(z-1).
+	// Closed loop L/(1+L) = ak/(z-1+ak).
+	a, k := 0.79, 0.5
+	closed := PlantTF(a).Series(Gain(k)).Feedback()
+	wantNum := NewPoly(a * k)
+	wantDen := NewPoly(1, a*k-1)
+	if closed.Num.Sub(wantNum).Degree() >= 0 || closed.Den.Sub(wantDen).Degree() >= 0 {
+		t.Errorf("closed loop = %v, want (%v)/(%v)", closed, wantNum, wantDen)
+	}
+}
+
+func TestTFDCGain(t *testing.T) {
+	// First-order lag H = 0.2/(z-0.8): DC gain 0.2/(1-0.8) = 1.
+	h, err := NewTF([]float64{0.2}, []float64{1, -0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := h.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1) > 1e-12 {
+		t.Errorf("DC gain = %v, want 1", g)
+	}
+	// Integrator has unbounded DC gain.
+	if _, err := PlantTF(1).DCGain(); err == nil {
+		t.Error("expected error for integrator DC gain")
+	}
+}
+
+func TestTFSimulateFirstOrderLag(t *testing.T) {
+	// H = (1-p)/(z-p): step response y[k] = 1 - p^k (y[0] = 0, one sample
+	// of transport delay since H is strictly proper).
+	p := 0.6
+	h, err := NewTF([]float64{1 - p}, []float64{1, -p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := h.StepResponse(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range y {
+		want := 0.0
+		if k >= 1 {
+			want = 1 - math.Pow(p, float64(k))
+		}
+		if math.Abs(y[k]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", k, y[k], want)
+		}
+	}
+}
+
+func TestTFSimulateIntegrator(t *testing.T) {
+	// H = 1/(z-1): step response is a ramp 0,1,2,3,...
+	y, err := PlantTF(1).StepResponse(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range y {
+		if math.Abs(y[k]-float64(k)) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %d", k, y[k], k)
+		}
+	}
+}
+
+func TestTFSimulateRejectsImproper(t *testing.T) {
+	h := TF{Num: NewPoly(1, 0, 0), Den: NewPoly(1, -1)}
+	if _, err := h.Simulate([]float64{1, 1}); err == nil {
+		t.Error("expected error for improper transfer function")
+	}
+}
+
+// The composed closed-loop transfer function must reproduce the behaviour of
+// the actual time-domain loop: plant P(t+1) = P(t) + a·d(t) driven by the PID
+// of Equation (7) on the tracking error. This validates both TF.Simulate and
+// the Series/Feedback composition against first principles.
+func TestClosedLoopTFMatchesTimeDomainLoop(t *testing.T) {
+	const a = PaperPlantGain
+	g := PaperGains
+	n := 60
+
+	// Time-domain simulation of the loop.
+	pid := NewPID(g.KP, g.KI, g.KD)
+	y := make([]float64, n)
+	power := 0.0
+	for k := 0; k < n; k++ {
+		y[k] = power
+		e := 1 - power // unit reference
+		d := pid.Update(e)
+		power += a * d
+	}
+
+	// Linear-model prediction.
+	closed := ClosedLoop(a, g)
+	want, err := closed.StepResponse(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		if math.Abs(y[k]-want[k]) > 1e-9 {
+			t.Fatalf("sample %d: time-domain %v, transfer function %v", k, y[k], want[k])
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "github.com/cpm-sim/cpm/internal/stats"
+
+// FaultPlan injects sensor and actuator faults into a managed run, for the
+// robustness studies DESIGN.md calls out. The paper's central argument for
+// formal feedback control over open-loop heuristics is predictable behaviour
+// under mis-modelling and disturbance (§II-D); the fault plan makes that
+// claim testable end to end:
+//
+//   - UtilNoiseStd corrupts every utilization reading with multiplicative
+//     Gaussian noise (a flaky performance counter),
+//   - UtilBiasMult scales every reading by a constant (a mis-calibrated
+//     counter or transducer drift),
+//   - StuckIsland pins one island's DVFS actuator at StuckLevel, ignoring
+//     the PIC (a failed voltage regulator), and
+//   - DropGPMProb makes the supervisor skip GPM invocations at random (a
+//     busy or faulty management core); the PICs keep capping at their last
+//     provisions, which is exactly the decoupling guarantee of §II-C.
+//
+// All randomness is deterministic in Seed. The zero value injects nothing.
+type FaultPlan struct {
+	// UtilNoiseStd is the standard deviation of multiplicative Gaussian
+	// noise applied to measured utilization (0.1 = 10% noise).
+	UtilNoiseStd float64
+	// UtilBiasMult scales measured utilization (1 = unbiased).
+	UtilBiasMult float64
+	// StuckIsland, when >= 0, identifies an island whose actuator ignores
+	// the PIC and stays pinned at StuckLevel.
+	StuckIsland int
+	// StuckLevel is the level the stuck island is pinned at.
+	StuckLevel int
+	// DropGPMProb is the probability that a due GPM invocation is skipped.
+	DropGPMProb float64
+	// Seed drives the fault randomness.
+	Seed uint64
+}
+
+// enabled reports whether the plan injects anything.
+func (f FaultPlan) enabled() bool {
+	return f.UtilNoiseStd > 0 || (f.UtilBiasMult != 0 && f.UtilBiasMult != 1) ||
+		f.StuckIsland >= 0 || f.DropGPMProb > 0
+}
+
+// faultState is the run-time side of a FaultPlan.
+type faultState struct {
+	plan FaultPlan
+	rng  *stats.Rand
+}
+
+func newFaultState(plan FaultPlan) *faultState {
+	if plan.UtilBiasMult == 0 {
+		plan.UtilBiasMult = 1
+	}
+	return &faultState{
+		plan: plan,
+		rng:  stats.NewRand(stats.DeriveSeed(plan.Seed, 0xfa17)),
+	}
+}
+
+// corruptUtil applies sensor faults to a utilization reading.
+func (f *faultState) corruptUtil(u float64) float64 {
+	u *= f.plan.UtilBiasMult
+	if f.plan.UtilNoiseStd > 0 {
+		u *= f.rng.Norm(1, f.plan.UtilNoiseStd)
+	}
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// dropGPM reports whether this GPM invocation is skipped.
+func (f *faultState) dropGPM() bool {
+	return f.plan.DropGPMProb > 0 && f.rng.Bool(f.plan.DropGPMProb)
+}
+
+// overrideLevel replaces the PIC's command for a stuck island.
+func (f *faultState) overrideLevel(island, level int) int {
+	if island == f.plan.StuckIsland {
+		return f.plan.StuckLevel
+	}
+	return level
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultPlanEnabled(t *testing.T) {
+	cases := []struct {
+		plan FaultPlan
+		want bool
+	}{
+		{FaultPlan{StuckIsland: -1}, false},
+		{FaultPlan{StuckIsland: -1, UtilBiasMult: 1}, false},
+		{FaultPlan{StuckIsland: -1, UtilNoiseStd: 0.1}, true},
+		{FaultPlan{StuckIsland: -1, UtilBiasMult: 1.2}, true},
+		{FaultPlan{StuckIsland: 0}, true},
+		{FaultPlan{StuckIsland: -1, DropGPMProb: 0.5}, true},
+	}
+	for i, c := range cases {
+		if got := c.plan.enabled(); got != c.want {
+			t.Errorf("case %d: enabled = %v, want %v (%+v)", i, got, c.want, c.plan)
+		}
+	}
+}
+
+func TestCorruptUtilClampsAndBiases(t *testing.T) {
+	// Pure bias, no noise: deterministic scaling with clamping.
+	f := newFaultState(FaultPlan{UtilBiasMult: 1.5, StuckIsland: -1})
+	if got := f.corruptUtil(0.4); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("biased util = %v, want 0.6", got)
+	}
+	if got := f.corruptUtil(0.9); got != 1 {
+		t.Errorf("util above 1 should clamp, got %v", got)
+	}
+	down := newFaultState(FaultPlan{UtilBiasMult: -1, StuckIsland: -1})
+	if got := down.corruptUtil(0.5); got != 0 {
+		t.Errorf("negative product should clamp to 0, got %v", got)
+	}
+	// Zero bias in the plan defaults to 1 (no bias).
+	neutral := newFaultState(FaultPlan{UtilNoiseStd: 0, StuckIsland: -1})
+	if got := neutral.corruptUtil(0.37); got != 0.37 {
+		t.Errorf("neutral plan changed the reading: %v", got)
+	}
+}
+
+func TestCorruptUtilNoiseIsDeterministicInSeed(t *testing.T) {
+	a := newFaultState(FaultPlan{UtilNoiseStd: 0.2, StuckIsland: -1, Seed: 9})
+	b := newFaultState(FaultPlan{UtilNoiseStd: 0.2, StuckIsland: -1, Seed: 9})
+	for i := 0; i < 50; i++ {
+		if a.corruptUtil(0.5) != b.corruptUtil(0.5) {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := newFaultState(FaultPlan{UtilNoiseStd: 0.2, StuckIsland: -1, Seed: 10})
+	diff := 0
+	for i := 0; i < 50; i++ {
+		if a.corruptUtil(0.5) != c.corruptUtil(0.5) {
+			diff++
+		}
+	}
+	if diff < 45 {
+		t.Error("different seeds should produce different noise")
+	}
+}
+
+func TestOverrideLevelAndDropGPM(t *testing.T) {
+	f := newFaultState(FaultPlan{StuckIsland: 2, StuckLevel: 5})
+	if f.overrideLevel(2, 7) != 5 {
+		t.Error("stuck island must ignore the commanded level")
+	}
+	if f.overrideLevel(1, 7) != 7 {
+		t.Error("healthy island must keep its command")
+	}
+	never := newFaultState(FaultPlan{StuckIsland: -1})
+	for i := 0; i < 20; i++ {
+		if never.dropGPM() {
+			t.Fatal("zero drop probability fired")
+		}
+	}
+	always := newFaultState(FaultPlan{StuckIsland: -1, DropGPMProb: 1})
+	for i := 0; i < 20; i++ {
+		if !always.dropGPM() {
+			t.Fatal("unit drop probability did not fire")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package experiments contains one harness per data table and figure of the
+// paper's evaluation (§IV). Each harness builds the workload and chip the
+// paper describes, runs the managed (and, where the figure calls for it,
+// baseline) configurations, and returns both a rendered text report and the
+// underlying series, plus headline metrics that the test suite asserts
+// "shape" properties against (who wins, by roughly what factor, where the
+// crossovers fall).
+//
+// Figures 1–4 of the paper are architecture diagrams with no data and have
+// no harness. Everything else — Tables I–III and Figures 5–19 — is covered;
+// see DESIGN.md for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/trace"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// Options tune a harness run.
+type Options struct {
+	// Seed drives the whole experiment deterministically (default 1).
+	Seed uint64
+	// Quick shortens horizons for use in tests and smoke runs; the shapes
+	// asserted by the test suite hold in both modes.
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// epochs returns the number of measured GPM epochs for the current mode.
+func (o Options) epochs(full int) int {
+	if o.Quick {
+		q := full / 4
+		if q < 3 {
+			q = 3
+		}
+		return q
+	}
+	return full
+}
+
+// Result is a harness outcome.
+type Result struct {
+	// ID is the experiment identifier ("fig11", "table1", ...).
+	ID string
+	// Title describes the reproduced artefact.
+	Title string
+	// Text is the rendered report (tables and ASCII charts).
+	Text string
+	// Sets holds the underlying series for CSV export, keyed by a short
+	// name; may be empty for pure tables.
+	Sets map[string]*trace.Set
+	// Metrics are the headline numbers, used by tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+// Definition registers a harness.
+type Definition struct {
+	ID    string
+	Title string
+	// Paper summarises what the paper reports for this artefact.
+	Paper string
+	Run   func(Options) (Result, error)
+}
+
+var registry []Definition
+
+func register(d Definition) { registry = append(registry, d) }
+
+// All returns every registered experiment, ordered tables first then
+// figures by number.
+func All() []Definition {
+	out := append([]Definition(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+func lessID(a, b string) bool {
+	rank := func(id string) (int, int) {
+		var n int
+		if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+			return 0, n
+		}
+		if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+			return 1, n
+		}
+		return 2, 0
+	}
+	ka, na := rank(a)
+	kb, nb := rank(b)
+	if ka != kb {
+		return ka < kb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// ByID returns the experiment registered under id.
+func ByID(id string) (Definition, error) {
+	for _, d := range registry {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Definition{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// --- shared setup -----------------------------------------------------------
+
+// calKey caches calibrations, which dominate harness cost and are identical
+// across the many experiments sharing a (mix, seed, interval) combination.
+type calKey struct {
+	mix      string
+	seed     uint64
+	interval float64
+	cores    int
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[calKey]core.Calibration{}
+)
+
+// setup builds the simulator config for a mix and returns it with its
+// (cached) calibration.
+func setup(mix workload.Mix, o Options, intervalSec float64) (sim.Config, core.Calibration, error) {
+	cfg := sim.DefaultConfig(mix)
+	cfg.Seed = o.seed()
+	cfg.Parallel = true
+	if intervalSec > 0 {
+		cfg.IntervalSec = intervalSec
+	}
+	key := calKey{mix: mix.Name, seed: cfg.Seed, interval: cfg.IntervalSec, cores: mix.Cores()}
+	calMu.Lock()
+	cal, ok := calCache[key]
+	calMu.Unlock()
+	if !ok {
+		var err error
+		cal, err = core.Calibrate(cfg, 60, 240)
+		if err != nil {
+			return sim.Config{}, core.Calibration{}, err
+		}
+		calMu.Lock()
+		calCache[key] = cal
+		calMu.Unlock()
+	}
+	return cfg, cal, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

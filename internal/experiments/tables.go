@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/mem"
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/trace"
+	"github.com/cpm-sim/cpm/internal/uarch"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func init() {
+	register(Definition{
+		ID:    "table1",
+		Title: "Core, memory, CMP configuration and V-f settings",
+		Paper: "Table I: 4/2/2-wide core, 16KB 2-way L1s, 512KB/core 16-way L2, 200-cycle memory, 8 cores in 4 islands, 8 V/f pairs 600MHz-2GHz",
+		Run:   runTable1,
+	})
+	register(Definition{
+		ID:    "table2",
+		Title: "PARSEC benchmark details",
+		Paper: "Table II: six applications and two kernels with input sets",
+		Run:   runTable2,
+	})
+	register(Definition{
+		ID:    "table3",
+		Title: "Application mixes and island assignment",
+		Paper: "Table III: Mix-1, Mix-2 for 8 cores; Mix-3 for 16/32 cores",
+		Run:   runTable3,
+	})
+}
+
+func runTable1(o Options) (Result, error) {
+	var b strings.Builder
+	p := uarch.TableIParams()
+	l1 := cache.TableIL1()
+	l2 := cache.TableIL2PerCore()
+	m := mem.TableI()
+	rows := [][]string{
+		{"Technology", "90 nm-class, 2 GHz nominal"},
+		{"Core fetch/issue/commit width", fmt.Sprintf("%d/%d/%d", p.FetchWidth, p.IssueWidth, p.CommitWidth)},
+		{"ROB / issue queue", fmt.Sprintf("%d / %d entries", p.ROBSize, p.IQSize)},
+		{"L1 data cache", describeCache(l1)},
+		{"L1 instruction cache", describeCache(l1)},
+		{"L2 cache", describeCache(l2) + " per core"},
+		{"Memory", fmt.Sprintf("%.0f ns (%.0f cycles at 2 GHz), %.1f GB/s", m.BaseLatencyNs, m.BaseLatencyNs*2, m.BandwidthGBs)},
+		{"CMP configuration", "8 out-of-order cores (4 islands, 2 cores per island)"},
+	}
+	b.WriteString(trace.Table([]string{"Parameter", "Value"}, rows))
+	b.WriteString("\nDVFS operating points (Pentium-M derived):\n")
+	tbl := power.PentiumM()
+	var vf [][]string
+	for i := 0; i < tbl.Levels(); i++ {
+		op := tbl.Point(i)
+		vf = append(vf, []string{fmt.Sprint(i), fmt.Sprintf("%.0f MHz", op.FreqMHz), fmt.Sprintf("%.3f V", op.VoltageV)})
+	}
+	b.WriteString(trace.Table([]string{"Level", "Frequency", "Voltage"}, vf))
+	return Result{
+		ID:    "table1",
+		Title: "Table I",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"dvfs_levels":   float64(tbl.Levels()),
+			"fmin_mhz":      tbl.Min().FreqMHz,
+			"fmax_mhz":      tbl.Max().FreqMHz,
+			"mem_cycles_2g": m.BaseLatencyNs * 2,
+		},
+	}, nil
+}
+
+func runTable2(o Options) (Result, error) {
+	var rows [][]string
+	for _, p := range workload.PARSEC() {
+		rows = append(rows, []string{
+			p.Name, p.FullName, p.Class.String(), p.InputSet, p.Description,
+		})
+	}
+	return Result{
+		ID:    "table2",
+		Title: "Table II",
+		Text:  trace.Table([]string{"Short", "Benchmark", "Class", "Input", "Description"}, rows),
+		Metrics: map[string]float64{
+			"benchmarks": float64(len(workload.PARSEC())),
+		},
+	}, nil
+}
+
+func runTable3(o Options) (Result, error) {
+	var b strings.Builder
+	describeMix := func(m workload.Mix) {
+		fmt.Fprintf(&b, "%s (%d cores, %d islands):\n", m.Name, m.Cores(), len(m.Islands))
+		var rows [][]string
+		for i, isl := range m.Islands {
+			var classes []string
+			for _, bench := range isl {
+				classes = append(classes, workload.MustByName(bench).Class.String())
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(i + 1),
+				strings.Join(isl, ", "),
+				strings.Join(classes, ", "),
+			})
+		}
+		b.WriteString(trace.Table([]string{"Island", "Benchmarks", "Characteristics"}, rows))
+		b.WriteString("\n")
+	}
+	describeMix(workload.Mix1())
+	describeMix(workload.Mix2())
+	describeMix(workload.Mix3(1))
+	m3 := workload.Mix3(2)
+	fmt.Fprintf(&b, "For 32 cores, Mix-3 is replicated twice (%d cores, %d islands).\n", m3.Cores(), len(m3.Islands))
+	return Result{
+		ID:    "table3",
+		Title: "Table III",
+		Text:  b.String(),
+		Metrics: map[string]float64{
+			"mix1_cores": float64(workload.Mix1().Cores()),
+			"mix3_cores": float64(workload.Mix3(1).Cores()),
+		},
+	}, nil
+}
+
+func describeCache(c cache.Config) string {
+	return fmt.Sprintf("%d KB, %d-way, %d B blocks, %d-cycle",
+		c.SizeBytes/1024, c.Assoc, c.BlockBytes, c.LatencyCycles)
+}

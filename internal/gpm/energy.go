@@ -1,0 +1,89 @@
+package gpm
+
+// EnergyAware is the energy-minimizing policy §II-C sketches but does not
+// evaluate: "policies for reducing energy consumption by providing a
+// minimum guarantee on the performance ... are also feasible using our
+// approach". It wraps a base policy with an outer loop on the *effective*
+// budget: while chip throughput stays above the guaranteed floor, the
+// offered budget is progressively shrunk (saving energy); when throughput
+// dips below the floor, budget is restored quickly. The asymmetric rates
+// make the floor a soft barrier approached from above.
+type EnergyAware struct {
+	// Base decides the per-island split of the effective budget
+	// (performance-aware if nil).
+	Base Policy
+	// FloorBIPS is the guaranteed minimum chip throughput.
+	FloorBIPS float64
+	// ShrinkRate is the multiplicative budget decrease per epoch while the
+	// throughput has headroom (default 0.97).
+	ShrinkRate float64
+	// RecoverRate is the divisor applied when the floor is breached
+	// (default 0.94 — recovery is faster than decay).
+	RecoverRate float64
+	// MinBudgetFrac bounds the effective budget from below as a fraction
+	// of the offered one (default 0.4).
+	MinBudgetFrac float64
+	// HeadroomFrac is the throughput margin above the floor required
+	// before shrinking further (default 0.02).
+	HeadroomFrac float64
+
+	shrink float64
+}
+
+// Name implements Policy.
+func (p *EnergyAware) Name() string { return "energy-aware" }
+
+// Shrink exposes the current effective-budget fraction for telemetry.
+func (p *EnergyAware) Shrink() float64 {
+	if p.shrink == 0 {
+		return 1
+	}
+	return p.shrink
+}
+
+// Provision implements Policy.
+func (p *EnergyAware) Provision(budgetW float64, obs []IslandObs) []float64 {
+	base := p.Base
+	if base == nil {
+		base = &PerformanceAware{}
+	}
+	shrinkRate := p.ShrinkRate
+	if shrinkRate <= 0 || shrinkRate >= 1 {
+		shrinkRate = 0.97
+	}
+	recoverRate := p.RecoverRate
+	if recoverRate <= 0 || recoverRate >= 1 {
+		recoverRate = 0.94
+	}
+	minFrac := p.MinBudgetFrac
+	if minFrac <= 0 || minFrac > 1 {
+		minFrac = 0.4
+	}
+	headroom := p.HeadroomFrac
+	if headroom <= 0 {
+		headroom = 0.02
+	}
+	if p.shrink == 0 {
+		p.shrink = 1
+	}
+
+	total := 0.0
+	for _, o := range obs {
+		total += o.BIPS
+	}
+	switch {
+	case p.FloorBIPS <= 0:
+		// No guarantee configured: behave like the base policy.
+	case total > p.FloorBIPS*(1+headroom):
+		p.shrink *= shrinkRate
+	case total < p.FloorBIPS:
+		p.shrink /= recoverRate
+	}
+	if p.shrink > 1 {
+		p.shrink = 1
+	}
+	if p.shrink < minFrac {
+		p.shrink = minFrac
+	}
+	return base.Provision(budgetW*p.shrink, obs)
+}

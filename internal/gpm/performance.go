@@ -1,0 +1,208 @@
+package gpm
+
+import "math"
+
+// PerformanceAware is the performance-aware provisioning policy of §II-C:
+// it maximizes total instruction throughput under the chip budget by
+// allocating power in proportion to each island's ratio of actual to
+// expected performance (Equations 4–6), with the starvation/reclaim rule
+// the paper describes alongside them.
+//
+// Expected performance derives from the cube law of Equation (1): dynamic
+// power ∝ f³ with V tracking f, so performance (∝ f for the CPU-bound case
+// the estimate assumes) scales with the cube root of the power ratio:
+//
+//	BIPSᵉᵢ(t) = BIPSᵃᵢ(t−1) · (Pᵢ(t−1)/Pᵢ(t−2))^(1/3)     (Eq. 4)
+//	φᵢ(t)    = BIPSᵃᵢ(t)/BIPSᵉᵢ(t)                          (Eq. 5)
+//	Pᵢ(t+1)  ∝ Pᵢ(t) · φᵢ(t), normalized to P_target        (Eq. 6)
+//
+// Equation (6) is applied as a multiplicative-weights update on the current
+// shares rather than on φ alone: at equilibrium every φᵢ ≈ 1, and a literal
+// P_target·φᵢ/Σφⱼ would then snap all allocations back to an equal split,
+// erasing whatever the policy had learned — which contradicts the paper's
+// own Figure 7 (sustained 13–25% spreads) and the §II-C starvation
+// discussion. Share-proportional application keeps learned allocations and
+// still reduces to the literal form whenever shares are equal.
+//
+// Because real power grows slower than cubically in frequency, an island
+// that converts extra budget into throughput earns φ > 1 and attracts more
+// budget — a deliberate positive feedback that concentrates power where it
+// buys performance. Three mechanisms bound it: φ is clamped per epoch, a
+// minimum-share floor prevents outright starvation, and the reclaim rule of
+// §II-C ("the GPM would realize this fact and provision less") caps an
+// island's next allocation just above what it proved able to consume,
+// returning unspendable budget to the pool. An island whose PIC is already
+// at the top of the DVFS table therefore cannot hoard.
+type PerformanceAware struct {
+	// MaxShareFrac, when in (0, 1], caps any island's allocation at this
+	// fraction of the budget, redistributing the excess — the constraint
+	// extension sketched in §II-C. Zero disables the cap.
+	MaxShareFrac float64
+
+	// PhiClamp bounds the per-epoch responsiveness ratio to
+	// [1/PhiClamp, PhiClamp] (default 2).
+	PhiClamp float64
+
+	// PowerExponent is the exponent relating performance expectations to
+	// power ratios in Equation (4). The paper hardcodes the cube root
+	// (1/3), from the idealized P ∝ f³ of Equation (1); a substrate whose
+	// power elasticity e differs is better served by 1/e (see
+	// Calibration.RecommendedExponent), which removes the systematic φ > 1
+	// bias that drives blind allocation concentration. Zero selects the
+	// paper's 1/3.
+	PowerExponent float64
+
+	// ReclaimHeadroomFrac is the slack above observed consumption an
+	// island may still be allocated, as a fraction of its maximum power
+	// (default 0.10 — about one DVFS step). Negative disables reclaim.
+	ReclaimHeadroomFrac float64
+
+	// MinShareFrac floors each island's allocation at this fraction of the
+	// equal share (default 0.15), so no island is ever starved outright
+	// and a phase change can always earn its way back up.
+	MinShareFrac float64
+
+	prev     []perfHistory
+	havePrev bool
+}
+
+type perfHistory struct {
+	power     float64 // P_i(t-1)
+	prevPower float64 // P_i(t-2)
+	bips      float64 // BIPS_a(t-1)
+}
+
+// Name implements Policy.
+func (p *PerformanceAware) Name() string { return "performance-aware" }
+
+// Provision implements Policy.
+func (p *PerformanceAware) Provision(budgetW float64, obs []IslandObs) []float64 {
+	n := len(obs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	clamp := p.PhiClamp
+	if clamp <= 1 {
+		clamp = 2
+	}
+	headroom := p.ReclaimHeadroomFrac
+	if headroom == 0 {
+		headroom = 0.10
+	}
+	exponent := p.PowerExponent
+	if exponent <= 0 {
+		exponent = 1.0 / 3.0
+	}
+
+	if !p.havePrev || len(p.prev) != n {
+		// First invocation: equal split, prime history.
+		p.prev = make([]perfHistory, n)
+		for i, o := range obs {
+			out[i] = budgetW / float64(n)
+			p.prev[i] = perfHistory{power: o.PowerW, prevPower: o.PowerW, bips: o.BIPS}
+		}
+		p.havePrev = true
+		return out
+	}
+
+	minShare := p.MinShareFrac
+	if minShare == 0 {
+		minShare = 0.15
+	}
+	floor := minShare * budgetW / float64(n)
+
+	sum := 0.0
+	for i, o := range obs {
+		h := p.prev[i]
+		expected := h.bips
+		if h.prevPower > 0 && h.power > 0 {
+			expected = h.bips * math.Pow(h.power/h.prevPower, exponent)
+		}
+		phi := 1.0
+		if expected > 0 {
+			phi = o.BIPS / expected
+		}
+		phi = math.Max(1/clamp, math.Min(clamp, phi))
+		// Multiplicative-weights form of Eq. 6: weight by the current
+		// share (the previous allocation) times its responsiveness ratio.
+		share := o.AllocW
+		if share <= floor {
+			share = floor
+		}
+		out[i] = share * phi
+		sum += out[i]
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] *= budgetW / sum
+		}
+	}
+
+	// Reclaim: an island that could not spend its last allocation has its
+	// next one capped just above proven consumption; freed budget goes to
+	// islands with headroom.
+	if headroom > 0 {
+		caps := make([]float64, n)
+		for i, o := range obs {
+			caps[i] = math.Inf(1)
+			slack := o.MaxPowerW * headroom
+			if o.AllocW-o.PowerW > slack {
+				caps[i] = o.PowerW + slack
+			}
+		}
+		enforceCaps(out, caps)
+	}
+	if p.MaxShareFrac > 0 && p.MaxShareFrac <= 1 {
+		capShares(out, budgetW*p.MaxShareFrac)
+	}
+
+	for i, o := range obs {
+		p.prev[i] = perfHistory{power: o.PowerW, prevPower: p.prev[i].power, bips: o.BIPS}
+	}
+	return out
+}
+
+// enforceCaps clamps entries above their per-entry cap and redistributes the
+// excess over uncapped entries proportionally, iterating to a fixed point.
+func enforceCaps(alloc, caps []float64) {
+	for iter := 0; iter < len(alloc); iter++ {
+		excess := 0.0
+		var openSum float64
+		for i := range alloc {
+			if alloc[i] > caps[i] {
+				excess += alloc[i] - caps[i]
+			} else if alloc[i] < caps[i] {
+				openSum += alloc[i]
+			}
+		}
+		if excess == 0 {
+			return
+		}
+		for i := range alloc {
+			if alloc[i] > caps[i] {
+				alloc[i] = caps[i]
+			} else if openSum > 0 && alloc[i] < caps[i] {
+				alloc[i] += excess * alloc[i] / openSum
+			}
+		}
+		if openSum == 0 {
+			return // everything capped; leave the excess unspent
+		}
+	}
+	for i := range alloc {
+		if alloc[i] > caps[i] {
+			alloc[i] = caps[i]
+		}
+	}
+}
+
+// capShares clamps entries above cap and redistributes the excess over the
+// uncapped entries proportionally, iterating until stable.
+func capShares(alloc []float64, cap float64) {
+	caps := make([]float64, len(alloc))
+	for i := range caps {
+		caps[i] = cap
+	}
+	enforceCaps(alloc, caps)
+}

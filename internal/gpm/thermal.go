@@ -1,0 +1,206 @@
+package gpm
+
+import "github.com/cpm-sim/cpm/internal/thermal"
+
+// ThermalAware is the thermal-aware provisioning policy of Figure 18: it
+// wraps a base policy (performance-aware in the paper's evaluation) and
+// vetoes allocations that would sustain hotspot-forming power patterns.
+//
+// The paper's constraints, for islands mapped onto a floorplan:
+//
+//  1. two *adjacent* islands may not jointly receive more than
+//     AdjacentPairCap of the chip budget for more than ConsecutiveLimit
+//     consecutive GPM invocations, and
+//  2. a single island may not receive more than SoloCap of the budget for
+//     more than SoloConsecutiveLimit consecutive invocations.
+//
+// When a streak is about to exceed its limit, the offending allocations are
+// trimmed to the cap boundary and the freed budget is redistributed to
+// unconstrained islands.
+type ThermalAware struct {
+	// Base decides the unconstrained allocation (EqualShare if nil).
+	Base Policy
+	// Floorplan maps island indices to die positions; islands are adjacent
+	// when their positions abut. (For the Figure 18 evaluation each island
+	// is a single core, so island index == core index.)
+	Floorplan thermal.Floorplan
+	// AdjacentPairCap is the budget fraction two adjacent islands may
+	// jointly hold (paper: 50%).
+	AdjacentPairCap float64
+	// ConsecutiveLimit is the number of consecutive invocations a pair may
+	// exceed the cap before intervention (paper: 2).
+	ConsecutiveLimit int
+	// SoloCap is the budget fraction one island may hold (paper: 30%).
+	SoloCap float64
+	// SoloConsecutiveLimit is the solo streak limit (paper: 4).
+	SoloConsecutiveLimit int
+
+	pairStreak map[[2]int]int
+	soloStreak []int
+}
+
+// Name implements Policy.
+func (p *ThermalAware) Name() string { return "thermal-aware" }
+
+// Provision implements Policy.
+func (p *ThermalAware) Provision(budgetW float64, obs []IslandObs) []float64 {
+	base := p.Base
+	if base == nil {
+		base = EqualShare{}
+	}
+	alloc := base.Provision(budgetW, obs)
+	n := len(alloc)
+	if p.pairStreak == nil {
+		p.pairStreak = make(map[[2]int]int)
+	}
+	if len(p.soloStreak) != n {
+		p.soloStreak = make([]int, n)
+	}
+
+	// Enforce to a fixed point: trimming one constraint redistributes
+	// budget that can push another (already-checked) constraint over its
+	// cap, so iterate solo+pair passes, and on the final pass trim without
+	// redistribution — guaranteeing feasibility at worst by leaving budget
+	// unspent. Only constraints whose streak is already at its limit are
+	// binding this epoch (the limits permit short excursions by design).
+	soloCapW := p.SoloCap * budgetW
+	pairCapW := p.AdjacentPairCap * budgetW
+	// Trim to just below the caps so floating-point rounding can never
+	// leave an allocation marginally above and silently extend a streak.
+	const trimMargin = 0.995
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		final := pass == maxPasses-1
+		changed := false
+		if p.SoloCap > 0 {
+			for i := range alloc {
+				if alloc[i] > soloCapW+1e-9 && p.soloStreak[i] >= p.SoloConsecutiveLimit {
+					freed := alloc[i] - trimMargin*soloCapW
+					alloc[i] = trimMargin * soloCapW
+					if !final {
+						redistribute(alloc, freed, map[int]bool{i: true})
+					}
+					changed = true
+				}
+			}
+		}
+		if p.AdjacentPairCap > 0 {
+			for a := 0; a < n; a++ {
+				for _, b := range p.Floorplan.Neighbors(a) {
+					if b <= a || b >= n {
+						continue
+					}
+					key := [2]int{a, b}
+					if alloc[a]+alloc[b] > pairCapW+1e-9 && p.pairStreak[key] >= p.ConsecutiveLimit {
+						scale := trimMargin * pairCapW / (alloc[a] + alloc[b])
+						freed := (alloc[a] + alloc[b]) * (1 - scale)
+						alloc[a] *= scale
+						alloc[b] *= scale
+						if !final {
+							redistribute(alloc, freed, map[int]bool{a: true, b: true})
+						}
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Update streaks from the final allocation.
+	for i := range alloc {
+		if p.SoloCap > 0 && alloc[i] > soloCapW {
+			p.soloStreak[i]++
+		} else {
+			p.soloStreak[i] = 0
+		}
+	}
+	for a := 0; a < n; a++ {
+		for _, b := range p.Floorplan.Neighbors(a) {
+			if b <= a || b >= n {
+				continue
+			}
+			key := [2]int{a, b}
+			if p.AdjacentPairCap > 0 && alloc[a]+alloc[b] > pairCapW {
+				p.pairStreak[key]++
+			} else {
+				p.pairStreak[key] = 0
+			}
+		}
+	}
+	return alloc
+}
+
+// Violations counts, for a given allocation trace produced by some *other*
+// policy, how many invocations violated this policy's constraints — the
+// measurement behind Figure 18(c). It is stateless with respect to the
+// receiver's streak tracking.
+func (p *ThermalAware) Violations(budgetW float64, allocs [][]float64) int {
+	pairStreak := map[[2]int]int{}
+	var soloStreak []int
+	violations := 0
+	for _, alloc := range allocs {
+		n := len(alloc)
+		if len(soloStreak) != n {
+			soloStreak = make([]int, n)
+		}
+		bad := false
+		if p.SoloCap > 0 {
+			soloCapW := p.SoloCap * budgetW
+			for i := 0; i < n; i++ {
+				if alloc[i] > soloCapW {
+					soloStreak[i]++
+					if soloStreak[i] > p.SoloConsecutiveLimit {
+						bad = true
+					}
+				} else {
+					soloStreak[i] = 0
+				}
+			}
+		}
+		if p.AdjacentPairCap > 0 {
+			pairCapW := p.AdjacentPairCap * budgetW
+			for a := 0; a < n; a++ {
+				for _, b := range p.Floorplan.Neighbors(a) {
+					if b <= a || b >= n {
+						continue
+					}
+					key := [2]int{a, b}
+					if alloc[a]+alloc[b] > pairCapW {
+						pairStreak[key]++
+						if pairStreak[key] > p.ConsecutiveLimit {
+							bad = true
+						}
+					} else {
+						pairStreak[key] = 0
+					}
+				}
+			}
+		}
+		if bad {
+			violations++
+		}
+	}
+	return violations
+}
+
+// redistribute spreads freed watts over islands not in excluded,
+// proportionally to their current allocation.
+func redistribute(alloc []float64, freed float64, excluded map[int]bool) {
+	var sum float64
+	for i, a := range alloc {
+		if !excluded[i] {
+			sum += a
+		}
+	}
+	if sum <= 0 {
+		return // nothing to give it to; leave the budget unspent
+	}
+	for i := range alloc {
+		if !excluded[i] {
+			alloc[i] += freed * alloc[i] / sum
+		}
+	}
+}

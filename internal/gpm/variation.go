@@ -1,0 +1,125 @@
+package gpm
+
+import "math"
+
+// VariationAware is the variation-aware provisioning policy of §IV-B,
+// modelled on the greedy search of Teodorescu & Torrellas [15] (itself a CMP
+// extension of Magklis et al.'s scheme): each island hill-climbs the
+// energy-per-instruction curve over provisioning levels, assuming
+// power/throughput is convex in the operating point. Leakier islands
+// naturally settle at lower provisions (their EPI curve bottoms out lower),
+// so the chip operates leaky silicon slow and tight silicon fast.
+//
+// Per island the policy keeps a direction (step provision up or down). Each
+// invocation it compares the island's energy per instruction against the
+// previous epoch: improvement keeps the direction; degradation means the
+// optimum was overshot, so the policy reverses, holds the suspected optimum
+// for HoldIntervals invocations, then resumes exploring.
+type VariationAware struct {
+	// StepFrac is the provisioning step as a fraction of the island's
+	// equal share (default 0.1).
+	StepFrac float64
+	// HoldIntervals is how long to hold after an overshoot (paper: 10 PIC
+	// intervals ≈ 1 GPM invocation at default periods; expressed here in
+	// GPM invocations).
+	HoldIntervals int
+	// MinShareFrac bounds exploration from below as a fraction of the
+	// island's equal share (default 0.5): pure energy-per-instruction
+	// descent would otherwise walk every island toward the bottom of the
+	// table on substrates whose EPI keeps improving at low frequency.
+	MinShareFrac float64
+
+	st []varState
+}
+
+func (p *VariationAware) minFrac() float64 {
+	if p.MinShareFrac > 0 {
+		return p.MinShareFrac
+	}
+	return 0.5
+}
+
+type varState struct {
+	frac    float64 // provision as fraction of equal share (1 = equal)
+	dir     float64 // +1 or -1
+	lastEPI float64
+	hold    int
+	primed  bool
+}
+
+// Name implements Policy.
+func (p *VariationAware) Name() string { return "variation-aware" }
+
+// Provision implements Policy.
+func (p *VariationAware) Provision(budgetW float64, obs []IslandObs) []float64 {
+	n := len(obs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	step := p.StepFrac
+	if step <= 0 {
+		step = 0.1
+	}
+	hold := p.HoldIntervals
+	if hold <= 0 {
+		hold = 1
+	}
+	if len(p.st) != n {
+		p.st = make([]varState, n)
+		for i := range p.st {
+			p.st[i] = varState{frac: 1, dir: -1} // start by exploring down
+		}
+	}
+
+	share := budgetW / float64(n)
+	for i, o := range obs {
+		s := &p.st[i]
+		epi := math.Inf(1)
+		if o.BIPS > 0 {
+			// Energy per instruction over the epoch: power / instruction
+			// rate. Constant epoch length cancels.
+			epi = o.PowerW / o.BIPS
+		}
+		switch {
+		case !s.primed:
+			s.primed = true
+		case s.hold > 0:
+			s.hold--
+			if s.hold == 0 {
+				// Resume exploring opposite to the move that preceded the
+				// hold.
+				s.dir = -s.dir
+			}
+		case epi <= s.lastEPI:
+			// Improved (or equal): keep moving.
+		default:
+			// Degraded: overshot the optimum — step back and hold there.
+			s.dir = -s.dir
+			s.frac += s.dir * step
+			s.hold = hold
+		}
+		if s.hold == 0 {
+			s.frac += s.dir * step
+		}
+		s.frac = math.Max(p.minFrac(), math.Min(1.5, s.frac))
+		s.lastEPI = epi
+		out[i] = share * s.frac
+	}
+
+	// Unlike the performance-aware policy, this one may *underspend*: it
+	// seeks each island's energy-per-instruction optimum, and filling the
+	// budget for its own sake would drag leaky islands past theirs. Only
+	// scale down when the exploration oversubscribes the budget.
+	sum := 0.0
+	for _, a := range out {
+		sum += a
+	}
+	if sum > budgetW && sum > 0 {
+		scale := budgetW / sum
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}

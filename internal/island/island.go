@@ -1,0 +1,92 @@
+// Package island models voltage/frequency islands: groups of cores sharing
+// a single DVFS actuator, the architectural granularity at which the paper's
+// Per-Island Controllers operate (Figure 1). All cores of an island always
+// run at the same operating point; the actuator tracks level changes so the
+// simulator can charge the 0.5% transition overhead to the following
+// interval.
+package island
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/power"
+)
+
+// Island is one voltage/frequency island.
+type Island struct {
+	id      int
+	coreIDs []int
+	table   *power.DVFSTable
+
+	level       int
+	transitions int
+	// pendingOverhead is true when the last SetLevel changed the operating
+	// point and the overhead has not yet been consumed by an interval.
+	pendingOverhead bool
+}
+
+// New builds an island over the given core IDs starting at initialLevel.
+func New(id int, coreIDs []int, table *power.DVFSTable, initialLevel int) (*Island, error) {
+	if len(coreIDs) == 0 {
+		return nil, errors.New("island: no cores")
+	}
+	if table == nil {
+		return nil, errors.New("island: nil DVFS table")
+	}
+	if initialLevel != table.ClampLevel(initialLevel) {
+		return nil, fmt.Errorf("island: initial level %d out of range", initialLevel)
+	}
+	return &Island{
+		id:      id,
+		coreIDs: append([]int(nil), coreIDs...),
+		table:   table,
+		level:   initialLevel,
+	}, nil
+}
+
+// ID returns the island identifier.
+func (i *Island) ID() int { return i.id }
+
+// CoreIDs returns the member core IDs (callers must not modify the slice).
+func (i *Island) CoreIDs() []int { return i.coreIDs }
+
+// NumCores returns the island size.
+func (i *Island) NumCores() int { return len(i.coreIDs) }
+
+// Table returns the island's DVFS table.
+func (i *Island) Table() *power.DVFSTable { return i.table }
+
+// Level returns the current DVFS level.
+func (i *Island) Level() int { return i.level }
+
+// OperatingPoint returns the current voltage/frequency pair.
+func (i *Island) OperatingPoint() power.OperatingPoint { return i.table.Point(i.level) }
+
+// SetLevel requests a DVFS change to lvl (clamped into range) and reports
+// whether the operating point actually changed. A change arms the
+// transition overhead for the next interval.
+func (i *Island) SetLevel(lvl int) bool {
+	lvl = i.table.ClampLevel(lvl)
+	if lvl == i.level {
+		return false
+	}
+	i.level = lvl
+	i.transitions++
+	i.pendingOverhead = true
+	return true
+}
+
+// Transitions returns the cumulative number of DVFS changes.
+func (i *Island) Transitions() int { return i.transitions }
+
+// ConsumeOverhead returns the execution-time fraction lost to a pending
+// DVFS transition and clears it; it returns 0 when no transition is
+// pending. The simulator calls this exactly once per interval.
+func (i *Island) ConsumeOverhead() float64 {
+	if !i.pendingOverhead {
+		return 0
+	}
+	i.pendingOverhead = false
+	return power.TransitionOverhead
+}

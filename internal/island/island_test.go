@@ -1,0 +1,102 @@
+package island
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/power"
+)
+
+func newIsland(t *testing.T, lvl int) *Island {
+	t.Helper()
+	i, err := New(0, []int{0, 1}, power.PentiumM(), lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+func TestNewValidation(t *testing.T) {
+	tbl := power.PentiumM()
+	if _, err := New(0, nil, tbl, 0); err == nil {
+		t.Error("empty island should be rejected")
+	}
+	if _, err := New(0, []int{0}, nil, 0); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	if _, err := New(0, []int{0}, tbl, 99); err == nil {
+		t.Error("out-of-range initial level should be rejected")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	i := newIsland(t, 7)
+	if i.ID() != 0 || i.NumCores() != 2 || i.Level() != 7 {
+		t.Errorf("basic accessors wrong: %d %d %d", i.ID(), i.NumCores(), i.Level())
+	}
+	if i.OperatingPoint().FreqMHz != 2000 {
+		t.Errorf("operating point = %+v", i.OperatingPoint())
+	}
+	if len(i.CoreIDs()) != 2 {
+		t.Error("core IDs lost")
+	}
+}
+
+func TestSetLevelAndTransitions(t *testing.T) {
+	i := newIsland(t, 4)
+	if i.SetLevel(4) {
+		t.Error("setting the same level should not report a change")
+	}
+	if !i.SetLevel(6) {
+		t.Error("level change not reported")
+	}
+	if i.Level() != 6 || i.Transitions() != 1 {
+		t.Errorf("state after change: level %d, transitions %d", i.Level(), i.Transitions())
+	}
+	// Clamping.
+	i.SetLevel(-3)
+	if i.Level() != 0 {
+		t.Errorf("negative level should clamp to 0, got %d", i.Level())
+	}
+	i.SetLevel(100)
+	if i.Level() != 7 {
+		t.Errorf("oversized level should clamp to 7, got %d", i.Level())
+	}
+}
+
+func TestOverheadConsumedOnce(t *testing.T) {
+	i := newIsland(t, 4)
+	if i.ConsumeOverhead() != 0 {
+		t.Error("no pending overhead initially")
+	}
+	i.SetLevel(5)
+	if got := i.ConsumeOverhead(); got != power.TransitionOverhead {
+		t.Errorf("overhead = %v, want %v", got, power.TransitionOverhead)
+	}
+	if i.ConsumeOverhead() != 0 {
+		t.Error("overhead should be consumed exactly once")
+	}
+	// A no-op SetLevel does not arm overhead.
+	i.SetLevel(5)
+	if i.ConsumeOverhead() != 0 {
+		t.Error("no-op level change armed overhead")
+	}
+	// Clamped-to-same does not arm either.
+	i.SetLevel(0)
+	i.ConsumeOverhead()
+	i.SetLevel(-1)
+	if i.ConsumeOverhead() != 0 {
+		t.Error("clamped no-op armed overhead")
+	}
+}
+
+func TestCoreIDsCopied(t *testing.T) {
+	src := []int{3, 4}
+	i, err := New(1, src, power.PentiumM(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if i.CoreIDs()[0] != 3 {
+		t.Error("island aliased the caller's slice")
+	}
+}

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIConfig(t *testing.T) {
+	cfg := TableI()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 ns at 2 GHz = 200 cycles, Table I's number.
+	if got := s.LatencyCycles(2000); math.Abs(got-200) > 1e-9 {
+		t.Errorf("unloaded latency at 2 GHz = %v cycles, want 200", got)
+	}
+	// At 600 MHz the same 100 ns is only 60 cycles.
+	if got := s.LatencyCycles(600); math.Abs(got-60) > 1e-9 {
+		t.Errorf("unloaded latency at 600 MHz = %v cycles, want 60", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BaseLatencyNs: 0, BandwidthGBs: 10, BlockBytes: 64, MaxQueueFactor: 2},
+		{BaseLatencyNs: 100, BandwidthGBs: 0, BlockBytes: 64, MaxQueueFactor: 2},
+		{BaseLatencyNs: 100, BandwidthGBs: 10, BlockBytes: 0, MaxQueueFactor: 2},
+		{BaseLatencyNs: 100, BandwidthGBs: 10, BlockBytes: 64, MaxQueueFactor: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestQueueingDelayGrowsWithTraffic(t *testing.T) {
+	s, err := New(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unloaded := s.LatencyNs()
+
+	// Half-utilized channel: 12.8 GB/s over a 2.5 ms interval.
+	blocks := uint64(12.8e9 * 0.0025 / 64)
+	s.ObserveTraffic(blocks, 0.0025)
+	if math.Abs(s.Utilization()-0.5) > 0.01 {
+		t.Errorf("utilization = %v, want 0.5", s.Utilization())
+	}
+	half := s.LatencyNs()
+	if math.Abs(half-2*unloaded) > 1e-6 {
+		t.Errorf("latency at ρ=0.5 = %v, want 2x unloaded (%v)", half, 2*unloaded)
+	}
+}
+
+func TestQueueingDelayCapped(t *testing.T) {
+	s, err := New(TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversubscribed channel.
+	s.ObserveTraffic(1<<40, 0.0025)
+	if got := s.LatencyNs(); math.Abs(got-100*4) > 1e-9 {
+		t.Errorf("saturated latency = %v, want capped at 400", got)
+	}
+}
+
+func TestObserveTrafficIgnoresBadInterval(t *testing.T) {
+	s, _ := New(TableI())
+	s.ObserveTraffic(100, 0.0025)
+	u := s.Utilization()
+	s.ObserveTraffic(999999, 0)
+	if s.Utilization() != u {
+		t.Error("zero-length interval should be ignored")
+	}
+}
+
+// Property: latency is monotone in observed traffic and never below the
+// unloaded latency nor above the cap.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := uint64(aRaw), uint64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		s1, _ := New(TableI())
+		s2, _ := New(TableI())
+		s1.ObserveTraffic(a, 0.0025)
+		s2.ObserveTraffic(b, 0.0025)
+		l1, l2 := s1.LatencyNs(), s2.LatencyNs()
+		cfg := TableI()
+		return l1 <= l2+1e-9 &&
+			l1 >= cfg.BaseLatencyNs-1e-9 &&
+			l2 <= cfg.BaseLatencyNs*cfg.MaxQueueFactor+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

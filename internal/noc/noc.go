@@ -1,0 +1,187 @@
+// Package noc models the on-chip interconnect of the globally-asynchronous,
+// locally-synchronous (GALS) design the paper motivates in §I: wire delay is
+// why a single global clock cannot span the die, and why the chip is
+// partitioned into voltage/frequency islands talking over an asynchronous
+// fabric in the first place.
+//
+// The model is a 2-D mesh of tiles (one per core, matching the thermal
+// floorplan) with the shared last-level-cache banks and memory controllers
+// in the centre of the die, as in the paper's Figure 1. Off-island memory
+// traffic crosses the mesh with a fixed per-hop router+link latency in
+// *uncore* cycles: the mesh runs on its own clock, so — true to GALS — its
+// nanosecond latency does not change when islands scale their frequency,
+// which makes NoC hops behave exactly like DRAM latency from the
+// controllers' point of view (cheap at low island frequency, expensive at
+// high). A previous-interval congestion factor models contention without
+// coupling islands within an interval.
+package noc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the mesh.
+type Config struct {
+	// Rows and Cols give the tile grid; tile i sits at (i/Cols, i%Cols).
+	Rows, Cols int
+	// HopCycles is the per-hop router+link traversal in uncore cycles.
+	HopCycles int
+	// UncoreMHz is the mesh clock, independent of island DVFS (GALS).
+	UncoreMHz float64
+	// ControllerTiles are the tiles hosting LLC banks/memory controllers;
+	// traffic is routed to the nearest one. Empty selects the die-centre
+	// tiles automatically.
+	ControllerTiles []int
+	// FlitsPerSecondCap is the mesh saturation throughput used by the
+	// congestion model.
+	FlitsPerSecondCap float64
+	// MaxQueueFactor bounds the congestion multiplier.
+	MaxQueueFactor float64
+}
+
+// DefaultConfig returns a mesh matched to an n-core chip: near-square
+// grid, 3-cycle hops on a 2 GHz uncore, centre controllers, and a
+// saturation throughput generous enough that congestion is second-order at
+// 8 cores.
+func DefaultConfig(rows, cols int) Config {
+	return Config{
+		Rows: rows, Cols: cols,
+		HopCycles:         3,
+		UncoreMHz:         2000,
+		FlitsPerSecondCap: 2e9,
+		MaxQueueFactor:    4,
+	}
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return errors.New("noc: non-positive grid dimension")
+	}
+	if c.HopCycles <= 0 {
+		return errors.New("noc: non-positive hop latency")
+	}
+	if c.UncoreMHz <= 0 {
+		return errors.New("noc: non-positive uncore clock")
+	}
+	if c.FlitsPerSecondCap <= 0 {
+		return errors.New("noc: non-positive saturation throughput")
+	}
+	if c.MaxQueueFactor < 1 {
+		return errors.New("noc: queue factor cap below 1")
+	}
+	n := c.Rows * c.Cols
+	for _, t := range c.ControllerTiles {
+		if t < 0 || t >= n {
+			return fmt.Errorf("noc: controller tile %d outside the %d-tile grid", t, n)
+		}
+	}
+	return nil
+}
+
+// Mesh is the interconnect instance.
+type Mesh struct {
+	cfg Config
+	// hops[i] is the XY-routing distance from tile i to its nearest
+	// controller.
+	hops        []int
+	utilization float64
+}
+
+// New builds a mesh.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctrls := cfg.ControllerTiles
+	if len(ctrls) == 0 {
+		ctrls = centreTiles(cfg.Rows, cfg.Cols)
+	}
+	m := &Mesh{cfg: cfg, hops: make([]int, cfg.Rows*cfg.Cols)}
+	for t := range m.hops {
+		best := 1 << 30
+		for _, c := range ctrls {
+			if d := manhattan(t, c, cfg.Cols); d < best {
+				best = d
+			}
+		}
+		m.hops[t] = best
+	}
+	return m, nil
+}
+
+// centreTiles returns the 1, 2 or 4 tiles nearest the die centre.
+func centreTiles(rows, cols int) []int {
+	var rs, cs []int
+	if rows%2 == 1 {
+		rs = []int{rows / 2}
+	} else {
+		rs = []int{rows/2 - 1, rows / 2}
+	}
+	if cols%2 == 1 {
+		cs = []int{cols / 2}
+	} else {
+		cs = []int{cols/2 - 1, cols / 2}
+	}
+	var out []int
+	for _, r := range rs {
+		for _, c := range cs {
+			out = append(out, r*cols+c)
+		}
+	}
+	return out
+}
+
+func manhattan(a, b, cols int) int {
+	ar, ac := a/cols, a%cols
+	br, bc := b/cols, b%cols
+	return abs(ar-br) + abs(ac-bc)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return len(m.hops) }
+
+// Hops returns tile t's XY distance to its nearest controller.
+func (m *Mesh) Hops(t int) int {
+	if t < 0 || t >= len(m.hops) {
+		return 0
+	}
+	return m.hops[t]
+}
+
+// ObserveTraffic records the aggregate flits injected during the interval
+// that just completed, setting the congestion level the next interval sees.
+func (m *Mesh) ObserveTraffic(flits uint64, intervalSec float64) {
+	if intervalSec <= 0 {
+		return
+	}
+	m.utilization = float64(flits) / intervalSec / m.cfg.FlitsPerSecondCap
+}
+
+// Utilization returns the last observed demand/capacity ratio.
+func (m *Mesh) Utilization() float64 { return m.utilization }
+
+// OneWayLatencyNs returns the current one-way latency from tile t to its
+// nearest controller: hop count × hop cycles at the uncore clock, inflated
+// by the congestion factor. Independent of any island's DVFS state (GALS).
+func (m *Mesh) OneWayLatencyNs(t int) float64 {
+	base := float64(m.Hops(t)*m.cfg.HopCycles) / m.cfg.UncoreMHz * 1000
+	factor := m.cfg.MaxQueueFactor
+	if m.utilization < 1 {
+		if f := 1 / (1 - m.utilization); f < factor {
+			factor = f
+		}
+	}
+	return base * factor
+}
+
+// RoundTripLatencyNs is the request+response traversal for tile t.
+func (m *Mesh) RoundTripLatencyNs(t int) float64 { return 2 * m.OneWayLatencyNs(t) }

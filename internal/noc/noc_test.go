@@ -1,0 +1,133 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(2, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.HopCycles = 0 },
+		func(c *Config) { c.UncoreMHz = 0 },
+		func(c *Config) { c.FlitsPerSecondCap = 0 },
+		func(c *Config) { c.MaxQueueFactor = 0.5 },
+		func(c *Config) { c.ControllerTiles = []int{99} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(2, 4)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestCentreControllerDistances(t *testing.T) {
+	// 2x4 grid: centre tiles are (0,1),(0,2),(1,1),(1,2) = 1,2,5,6.
+	m, err := New(DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 0, 1, 1, 0, 0, 1}
+	for tile, hops := range want {
+		if m.Hops(tile) != hops {
+			t.Errorf("tile %d hops = %d, want %d", tile, m.Hops(tile), hops)
+		}
+	}
+	if m.Tiles() != 8 {
+		t.Errorf("Tiles = %d", m.Tiles())
+	}
+	// Out-of-range tiles are zero-distance (defensive).
+	if m.Hops(-1) != 0 || m.Hops(99) != 0 {
+		t.Error("out-of-range tiles should report zero hops")
+	}
+}
+
+func TestExplicitControllers(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.ControllerTiles = []int{0} // top-left corner controller
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile 15 (3,3) is 6 hops away.
+	if m.Hops(15) != 6 {
+		t.Errorf("corner-to-corner hops = %d, want 6", m.Hops(15))
+	}
+}
+
+func TestLatencyGALSInvariance(t *testing.T) {
+	// The mesh latency is in nanoseconds on its own clock; it must be
+	// identical whatever the islands do. (Trivially true by construction —
+	// the API simply has no island-frequency input — but the arithmetic is
+	// worth pinning: 1 hop × 3 cycles at 2 GHz = 1.5 ns one way.)
+	m, err := New(DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OneWayLatencyNs(0); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("one-way latency = %v ns, want 1.5", got)
+	}
+	if got := m.RoundTripLatencyNs(0); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("round trip = %v ns, want 3.0", got)
+	}
+	// Controller tiles pay nothing.
+	if m.RoundTripLatencyNs(1) != 0 {
+		t.Error("controller tile should have zero mesh latency")
+	}
+}
+
+func TestCongestionInflatesLatency(t *testing.T) {
+	m, err := New(DefaultConfig(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.OneWayLatencyNs(0)
+	m.ObserveTraffic(uint64(1e9*0.0025), 0.0025) // ρ = 0.5
+	if math.Abs(m.Utilization()-0.5) > 1e-9 {
+		t.Errorf("utilization = %v", m.Utilization())
+	}
+	if got := m.OneWayLatencyNs(0); math.Abs(got-2*base) > 1e-9 {
+		t.Errorf("latency at ρ=0.5 = %v, want doubled (%v)", got, 2*base)
+	}
+	// Saturation is capped.
+	m.ObserveTraffic(1<<50, 0.0025)
+	if got := m.OneWayLatencyNs(0); math.Abs(got-4*base) > 1e-9 {
+		t.Errorf("saturated latency = %v, want capped at %v", got, 4*base)
+	}
+	// Bad interval ignored.
+	u := m.Utilization()
+	m.ObserveTraffic(1, 0)
+	if m.Utilization() != u {
+		t.Error("zero interval should be ignored")
+	}
+}
+
+// Property: hop distance satisfies the triangle-ish sanity bounds — within
+// the grid diameter and zero exactly on controller tiles.
+func TestHopBoundsProperty(t *testing.T) {
+	f := func(rows8, cols8 uint8) bool {
+		rows := 1 + int(rows8%6)
+		cols := 1 + int(cols8%6)
+		m, err := New(DefaultConfig(rows, cols))
+		if err != nil {
+			return false
+		}
+		diameter := rows - 1 + cols - 1
+		for t := 0; t < m.Tiles(); t++ {
+			if m.Hops(t) < 0 || m.Hops(t) > diameter {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

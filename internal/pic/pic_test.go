@@ -1,0 +1,323 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/sensor"
+)
+
+// islandPlant is a synthetic island for closed-loop tests: actual power is
+// an affine function of the *quantized* operating point, and utilization is
+// chosen so the identity transducer is exact. The static map's slope is the
+// full-range power swing, which plays the role of the plant gain over the
+// normalized frequency axis.
+type islandPlant struct {
+	table  *power.DVFSTable
+	maxW   float64
+	slope  float64 // power-fraction swing over the DVFS range
+	offset float64 // power fraction at the lowest level
+	level  int
+}
+
+func (p *islandPlant) apply(level int) {
+	p.level = p.table.ClampLevel(level)
+}
+
+// observe returns (meanUtil, powerW) at the current level.
+func (p *islandPlant) observe() (float64, float64) {
+	fn := p.table.NormFreq(p.table.Point(p.level).FreqMHz)
+	frac := p.offset + p.slope*fn
+	return frac, frac * p.maxW // identity transducer: util == power frac
+}
+
+func newController(t *testing.T, plant *islandPlant, oracle bool) *Controller {
+	t.Helper()
+	// The calibrated estimator matches the plant exactly: per-level power
+	// intercepts with no utilization term (the synthetic plant's power is
+	// purely level-determined).
+	base := make([]float64, plant.table.Levels())
+	for l := range base {
+		base[l] = plant.offset + plant.slope*plant.table.NormFreq(plant.table.Point(l).FreqMHz)
+	}
+	c, err := New(Config{
+		Gains:          control.PaperGains,
+		Table:          plant.table,
+		IslandMaxW:     plant.maxW,
+		Transducer:     sensor.LevelTransducer{Base: base},
+		UseOraclePower: oracle,
+	}, plant.level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func defaultPlant() *islandPlant {
+	return &islandPlant{table: power.PentiumM(), maxW: 24, slope: 0.6, offset: 0.2, level: 7}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Table: nil, IslandMaxW: 24}, 0); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	if _, err := New(Config{Table: power.PentiumM(), IslandMaxW: 0}, 0); err == nil {
+		t.Error("zero island max power should be rejected")
+	}
+}
+
+func TestDefaultGainsApplied(t *testing.T) {
+	c, err := New(Config{Table: power.PentiumM(), IslandMaxW: 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-value gains must fall back to the paper design.
+	if c.cfg.Gains != control.PaperGains {
+		t.Errorf("gains = %+v, want paper defaults", c.cfg.Gains)
+	}
+}
+
+func TestTargetConversion(t *testing.T) {
+	c := newController(t, defaultPlant(), false)
+	c.SetTargetWatts(12)
+	if math.Abs(c.TargetFrac()-0.5) > 1e-12 {
+		t.Errorf("target frac = %v, want 0.5", c.TargetFrac())
+	}
+	if math.Abs(c.TargetWatts()-12) > 1e-12 {
+		t.Errorf("target watts = %v", c.TargetWatts())
+	}
+	c.SetTargetWatts(-5)
+	if c.TargetFrac() != 0 {
+		t.Error("negative budget should clamp to 0")
+	}
+}
+
+// track runs the closed loop for n invocations and returns the power-
+// fraction trajectory.
+func track(c *Controller, plant *islandPlant, n int) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		util, pw := plant.observe()
+		out[k] = pw / plant.maxW
+		plant.apply(c.Invoke(util, pw))
+	}
+	return out
+}
+
+func TestTracksTargetWithinQuantization(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	c.SetTargetWatts(0.55 * plant.maxW)
+	traj := track(c, plant, 40)
+	// Quantization limit: adjacent levels differ by slope/(levels-1) in
+	// power fraction.
+	quantum := plant.slope / float64(plant.table.Levels()-1)
+	final := traj[len(traj)-1]
+	if math.Abs(final-0.55) > quantum {
+		t.Errorf("settled at %.3f, target 0.55, quantum %.3f", final, quantum)
+	}
+}
+
+// The paper's §IV claims: settling within 5–6 PIC invocations and overshoot
+// within ~2% of the target for GPM-sized budget steps, with the quantized
+// actuator. This is the closed-loop (controller + quantization) version of
+// the control-package envelope test.
+func TestPaperEnvelopeWithQuantizedActuator(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+
+	// Converge at an operating point first.
+	c.SetTargetWatts(0.50 * plant.maxW)
+	track(c, plant, 30)
+
+	// GPM-sized step: +3% of island max.
+	target := 0.53
+	c.SetTargetWatts(target * plant.maxW)
+	traj := track(c, plant, 12)
+
+	peak := 0.0
+	for _, v := range traj {
+		if v > peak {
+			peak = v
+		}
+	}
+	overshoot := (peak - target) / target
+	if overshoot > 0.04 {
+		t.Errorf("overshoot = %.4f of target, paper envelope ≈0.02–0.04", overshoot)
+	}
+	// Settle: stay within quantization+2% band of target afterwards.
+	quantum := plant.slope / float64(plant.table.Levels()-1)
+	band := 0.02*target + quantum/2
+	for k := 6; k < len(traj); k++ {
+		if math.Abs(traj[k]-target) > band {
+			t.Errorf("not settled at invocation %d: %.4f vs target %.4f (band %.4f)", k, traj[k], target, band)
+		}
+	}
+}
+
+func TestOracleModeTracksToo(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, true)
+	c.SetTargetWatts(0.6 * plant.maxW)
+	traj := track(c, plant, 40)
+	quantum := plant.slope / float64(plant.table.Levels()-1)
+	if math.Abs(traj[len(traj)-1]-0.6) > quantum {
+		t.Errorf("oracle mode settled at %.3f", traj[len(traj)-1])
+	}
+}
+
+func TestUnreachablyHighTargetPinsTopWithoutWindup(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	// Demand more than the island can consume (offset+slope = 0.8 max).
+	c.SetTargetWatts(0.95 * plant.maxW)
+	track(c, plant, 100)
+	if plant.level != plant.table.Levels()-1 {
+		t.Errorf("level = %d, want pinned at top", plant.level)
+	}
+	if c.FreqNorm() < 0.999 {
+		t.Errorf("fNorm = %v, want saturated at 1", c.FreqNorm())
+	}
+	// Now drop the target sharply; recovery must be fast despite the long
+	// saturation (anti-windup).
+	c.SetTargetWatts(0.30 * plant.maxW)
+	traj := track(c, plant, 15)
+	settled := false
+	quantum := plant.slope / float64(plant.table.Levels()-1)
+	for k := 0; k < len(traj); k++ {
+		if math.Abs(traj[k]-0.30) <= quantum {
+			settled = true
+			break
+		}
+	}
+	if !settled {
+		t.Errorf("did not recover from saturation within 15 invocations: %v", traj)
+	}
+}
+
+func TestUnreachablyLowTargetPinsBottom(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	c.SetTargetWatts(0.05 * plant.maxW) // below the 0.2 floor
+	track(c, plant, 60)
+	if plant.level != 0 {
+		t.Errorf("level = %d, want pinned at bottom", plant.level)
+	}
+	if c.FreqNorm() > 0.001 {
+		t.Errorf("fNorm = %v, want saturated at 0", c.FreqNorm())
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	c.SetTargetWatts(0.55 * plant.maxW)
+	track(c, plant, 20)
+	c.Reset()
+	// After reset the controller behaves like a fresh one given identical
+	// inputs.
+	fresh := newController(t, plant, false)
+	fresh.SetTargetWatts(0.55 * plant.maxW)
+	// Align the frequency state.
+	fresh.fNorm = c.fNorm
+	for k := 0; k < 10; k++ {
+		u, p := plant.observe()
+		if c.Invoke(u, p) != fresh.Invoke(u, p) {
+			t.Fatalf("post-reset divergence at invocation %d", k)
+		}
+	}
+}
+
+// Inside the deadband the controller must hold its level — no limit cycle —
+// when a level lands within the hold window of the target.
+func TestDeadbandSuppressesLimitCycle(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	// Level 4 delivers 0.543 of max; a 0.54 target leaves e = -0.003,
+	// inside the hold window.
+	c.SetTargetWatts(0.54 * plant.maxW)
+	track(c, plant, 40) // converge
+	levels := map[int]bool{}
+	for k := 0; k < 40; k++ {
+		util, pw := plant.observe()
+		plant.apply(c.Invoke(util, pw))
+		levels[plant.level] = true
+	}
+	if len(levels) > 1 {
+		t.Errorf("steady state toggles between %d levels — limit cycle not suppressed", len(levels))
+	}
+}
+
+// Targets in neither bracketing level's hold window dither — but the dither
+// must stay bounded to the two adjacent levels (never a wider excursion).
+func TestGapTargetsDitherBounded(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	// 0.52 of max sits between level 3 (0.457) and level 4 (0.543) outside
+	// both hold windows.
+	c.SetTargetWatts(0.52 * plant.maxW)
+	track(c, plant, 40)
+	levels := map[int]bool{}
+	for k := 0; k < 60; k++ {
+		util, pw := plant.observe()
+		plant.apply(c.Invoke(util, pw))
+		levels[plant.level] = true
+	}
+	for l := range levels {
+		if l < 3 || l > 4 {
+			t.Errorf("dither escaped the bracketing levels: saw level %d", l)
+		}
+	}
+}
+
+// The deadband is asymmetric: steady power above target by more than a third
+// of the band must still be corrected downward.
+func TestDeadbandAsymmetryCorrectsOverage(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	c.SetTargetWatts(0.50 * plant.maxW)
+	track(c, plant, 40)
+	// Drop the target so the current level sits clearly above it.
+	c.SetTargetWatts(0.42 * plant.maxW)
+	traj := track(c, plant, 15)
+	final := traj[len(traj)-1]
+	if final > 0.42+0.6/7 {
+		t.Errorf("controller held %.3f despite target 0.42 — overage not corrected", final)
+	}
+}
+
+// With SmoothAlpha < 1 the measurement is low-passed: a one-interval spike
+// in utilization must move the internal estimate by only alpha of the jump.
+func TestSmoothingFiltersMeasurementSpikes(t *testing.T) {
+	plant := defaultPlant()
+	cfg := Config{
+		Table:       plant.table,
+		IslandMaxW:  plant.maxW,
+		Transducer:  sensorIdentity{},
+		SmoothAlpha: 0.25,
+	}
+	c, err := New(cfg, plant.level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTargetWatts(0.5 * plant.maxW)
+	// Feed a steady reading, then one spike; with alpha=0.25 the spike
+	// contributes only a quarter.
+	for k := 0; k < 30; k++ {
+		c.Invoke(0.5, 0)
+	}
+	before := c.ema
+	c.Invoke(0.9, 0)
+	after := c.ema
+	jump := after - before
+	if jump < 0.05 || jump > 0.15 {
+		t.Errorf("EMA moved by %.3f on a 0.4 spike with alpha 0.25, want ≈0.1", jump)
+	}
+}
+
+// sensorIdentity is an Estimator returning the utilization unchanged.
+type sensorIdentity struct{}
+
+func (sensorIdentity) EstimatePowerFrac(u float64, _ int) float64 { return u }

@@ -1,0 +1,161 @@
+// Package power implements the power modelling substrate of the CPM
+// simulator: the DVFS operating-point table (Table I of the paper), a
+// Wattch-style per-unit dynamic power model with linear clock gating, and a
+// HotLeakage-style temperature- and voltage-dependent leakage model.
+//
+// The paper measured power with Wattch (dynamic) and HotLeakage (static) on
+// top of Simics; neither tool exists for Go, so this package provides
+// analytic equivalents that preserve the two relations the control
+// architecture depends on:
+//
+//  1. dynamic power scales as C·V²·f with V roughly linear in f, giving the
+//     near-cubic frequency dependence of Equation (1), and
+//  2. total power is approximately linear in processor utilization at a
+//     fixed operating point, the transducer relation of Figure 6.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OperatingPoint is one voltage/frequency pair of the DVFS table.
+type OperatingPoint struct {
+	FreqMHz  float64
+	VoltageV float64
+}
+
+// DVFSTable is an ordered list of operating points, lowest frequency first.
+// All cores of a voltage/frequency island share a single table index at any
+// instant — the paper's central architectural constraint.
+type DVFSTable struct {
+	points []OperatingPoint
+}
+
+// NewDVFSTable validates and builds a table. Points must be strictly
+// increasing in both frequency and voltage.
+func NewDVFSTable(points []OperatingPoint) (*DVFSTable, error) {
+	if len(points) < 2 {
+		return nil, errors.New("power: DVFS table needs at least two operating points")
+	}
+	sorted := append([]OperatingPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqMHz < sorted[j].FreqMHz })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].FreqMHz <= sorted[i-1].FreqMHz {
+			return nil, fmt.Errorf("power: duplicate frequency %v MHz", sorted[i].FreqMHz)
+		}
+		if sorted[i].VoltageV <= sorted[i-1].VoltageV {
+			return nil, fmt.Errorf("power: voltage not increasing with frequency at %v MHz", sorted[i].FreqMHz)
+		}
+	}
+	for _, p := range sorted {
+		if p.FreqMHz <= 0 || p.VoltageV <= 0 {
+			return nil, fmt.Errorf("power: non-positive operating point %+v", p)
+		}
+	}
+	return &DVFSTable{points: sorted}, nil
+}
+
+// PentiumM returns the 8-level 600 MHz – 2.0 GHz table of Table I, modelled
+// on the Pentium-M datasheet the paper cites: voltage tracks frequency
+// linearly from 0.956 V to 1.356 V.
+func PentiumM() *DVFSTable {
+	const (
+		fMin, fMax = 600.0, 2000.0
+		vMin, vMax = 0.956, 1.356
+		levels     = 8
+	)
+	pts := make([]OperatingPoint, levels)
+	for i := range pts {
+		frac := float64(i) / float64(levels-1)
+		pts[i] = OperatingPoint{
+			FreqMHz:  fMin + frac*(fMax-fMin),
+			VoltageV: vMin + frac*(vMax-vMin),
+		}
+	}
+	t, err := NewDVFSTable(pts)
+	if err != nil {
+		panic("power: invalid built-in table: " + err.Error())
+	}
+	return t
+}
+
+// Levels returns the number of operating points.
+func (t *DVFSTable) Levels() int { return len(t.points) }
+
+// Point returns the operating point at level i (0 = slowest). It panics on
+// an out-of-range level, which always indicates a caller bug.
+func (t *DVFSTable) Point(i int) OperatingPoint {
+	if i < 0 || i >= len(t.points) {
+		panic(fmt.Sprintf("power: DVFS level %d out of range [0,%d)", i, len(t.points)))
+	}
+	return t.points[i]
+}
+
+// Min and Max return the extreme operating points.
+func (t *DVFSTable) Min() OperatingPoint { return t.points[0] }
+
+// Max returns the highest operating point.
+func (t *DVFSTable) Max() OperatingPoint { return t.points[len(t.points)-1] }
+
+// ClampLevel bounds lvl into the valid range.
+func (t *DVFSTable) ClampLevel(lvl int) int {
+	if lvl < 0 {
+		return 0
+	}
+	if lvl >= len(t.points) {
+		return len(t.points) - 1
+	}
+	return lvl
+}
+
+// NearestLevel returns the level whose frequency is closest to freqMHz,
+// breaking ties toward the lower level (the power-safe choice).
+func (t *DVFSTable) NearestLevel(freqMHz float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, p := range t.points {
+		d := math.Abs(p.FreqMHz - freqMHz)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// FloorLevel returns the highest level whose frequency does not exceed
+// freqMHz, or 0 if freqMHz is below the table.
+func (t *DVFSTable) FloorLevel(freqMHz float64) int {
+	lvl := 0
+	for i, p := range t.points {
+		if p.FreqMHz <= freqMHz {
+			lvl = i
+		}
+	}
+	return lvl
+}
+
+// NormFreq maps a frequency to [0, 1] relative to the table range; the PIC
+// operates on this normalized axis so its plant gain is dimensionless.
+func (t *DVFSTable) NormFreq(freqMHz float64) float64 {
+	lo, hi := t.Min().FreqMHz, t.Max().FreqMHz
+	return (freqMHz - lo) / (hi - lo)
+}
+
+// DenormFreq is the inverse of NormFreq, clamped to the table range.
+func (t *DVFSTable) DenormFreq(norm float64) float64 {
+	if norm < 0 {
+		norm = 0
+	}
+	if norm > 1 {
+		norm = 1
+	}
+	lo, hi := t.Min().FreqMHz, t.Max().FreqMHz
+	return lo + norm*(hi-lo)
+}
+
+// TransitionOverhead is the fraction of an interval lost to a DVFS
+// transition (no instructions execute while the PLL relocks and voltage
+// ramps). The paper sets this to 0.5% of CPU time per change, citing [22].
+const TransitionOverhead = 0.005

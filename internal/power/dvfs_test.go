@@ -1,0 +1,120 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPentiumMTableShape(t *testing.T) {
+	tbl := PentiumM()
+	if tbl.Levels() != 8 {
+		t.Fatalf("levels = %d, want 8 (Table I)", tbl.Levels())
+	}
+	if tbl.Min().FreqMHz != 600 || tbl.Max().FreqMHz != 2000 {
+		t.Errorf("range = [%v, %v] MHz, want [600, 2000]", tbl.Min().FreqMHz, tbl.Max().FreqMHz)
+	}
+	for i := 1; i < tbl.Levels(); i++ {
+		if tbl.Point(i).FreqMHz <= tbl.Point(i-1).FreqMHz {
+			t.Error("frequencies not strictly increasing")
+		}
+		if tbl.Point(i).VoltageV <= tbl.Point(i-1).VoltageV {
+			t.Error("voltages not strictly increasing")
+		}
+	}
+}
+
+func TestNewDVFSTableValidation(t *testing.T) {
+	if _, err := NewDVFSTable([]OperatingPoint{{600, 1.0}}); err == nil {
+		t.Error("single-point table should be rejected")
+	}
+	if _, err := NewDVFSTable([]OperatingPoint{{600, 1.0}, {600, 1.1}}); err == nil {
+		t.Error("duplicate frequency should be rejected")
+	}
+	if _, err := NewDVFSTable([]OperatingPoint{{600, 1.2}, {800, 1.0}}); err == nil {
+		t.Error("voltage decreasing with frequency should be rejected")
+	}
+	if _, err := NewDVFSTable([]OperatingPoint{{-600, 1.0}, {800, 1.1}}); err == nil {
+		t.Error("negative frequency should be rejected")
+	}
+	// Unsorted input is accepted and sorted.
+	tbl, err := NewDVFSTable([]OperatingPoint{{2000, 1.356}, {600, 0.956}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Min().FreqMHz != 600 {
+		t.Error("table not sorted by frequency")
+	}
+}
+
+func TestNearestAndFloorLevel(t *testing.T) {
+	tbl := PentiumM()
+	if lvl := tbl.NearestLevel(600); lvl != 0 {
+		t.Errorf("NearestLevel(600) = %d", lvl)
+	}
+	if lvl := tbl.NearestLevel(2000); lvl != tbl.Levels()-1 {
+		t.Errorf("NearestLevel(2000) = %d", lvl)
+	}
+	if lvl := tbl.NearestLevel(10000); lvl != tbl.Levels()-1 {
+		t.Errorf("NearestLevel above table = %d", lvl)
+	}
+	if lvl := tbl.NearestLevel(0); lvl != 0 {
+		t.Errorf("NearestLevel below table = %d", lvl)
+	}
+	// Tie between 600 and 800 breaks low.
+	if lvl := tbl.NearestLevel(700); lvl != 0 {
+		t.Errorf("NearestLevel(700) = %d, want 0 (tie breaks low)", lvl)
+	}
+	if lvl := tbl.FloorLevel(999); lvl != 1 {
+		t.Errorf("FloorLevel(999) = %d, want 1", lvl)
+	}
+	if lvl := tbl.FloorLevel(100); lvl != 0 {
+		t.Errorf("FloorLevel(100) = %d, want 0", lvl)
+	}
+}
+
+func TestClampLevel(t *testing.T) {
+	tbl := PentiumM()
+	if tbl.ClampLevel(-5) != 0 {
+		t.Error("negative level should clamp to 0")
+	}
+	if tbl.ClampLevel(100) != tbl.Levels()-1 {
+		t.Error("oversized level should clamp to top")
+	}
+	if tbl.ClampLevel(3) != 3 {
+		t.Error("in-range level should be unchanged")
+	}
+}
+
+func TestPointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Point(-1) should panic")
+		}
+	}()
+	PentiumM().Point(-1)
+}
+
+// Property: NormFreq and DenormFreq are inverses over the table range.
+func TestNormDenormRoundTripProperty(t *testing.T) {
+	tbl := PentiumM()
+	f := func(raw float64) bool {
+		norm := math.Abs(math.Mod(raw, 1))
+		freq := tbl.DenormFreq(norm)
+		back := tbl.NormFreq(freq)
+		return math.Abs(back-norm) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenormFreqClamps(t *testing.T) {
+	tbl := PentiumM()
+	if tbl.DenormFreq(-1) != 600 {
+		t.Error("DenormFreq(-1) should clamp to min frequency")
+	}
+	if tbl.DenormFreq(2) != 2000 {
+		t.Error("DenormFreq(2) should clamp to max frequency")
+	}
+}

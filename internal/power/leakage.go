@@ -1,0 +1,52 @@
+package power
+
+import (
+	"errors"
+	"math"
+)
+
+// LeakageModel is the HotLeakage-style static power model for a single core:
+//
+//	P_leak = P_nom · (V/V_ref) · e^(β·(T − T_ref)) · variation
+//
+// Subthreshold leakage current grows exponentially with temperature and
+// roughly linearly with supply voltage over the narrow DVFS range; the
+// per-core variation multiplier models intra-die process variation (§IV-B).
+type LeakageModel struct {
+	// NomW is the per-core leakage power at (VRef, TRefC) with variation 1.
+	NomW float64
+	// VRef is the reference supply voltage.
+	VRef float64
+	// TRefC is the reference temperature in °C.
+	TRefC float64
+	// Beta is the exponential temperature coefficient (1/°C). Silicon
+	// leakage roughly doubles every 10–15 °C; β ≈ 0.05 gives doubling every
+	// ~14 °C.
+	Beta float64
+}
+
+// NewLeakageModel validates and returns a model.
+func NewLeakageModel(nomW, vRef, tRefC, beta float64) (*LeakageModel, error) {
+	if nomW < 0 {
+		return nil, errors.New("power: negative nominal leakage")
+	}
+	if vRef <= 0 {
+		return nil, errors.New("power: non-positive reference voltage")
+	}
+	if beta < 0 {
+		return nil, errors.New("power: negative temperature coefficient")
+	}
+	return &LeakageModel{NomW: nomW, VRef: vRef, TRefC: tRefC, Beta: beta}, nil
+}
+
+// Power returns the leakage power in watts at supply voltage v, temperature
+// tC (°C), scaled by the core's process-variation multiplier.
+func (m *LeakageModel) Power(v, tC, variation float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	if variation < 0 {
+		variation = 0
+	}
+	return m.NomW * (v / m.VRef) * math.Exp(m.Beta*(tC-m.TRefC)) * variation
+}

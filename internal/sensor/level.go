@@ -1,0 +1,178 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// Estimator converts run-time observables into an island power estimate
+// (fraction of island maximum). The PIC always knows the DVFS level it
+// itself applied, so estimators receive it alongside utilization.
+type Estimator interface {
+	EstimatePowerFrac(util float64, level int) float64
+}
+
+// EstimatePowerFrac implements Estimator for the paper's pure linear
+// transducer, which ignores the operating point.
+func (t Transducer) EstimatePowerFrac(u float64, _ int) float64 { return t.PowerFrac(u) }
+
+// LevelTransducer is the operating-point-aware refinement of the linear
+// transducer: P = Base[level] + Slope·U. The per-level intercepts absorb
+// the large activity-independent power component (clock tree, gating floor,
+// leakage — all functions of V and f alone), which a single global line
+// must approximate by a chord and therefore under-estimates at the ends of
+// the table. The slope still carries the utilization-tracking component, so
+// per level the model keeps the paper's linear form. Since the controller
+// sets the level itself, this costs no additional sensor.
+type LevelTransducer struct {
+	// Base is the per-level intercept (fraction of island max power).
+	Base []float64
+	// Slope is the shared utilization coefficient.
+	Slope float64
+}
+
+// EstimatePowerFrac implements Estimator.
+func (t LevelTransducer) EstimatePowerFrac(u float64, level int) float64 {
+	if len(t.Base) == 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(t.Base) {
+		level = len(t.Base) - 1
+	}
+	p := t.Base[level] + t.Slope*u
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// FitLevelTransducer fits the within-level (ANCOVA) model from calibration
+// samples: a shared slope from level-demeaned covariances, then per-level
+// intercepts. Levels with no samples inherit the nearest observed level's
+// intercept shifted by linear extrapolation between observed neighbours.
+// It returns the fitted model and its R² over all samples.
+func FitLevelTransducer(levels []int, utils, fracs []float64, numLevels int) (LevelTransducer, float64, error) {
+	if len(levels) != len(utils) || len(utils) != len(fracs) {
+		return LevelTransducer{}, 0, errors.New("sensor: mismatched sample lengths")
+	}
+	if numLevels <= 0 {
+		return LevelTransducer{}, 0, errors.New("sensor: non-positive level count")
+	}
+	if len(utils) < 2 {
+		return LevelTransducer{}, 0, stats.ErrInsufficientData
+	}
+	sumU := make([]float64, numLevels)
+	sumP := make([]float64, numLevels)
+	cnt := make([]int, numLevels)
+	for i, l := range levels {
+		if l < 0 || l >= numLevels {
+			return LevelTransducer{}, 0, fmt.Errorf("sensor: level %d out of range", l)
+		}
+		sumU[l] += utils[i]
+		sumP[l] += fracs[i]
+		cnt[l]++
+	}
+
+	// Shared slope from within-level variation.
+	var cov, varU float64
+	for i, l := range levels {
+		du := utils[i] - sumU[l]/float64(cnt[l])
+		dp := fracs[i] - sumP[l]/float64(cnt[l])
+		cov += du * dp
+		varU += du * du
+	}
+	slope := 0.0
+	if varU > 0 {
+		slope = cov / varU
+	}
+
+	base := make([]float64, numLevels)
+	seen := make([]bool, numLevels)
+	for l := 0; l < numLevels; l++ {
+		if cnt[l] > 0 {
+			base[l] = sumP[l]/float64(cnt[l]) - slope*sumU[l]/float64(cnt[l])
+			seen[l] = true
+		}
+	}
+	if err := fillMissingLevels(base, seen); err != nil {
+		return LevelTransducer{}, 0, err
+	}
+
+	t := LevelTransducer{Base: base, Slope: slope}
+	// R² over all samples.
+	meanP := stats.Mean(fracs)
+	var ssRes, ssTot float64
+	for i := range fracs {
+		e := fracs[i] - (base[levels[i]] + slope*utils[i])
+		ssRes += e * e
+		d := fracs[i] - meanP
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return t, r2, nil
+}
+
+// fillMissingLevels linearly interpolates intercepts for unobserved levels
+// and extrapolates at the edges from the nearest observed pair.
+func fillMissingLevels(base []float64, seen []bool) error {
+	// Collect observed indices.
+	var obs []int
+	for i, s := range seen {
+		if s {
+			obs = append(obs, i)
+		}
+	}
+	switch len(obs) {
+	case 0:
+		return errors.New("sensor: no observed levels")
+	case 1:
+		for i := range base {
+			base[i] = base[obs[0]]
+		}
+		return nil
+	}
+	interp := func(i int) float64 {
+		// Find bracketing observed indices (or nearest pair for
+		// extrapolation).
+		lo, hi := obs[0], obs[1]
+		for k := 1; k < len(obs); k++ {
+			if obs[k] <= i {
+				lo = obs[k]
+				if k+1 < len(obs) {
+					hi = obs[k+1]
+				} else {
+					hi = obs[k]
+					lo = obs[k-1]
+				}
+			}
+		}
+		if i < obs[0] {
+			lo, hi = obs[0], obs[1]
+		}
+		if lo == hi {
+			return base[lo]
+		}
+		f := float64(i-lo) / float64(hi-lo)
+		return base[lo] + f*(base[hi]-base[lo])
+	}
+	for i := range base {
+		if !seen[i] {
+			base[i] = interp(i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// synthLevelSamples builds calibration samples from a known ground-truth
+// model P = base[l] + slope·U with optional noise.
+func synthLevelSamples(r *stats.Rand, base []float64, slope, noise float64, perLevel int) (levels []int, utils, fracs []float64) {
+	for l := range base {
+		for k := 0; k < perLevel; k++ {
+			u := r.Range(0.1, 0.6)
+			p := base[l] + slope*u
+			if noise > 0 {
+				p += r.Norm(0, noise)
+			}
+			levels = append(levels, l)
+			utils = append(utils, u)
+			fracs = append(fracs, p)
+		}
+	}
+	return
+}
+
+func TestFitLevelTransducerRecoversModel(t *testing.T) {
+	r := stats.NewRand(9)
+	base := []float64{0.20, 0.28, 0.37, 0.47, 0.58}
+	const slope = 0.5
+	levels, utils, fracs := synthLevelSamples(r, base, slope, 0.002, 30)
+	lt, r2, err := FitLevelTransducer(levels, utils, fracs, len(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lt.Slope-slope) > 0.03 {
+		t.Errorf("slope = %v, want %v", lt.Slope, slope)
+	}
+	for l, want := range base {
+		if math.Abs(lt.Base[l]-want) > 0.02 {
+			t.Errorf("base[%d] = %v, want %v", l, lt.Base[l], want)
+		}
+	}
+	if r2 < 0.99 {
+		t.Errorf("R² = %v for a near-exact model", r2)
+	}
+	// Estimation uses the right intercept per level.
+	got := lt.EstimatePowerFrac(0.4, 2)
+	if math.Abs(got-(base[2]+slope*0.4)) > 0.03 {
+		t.Errorf("estimate = %v", got)
+	}
+}
+
+func TestFitLevelTransducerInterpolatesMissingLevels(t *testing.T) {
+	// Only levels 1 and 4 observed out of 6; the rest interpolate or
+	// extrapolate linearly in level index.
+	r := stats.NewRand(3)
+	var levels []int
+	var utils, fracs []float64
+	for _, l := range []int{1, 4} {
+		for k := 0; k < 40; k++ {
+			u := r.Range(0.1, 0.5)
+			levels = append(levels, l)
+			utils = append(utils, u)
+			fracs = append(fracs, 0.1+0.1*float64(l)+0.3*u)
+		}
+	}
+	lt, _, err := FitLevelTransducer(levels, utils, fracs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base[1] = 0.2, base[4] = 0.5 → interpolated base[2] ≈ 0.3,
+	// base[3] ≈ 0.4; extrapolated base[0] ≈ 0.1, base[5] ≈ 0.6.
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	for l, w := range want {
+		if math.Abs(lt.Base[l]-w) > 0.03 {
+			t.Errorf("base[%d] = %v, want ≈%v", l, lt.Base[l], w)
+		}
+	}
+}
+
+func TestFitLevelTransducerSingleLevel(t *testing.T) {
+	levels := []int{2, 2, 2, 2}
+	utils := []float64{0.1, 0.2, 0.3, 0.4}
+	fracs := []float64{0.3, 0.35, 0.4, 0.45}
+	lt, _, err := FitLevelTransducer(levels, utils, fracs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All levels inherit the single observed intercept.
+	for l := 0; l < 4; l++ {
+		if math.Abs(lt.Base[l]-lt.Base[2]) > 1e-12 {
+			t.Errorf("base[%d] should equal the only observed level's", l)
+		}
+	}
+}
+
+func TestFitLevelTransducerValidation(t *testing.T) {
+	if _, _, err := FitLevelTransducer([]int{0}, []float64{1, 2}, []float64{1}, 2); err == nil {
+		t.Error("mismatched lengths should be rejected")
+	}
+	if _, _, err := FitLevelTransducer([]int{0, 1}, []float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Error("zero levels should be rejected")
+	}
+	if _, _, err := FitLevelTransducer([]int{0, 9}, []float64{1, 2}, []float64{1, 2}, 4); err == nil {
+		t.Error("out-of-range level should be rejected")
+	}
+	if _, _, err := FitLevelTransducer([]int{0}, []float64{1}, []float64{1}, 4); err == nil {
+		t.Error("single sample should be rejected")
+	}
+}
+
+func TestLevelTransducerClamping(t *testing.T) {
+	lt := LevelTransducer{Base: []float64{0.2, 0.9}, Slope: 0.5}
+	if lt.EstimatePowerFrac(0.9, 1) != 1 {
+		t.Error("estimate above 1 should clamp")
+	}
+	if lt.EstimatePowerFrac(-3, 0) > 0.2 {
+		t.Error("negative utilization contribution should clamp at 0 floor")
+	}
+	// Out-of-range levels clamp to the table edges.
+	if lt.EstimatePowerFrac(0.1, -5) != lt.EstimatePowerFrac(0.1, 0) {
+		t.Error("negative level should clamp to 0")
+	}
+	if lt.EstimatePowerFrac(0.1, 99) != lt.EstimatePowerFrac(0.1, 1) {
+		t.Error("oversized level should clamp to top")
+	}
+	if (LevelTransducer{}).EstimatePowerFrac(0.5, 0) != 0 {
+		t.Error("empty transducer should estimate 0")
+	}
+}
+
+func TestLinearTransducerImplementsEstimator(t *testing.T) {
+	var e Estimator = Transducer{K0: 1, K1: 0}
+	if e.EstimatePowerFrac(0.4, 7) != 0.4 {
+		t.Error("linear transducer must ignore the level")
+	}
+}
+
+// Property: the ANCOVA fit never produces a worse R² than forcing slope 0
+// (pure per-level means), since the shared slope is the least-squares
+// optimum given the intercepts.
+func TestLevelFitBeatsMeansProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		base := []float64{0.2, 0.3, 0.45, 0.6}
+		slope := r.Range(0, 1)
+		levels, utils, fracs := synthLevelSamples(r, base, slope, 0.01, 10)
+		lt, r2, err := FitLevelTransducer(levels, utils, fracs, len(base))
+		if err != nil {
+			return false
+		}
+		// Residuals with the fitted slope must not exceed residuals with
+		// slope zero and per-level means.
+		sumP := make([]float64, len(base))
+		cnt := make([]int, len(base))
+		for i, l := range levels {
+			sumP[l] += fracs[i]
+			cnt[l]++
+		}
+		var sseFit, sseMeans float64
+		for i, l := range levels {
+			e1 := fracs[i] - (lt.Base[l] + lt.Slope*utils[i])
+			sseFit += e1 * e1
+			e2 := fracs[i] - sumP[l]/float64(cnt[l])
+			sseMeans += e2 * e2
+		}
+		return sseFit <= sseMeans+1e-9 && r2 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package sensor implements the measurement side of the PIC feedback loop:
+// the utilization→power transducer of §II-D and the system-identification
+// fits that calibrate it.
+//
+// Island power is not directly measurable at run time (the paper's premise),
+// so the controller observes processor utilization from performance counters
+// and converts it through a per-island linear model P = k₀·U + k₁ fitted
+// offline — the regression of Figure 6. The same package fits the plant gain
+// a of the difference model P(t+1) = P(t) + a·d(t) (Equation 8), the single
+// parameter the PID design depends on.
+package sensor
+
+import (
+	"errors"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// Transducer converts measured utilization into estimated island power as a
+// fraction of the island's maximum power.
+type Transducer struct {
+	// K0 is the slope and K1 the intercept of the linear model.
+	K0, K1 float64
+}
+
+// PowerFrac estimates island power (fraction of island max) from mean
+// utilization u, clamped to [0, 1].
+func (t Transducer) PowerFrac(u float64) float64 {
+	p := t.K0*u + t.K1
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// FitTransducer fits the linear utilization→power model from paired
+// observations (utilization, power fraction) and returns the transducer with
+// the fit's R². The paper reports an average R² of 0.96 across PARSEC
+// (Figure 6); callers should treat a low R² as a calibration failure.
+func FitTransducer(utils, powerFracs []float64) (Transducer, float64, error) {
+	fit, err := stats.LinReg(utils, powerFracs)
+	if err != nil {
+		return Transducer{}, 0, err
+	}
+	return Transducer{K0: fit.Slope, K1: fit.Intercept}, fit.R2, nil
+}
+
+// FitPlantGain fits the system gain a of Equation (8) from per-interval
+// observations: powerDeltas[k] = P(k+1) − P(k) against freqDeltas[k] =
+// f_norm(k+1) − f_norm(k), by least squares through the origin
+// (the model has no intercept). Interval pairs with no frequency change
+// carry no information about a and are skipped.
+func FitPlantGain(powerDeltas, freqDeltas []float64) (float64, error) {
+	if len(powerDeltas) != len(freqDeltas) {
+		return 0, errors.New("sensor: mismatched sample lengths")
+	}
+	var num, den float64
+	for i := range powerDeltas {
+		if freqDeltas[i] == 0 {
+			continue
+		}
+		num += powerDeltas[i] * freqDeltas[i]
+		den += freqDeltas[i] * freqDeltas[i]
+	}
+	if den == 0 {
+		return 0, errors.New("sensor: no frequency changes in sample")
+	}
+	return num / den, nil
+}
+
+// PredictSeries applies the difference model P(t+1) = P(t) + a·d(t) forward
+// from initial power p0 over the frequency-delta sequence, returning the
+// predicted power series (length len(freqDeltas)+1). This regenerates the
+// model curve of Figure 5 for comparison against measured power.
+func PredictSeries(p0, a float64, freqDeltas []float64) []float64 {
+	out := make([]float64, len(freqDeltas)+1)
+	out[0] = p0
+	for i, d := range freqDeltas {
+		out[i+1] = out[i] + a*d
+	}
+	return out
+}
+
+// PredictOneStep applies the difference model one step ahead from each
+// *measured* power sample: pred[k+1] = actual[k] + a·d(k), with
+// pred[0] = actual[0]. This is the standard system-identification
+// validation (and how Figure 5 overlays model on measurement): prediction
+// errors do not accumulate across steps.
+func PredictOneStep(actual []float64, a float64, freqDeltas []float64) []float64 {
+	if len(actual) == 0 {
+		return nil
+	}
+	out := make([]float64, len(actual))
+	out[0] = actual[0]
+	for i := 1; i < len(actual); i++ {
+		d := 0.0
+		if i-1 < len(freqDeltas) {
+			d = freqDeltas[i-1]
+		}
+		out[i] = actual[i-1] + a*d
+	}
+	return out
+}

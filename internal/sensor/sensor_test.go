@@ -1,0 +1,151 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+func TestTransducerClamps(t *testing.T) {
+	tr := Transducer{K0: 2, K1: -0.1}
+	if tr.PowerFrac(0) != 0 {
+		t.Error("negative estimate should clamp to 0")
+	}
+	if tr.PowerFrac(1) != 1 {
+		t.Error("oversized estimate should clamp to 1")
+	}
+	if got := tr.PowerFrac(0.3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PowerFrac(0.3) = %v, want 0.5", got)
+	}
+}
+
+func TestFitTransducerRecoversLine(t *testing.T) {
+	r := stats.NewRand(4)
+	var us, ps []float64
+	for i := 0; i < 200; i++ {
+		u := r.Float64()
+		us = append(us, u)
+		ps = append(ps, 0.6*u+0.2+r.Norm(0, 0.01))
+	}
+	tr, r2, err := FitTransducer(us, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.K0-0.6) > 0.02 || math.Abs(tr.K1-0.2) > 0.01 {
+		t.Errorf("fit = %+v, want (0.6, 0.2)", tr)
+	}
+	if r2 < 0.95 {
+		t.Errorf("R² = %v, want high (paper: 0.96 average)", r2)
+	}
+}
+
+func TestFitTransducerErrors(t *testing.T) {
+	if _, _, err := FitTransducer([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestFitPlantGainExact(t *testing.T) {
+	// Synthesize ΔP = 0.79·Δf exactly.
+	deltaF := []float64{0.1, -0.2, 0.05, 0, 0.3}
+	deltaP := make([]float64, len(deltaF))
+	for i, d := range deltaF {
+		deltaP[i] = 0.79 * d
+	}
+	a, err := FitPlantGain(deltaP, deltaF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.79) > 1e-12 {
+		t.Errorf("a = %v, want 0.79", a)
+	}
+}
+
+func TestFitPlantGainNoisy(t *testing.T) {
+	r := stats.NewRand(11)
+	n := 500
+	df := make([]float64, n)
+	dp := make([]float64, n)
+	for i := range df {
+		df[i] = r.Range(-0.3, 0.3)
+		dp[i] = 0.79*df[i] + r.Norm(0, 0.01)
+	}
+	a, err := FitPlantGain(dp, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.79) > 0.02 {
+		t.Errorf("a = %v, want ≈0.79", a)
+	}
+}
+
+func TestFitPlantGainErrors(t *testing.T) {
+	if _, err := FitPlantGain([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := FitPlantGain([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("all-zero frequency deltas should error")
+	}
+}
+
+func TestPredictSeries(t *testing.T) {
+	got := PredictSeries(0.5, 0.8, []float64{0.1, -0.2})
+	want := []float64{0.5, 0.58, 0.42}
+	if len(got) != len(want) {
+		t.Fatalf("length = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("series[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: the through-origin least-squares gain minimizes squared error —
+// perturbing it in either direction never reduces the residual.
+func TestFitPlantGainOptimalityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		n := 20
+		df := make([]float64, n)
+		dp := make([]float64, n)
+		for i := range df {
+			df[i] = r.Range(-1, 1)
+			dp[i] = r.Range(-1, 1)
+		}
+		a, err := FitPlantGain(dp, df)
+		if err != nil {
+			return true
+		}
+		sse := func(g float64) float64 {
+			s := 0.0
+			for i := range df {
+				e := dp[i] - g*df[i]
+				s += e * e
+			}
+			return s
+		}
+		base := sse(a)
+		return sse(a+0.01) >= base-1e-9 && sse(a-0.01) >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictOneStep(t *testing.T) {
+	actual := []float64{0.5, 0.6, 0.55}
+	deltas := []float64{0.1, -0.05}
+	got := PredictOneStep(actual, 0.8, deltas)
+	want := []float64{0.5, 0.5 + 0.08, 0.6 - 0.04}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("pred[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if PredictOneStep(nil, 1, nil) != nil {
+		t.Error("empty input should give nil")
+	}
+}

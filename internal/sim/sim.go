@@ -1,0 +1,522 @@
+// Package sim is the full-system CMP simulator: it composes the core models,
+// cache hierarchies, memory system, power models, thermal model and process
+// variation into one interval-driven engine — the role Simics+GEMS+Wattch+
+// HotLeakage played for the paper.
+//
+// The engine advances in PIC-sized intervals (2.5 ms by default). Each
+// interval, every core executes under its island's current operating point;
+// island and chip power, utilization, BIPS and temperatures are produced for
+// the controllers sitting on top (internal/core wires the GPM and PICs to
+// this engine; internal/maxbips drives it for the baseline).
+//
+// Cross-island couplings (shared-memory queueing and lateral heat flow) are
+// applied with one interval of delay, so islands are fully independent
+// within an interval. This is what makes the parallel executor (one
+// goroutine per island, barrier per interval) produce bit-identical results
+// to the sequential one — asserted by tests.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/island"
+	"github.com/cpm-sim/cpm/internal/mem"
+	"github.com/cpm-sim/cpm/internal/noc"
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/stats"
+	"github.com/cpm-sim/cpm/internal/thermal"
+	"github.com/cpm-sim/cpm/internal/uarch"
+	"github.com/cpm-sim/cpm/internal/variation"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// Config describes a complete CMP instance.
+type Config struct {
+	// Seed drives every stochastic component deterministically.
+	Seed uint64
+	// Mix assigns benchmarks to cores and defines the island structure.
+	Mix workload.Mix
+	// Core is the per-core microarchitecture configuration.
+	Core uarch.Config
+	// Power is the power model (DefaultModel if nil).
+	Power *power.Model
+	// Mem is the memory system configuration.
+	Mem mem.Config
+	// Thermal is the RC thermal configuration.
+	Thermal thermal.Config
+	// Variation is the per-core leakage variation map (uniform if empty).
+	Variation variation.Map
+	// IntervalSec is the simulation interval — the PIC invocation period
+	// (2.5 ms default).
+	IntervalSec float64
+	// InitialLevel is the DVFS level all islands start at; -1 means the top
+	// level (the no-power-management operating point).
+	InitialLevel int
+	// SharedL2 shares a banked L2 among the cores of each island,
+	// approximating the shared-LLC layout of Figure 1 at island
+	// granularity; the default (false) gives each core its private 512 KB
+	// slice per Table I's "512 KB per core". With true LRU and sampled
+	// streams, full sharing lets one streaming application evict a
+	// co-runner's entire working set every few intervals — far harsher
+	// than the paper's environment — so private slices are the default.
+	SharedL2 bool
+	// L2PrefetchDegree, when positive, attaches a sequential stream
+	// prefetcher of that degree to every private L2 slice — a substrate
+	// option the paper's platform lacks (off by default); incompatible
+	// with SharedL2.
+	L2PrefetchDegree int
+	// NoC, when non-nil, adds a GALS mesh interconnect between core tiles
+	// and the die-centre memory controllers: every memory access pays the
+	// mesh round trip on top of DRAM latency, with congestion fed back
+	// with one interval of delay. Nil disables the interconnect (memory
+	// controller adjacency, the pre-mesh idealization).
+	NoC *noc.Config
+	// Parallel runs islands concurrently (bit-identical to sequential).
+	Parallel bool
+	// RecordTraces captures every core's per-interval TraceRecord; retrieve
+	// the set with CMP.Traces() and replay it via Replay.
+	RecordTraces bool
+	// Replay, when non-nil, replaces the live cores with trace-replaying
+	// ones: the chip re-executes the recorded workload behaviour (possibly
+	// under a different controller or DVFS trajectory), skipping phase
+	// generation and cache simulation. Core/benchmark assignments must
+	// match the mix.
+	Replay *uarch.TraceSet
+}
+
+// DefaultConfig returns the paper's baseline configuration (Table I) for the
+// given mix.
+func DefaultConfig(mix workload.Mix) Config {
+	return Config{
+		Seed:         1,
+		Mix:          mix,
+		Core:         uarch.DefaultConfig(),
+		Mem:          mem.TableI(),
+		Thermal:      thermal.DefaultConfig(),
+		IntervalSec:  0.0025,
+		InitialLevel: -1,
+	}
+}
+
+// IslandResult is one island's observation for one interval — everything
+// the GPM, PIC and baselines are allowed to see, plus the oracle power used
+// for evaluation plots.
+type IslandResult struct {
+	Island  int
+	Level   int
+	FreqMHz float64
+	// PowerW is the measured (oracle) island power.
+	PowerW float64
+	// PowerFracIsland is PowerW over the island's maximum power — the
+	// quantity the PIC regulates.
+	PowerFracIsland float64
+	// PowerFracChip is PowerW over maximum chip power — the unit of the
+	// paper's percent-power plots.
+	PowerFracChip float64
+	// MeanUtil is the mean normalized utilization across the island's
+	// cores: the performance-counter observable fed to the transducer.
+	MeanUtil float64
+	// BIPS is the summed instruction throughput of the island.
+	BIPS float64
+	// Instructions executed by the island this interval.
+	Instructions float64
+	// Transitioned reports whether this interval paid a DVFS transition
+	// overhead.
+	Transitioned bool
+}
+
+// Result is one interval's chip-wide observation.
+type Result struct {
+	Interval      int
+	Islands       []IslandResult
+	ChipPowerW    float64
+	ChipPowerFrac float64
+	TotalBIPS     float64
+	MaxTempC      float64
+}
+
+// coreModel is the per-core surface the engine drives, satisfied by both
+// the live uarch.Core and the trace-replaying uarch.ReplayCore.
+type coreModel interface {
+	RunInterval(freqMHz, intervalSec, overheadFrac float64) uarch.IntervalStats
+	Profile() workload.Profile
+	SetExtraMemLatency(func() float64)
+}
+
+type islandState struct {
+	isl       *island.Island
+	cores     []coreModel
+	maxPowerW float64
+	// scratch for the parallel executor
+	res       IslandResult
+	memBlocks uint64
+	powers    []float64 // per-core power of this interval (island-local)
+}
+
+// CMP is a simulated chip-multiprocessor instance.
+type CMP struct {
+	cfg      Config
+	model    *power.Model
+	islands  []*islandState
+	memsys   *mem.System
+	thermals *thermal.Model
+	varmap   variation.Map
+
+	mesh *noc.Mesh
+
+	recorded [][]uarch.TraceRecord
+
+	nCores     int
+	maxChipW   float64
+	corePowers []float64 // global, indexed by core ID
+	interval   int
+	totalInstr float64
+}
+
+// New builds a CMP from cfg.
+func New(cfg Config) (*CMP, error) {
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IntervalSec <= 0 {
+		return nil, errors.New("sim: non-positive interval")
+	}
+	if cfg.L2PrefetchDegree > 0 && cfg.SharedL2 {
+		return nil, errors.New("sim: L2 prefetching requires private L2 slices")
+	}
+	model := cfg.Power
+	if model == nil {
+		model = power.DefaultModel()
+	}
+	memsys, err := mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+
+	profiles, err := cfg.Mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	nCores := cfg.Mix.Cores()
+
+	fp, err := floorplanFor(nCores)
+	if err != nil {
+		return nil, err
+	}
+	th, err := thermal.New(fp, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+
+	initLevel := cfg.InitialLevel
+	if initLevel < 0 {
+		initLevel = model.Table.Levels() - 1
+	}
+	if initLevel != model.Table.ClampLevel(initLevel) {
+		return nil, fmt.Errorf("sim: initial level %d out of range", initLevel)
+	}
+
+	c := &CMP{
+		cfg:        cfg,
+		model:      model,
+		memsys:     memsys,
+		thermals:   th,
+		varmap:     cfg.Variation,
+		nCores:     nCores,
+		maxChipW:   model.MaxChipPower(nCores),
+		corePowers: make([]float64, nCores),
+	}
+	if cfg.NoC != nil {
+		mesh, err := noc.New(*cfg.NoC)
+		if err != nil {
+			return nil, err
+		}
+		if mesh.Tiles() < nCores {
+			return nil, fmt.Errorf("sim: NoC has %d tiles for %d cores", mesh.Tiles(), nCores)
+		}
+		c.mesh = mesh
+	}
+	if cfg.RecordTraces {
+		if cfg.Replay != nil {
+			return nil, errors.New("sim: cannot record while replaying")
+		}
+		c.recorded = make([][]uarch.TraceRecord, nCores)
+	}
+
+	coreID := 0
+	for islandID, islandProfiles := range profiles {
+		st := &islandState{}
+		var coreIDs []int
+		var sharedL2 cache.Level2
+		if cfg.SharedL2 {
+			// One bank per core (rounded up to a power of two), each bank
+			// holding the Table I per-core share of 512 KB.
+			banks := 1
+			for banks < len(islandProfiles) {
+				banks *= 2
+			}
+			shared, err := cache.NewBanked(cache.TableIL2PerCore(), banks)
+			if err != nil {
+				return nil, err
+			}
+			sharedL2 = shared
+		}
+		for _, prof := range islandProfiles {
+			l1i, err := cache.New(cache.TableIL1())
+			if err != nil {
+				return nil, err
+			}
+			l1d, err := cache.New(cache.TableIL1())
+			if err != nil {
+				return nil, err
+			}
+			var l2 cache.Level2
+			if cfg.SharedL2 {
+				l2 = sharedL2
+			} else {
+				priv, err := cache.New(cache.TableIL2PerCore())
+				if err != nil {
+					return nil, err
+				}
+				l2 = priv
+				if cfg.L2PrefetchDegree > 0 {
+					pf, err := cache.NewStreamPrefetcher(priv, cfg.L2PrefetchDegree, 16)
+					if err != nil {
+						return nil, err
+					}
+					l2 = pf
+				}
+			}
+			h, err := cache.NewHierarchy(l1i, l1d, l2)
+			if err != nil {
+				return nil, err
+			}
+			var core coreModel
+			if cfg.Replay != nil {
+				rc, err := replayCoreFor(cfg, coreID, prof, memsys)
+				if err != nil {
+					return nil, err
+				}
+				core = rc
+			} else {
+				live, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), cfg.Core, prof, h, memsys)
+				if err != nil {
+					return nil, fmt.Errorf("sim: core %d (%s): %w", coreID, prof.Name, err)
+				}
+				if cfg.RecordTraces {
+					id := coreID
+					live.SetRecorder(func(rec uarch.TraceRecord) {
+						c.recorded[id] = append(c.recorded[id], rec)
+					})
+				}
+				core = live
+			}
+			if c.mesh != nil {
+				tile := coreID
+				core.SetExtraMemLatency(func() float64 { return c.mesh.RoundTripLatencyNs(tile) })
+			}
+			st.cores = append(st.cores, core)
+			coreIDs = append(coreIDs, coreID)
+			coreID++
+		}
+		isl, err := island.New(islandID, coreIDs, model.Table, initLevel)
+		if err != nil {
+			return nil, err
+		}
+		st.isl = isl
+		st.maxPowerW = float64(len(st.cores)) * model.CoreMaxPower()
+		st.powers = make([]float64, len(st.cores))
+		c.islands = append(c.islands, st)
+	}
+	return c, nil
+}
+
+// floorplanFor returns a near-square grid containing exactly n cores.
+func floorplanFor(n int) (thermal.Floorplan, error) {
+	rows := 1
+	for rows*rows < n {
+		rows++
+	}
+	for n%rows != 0 {
+		rows--
+	}
+	return thermal.Grid(rows, n/rows)
+}
+
+// NumIslands returns the island count.
+func (c *CMP) NumIslands() int { return len(c.islands) }
+
+// NumCores returns the chip's core count.
+func (c *CMP) NumCores() int { return c.nCores }
+
+// Table returns the DVFS table shared by all islands.
+func (c *CMP) Table() *power.DVFSTable { return c.model.Table }
+
+// Model returns the power model.
+func (c *CMP) Model() *power.Model { return c.model }
+
+// IntervalSec returns the simulation interval length.
+func (c *CMP) IntervalSec() float64 { return c.cfg.IntervalSec }
+
+// MaxChipPowerW returns the maximum chip power — the denominator of every
+// percent-power quantity.
+func (c *CMP) MaxChipPowerW() float64 { return c.maxChipW }
+
+// IslandMaxPowerW returns the maximum power of island i.
+func (c *CMP) IslandMaxPowerW(i int) float64 { return c.islands[i].maxPowerW }
+
+// IslandCores returns the number of cores on island i.
+func (c *CMP) IslandCores(i int) int { return len(c.islands[i].cores) }
+
+// IslandBenchmarks returns the benchmark names running on island i.
+func (c *CMP) IslandBenchmarks(i int) []string {
+	out := make([]string, len(c.islands[i].cores))
+	for j, core := range c.islands[i].cores {
+		out[j] = core.Profile().Name
+	}
+	return out
+}
+
+// IslandLeakMult returns the mean process-variation leakage multiplier of
+// island i, the observable the variation-aware policy uses.
+func (c *CMP) IslandLeakMult(i int) float64 {
+	st := c.islands[i]
+	s := 0.0
+	for _, id := range st.isl.CoreIDs() {
+		s += c.varmap.CoreMult(id)
+	}
+	return s / float64(len(st.cores))
+}
+
+// Level returns island i's current DVFS level.
+func (c *CMP) Level(i int) int { return c.islands[i].isl.Level() }
+
+// SetLevel requests a DVFS change on island i and reports whether the
+// operating point changed.
+func (c *CMP) SetLevel(i, lvl int) bool { return c.islands[i].isl.SetLevel(lvl) }
+
+// Transitions returns the cumulative DVFS transition count of island i.
+func (c *CMP) Transitions(i int) int { return c.islands[i].isl.Transitions() }
+
+// Thermals exposes the thermal model (read-only use by policies).
+func (c *CMP) Thermals() *thermal.Model { return c.thermals }
+
+// TotalInstructions returns cumulative instructions across all cores.
+func (c *CMP) TotalInstructions() float64 { return c.totalInstr }
+
+// Step advances the chip by one interval and returns its observation.
+func (c *CMP) Step() Result {
+	if c.cfg.Parallel && len(c.islands) > 1 {
+		var wg sync.WaitGroup
+		for _, st := range c.islands {
+			wg.Add(1)
+			go func(st *islandState) {
+				defer wg.Done()
+				c.stepIsland(st)
+			}(st)
+		}
+		wg.Wait()
+	} else {
+		for _, st := range c.islands {
+			c.stepIsland(st)
+		}
+	}
+
+	// Reduce: chip aggregates and delayed cross-island couplings.
+	res := Result{Interval: c.interval, Islands: make([]IslandResult, len(c.islands))}
+	var blocks uint64
+	for i, st := range c.islands {
+		res.Islands[i] = st.res
+		res.ChipPowerW += st.res.PowerW
+		res.TotalBIPS += st.res.BIPS
+		c.totalInstr += st.res.Instructions
+		blocks += st.memBlocks
+		for j, id := range st.isl.CoreIDs() {
+			c.corePowers[id] = st.powers[j]
+		}
+	}
+	res.ChipPowerFrac = res.ChipPowerW / c.maxChipW
+	c.memsys.ObserveTraffic(blocks, c.cfg.IntervalSec)
+	if c.mesh != nil {
+		// One request + one response flit train per block transfer.
+		c.mesh.ObserveTraffic(2*blocks, c.cfg.IntervalSec)
+	}
+	if err := c.thermals.Step(c.corePowers, c.cfg.IntervalSec); err != nil {
+		// Construction guarantees matching lengths and a positive interval.
+		panic("sim: thermal step failed: " + err.Error())
+	}
+	res.MaxTempC = c.thermals.MaxTemp()
+	c.interval++
+	return res
+}
+
+// stepIsland runs one island for one interval, writing only island-local
+// state (plus reads of previous-interval global state), so islands may run
+// concurrently.
+func (c *CMP) stepIsland(st *islandState) {
+	overhead := st.isl.ConsumeOverhead()
+	op := st.isl.OperatingPoint()
+	r := IslandResult{
+		Island:       st.isl.ID(),
+		Level:        st.isl.Level(),
+		FreqMHz:      op.FreqMHz,
+		Transitioned: overhead > 0,
+	}
+	st.memBlocks = 0
+	for j, core := range st.cores {
+		cs := core.RunInterval(op.FreqMHz, c.cfg.IntervalSec, overhead)
+		coreID := st.isl.CoreIDs()[j]
+		act := power.DeriveActivity(cs.Activity)
+		pw := c.model.Dynamic.Power(op, act) +
+			c.model.Leakage.Power(op.VoltageV, c.thermals.Temp(coreID), c.varmap.CoreMult(coreID))
+		st.powers[j] = pw
+		r.PowerW += pw
+		r.MeanUtil += cs.Utilization
+		r.BIPS += cs.BIPS
+		r.Instructions += cs.Instructions
+		st.memBlocks += cs.MemBlocks
+	}
+	r.MeanUtil /= float64(len(st.cores))
+	r.PowerFracIsland = r.PowerW / st.maxPowerW
+	r.PowerFracChip = r.PowerW / c.maxChipW
+	st.res = r
+}
+
+// replayCoreFor validates the replay assignment for one core and builds its
+// ReplayCore.
+func replayCoreFor(cfg Config, coreID int, prof workload.Profile, memsys *mem.System) (*uarch.ReplayCore, error) {
+	bench, ok := cfg.Replay.Benchmarks[coreID]
+	if !ok {
+		return nil, fmt.Errorf("sim: replay set has no trace for core %d", coreID)
+	}
+	if bench != prof.Name {
+		return nil, fmt.Errorf("sim: core %d trace was recorded from %s, mix assigns %s", coreID, bench, prof.Name)
+	}
+	return uarch.NewReplayCore(coreID, cfg.Core, prof, cfg.Replay.Records[coreID],
+		cache.TableIL2PerCore().LatencyCycles, memsys)
+}
+
+// Traces returns the recorded trace set (RecordTraces must have been set).
+func (c *CMP) Traces() (uarch.TraceSet, error) {
+	if c.recorded == nil {
+		return uarch.TraceSet{}, errors.New("sim: tracing was not enabled")
+	}
+	set := uarch.TraceSet{
+		Benchmarks: map[int]string{},
+		Records:    map[int][]uarch.TraceRecord{},
+	}
+	for _, st := range c.islands {
+		for j, core := range st.cores {
+			id := st.isl.CoreIDs()[j]
+			set.Benchmarks[id] = core.Profile().Name
+			set.Records[id] = c.recorded[id]
+		}
+	}
+	return set, nil
+}

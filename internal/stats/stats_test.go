@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty should be ±Inf")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if v := Variance(xs); math.Abs(v-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("expected error for out-of-range percentile")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	if _, err := Percentile(ys, 50); err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarizeMatchesIndividuals(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	s := Summarize(xs)
+	if s.N != len(xs) || s.Min != Min(xs) || s.Max != Max(xs) {
+		t.Errorf("Summary basics wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-Mean(xs)) > 1e-12 {
+		t.Errorf("Summary.Mean = %v, want %v", s.Mean, Mean(xs))
+	}
+	if math.Abs(s.StdDev-StdDev(xs)) > 1e-9 {
+		t.Errorf("Summary.StdDev = %v, want %v", s.StdDev, StdDev(xs))
+	}
+}
+
+func TestLinRegExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x + 1.5
+	}
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2.5) > 1e-12 || math.Abs(fit.Intercept-1.5) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2.5 intercept 1.5", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinRegNoisyR2(t *testing.T) {
+	r := NewRand(42)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := r.Range(0, 10)
+		xs = append(xs, x)
+		ys = append(ys, 3*x+2+r.Norm(0, 0.5))
+	}
+	fit, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.1 || math.Abs(fit.Intercept-2) > 0.3 {
+		t.Errorf("fit = %+v, want ≈(3, 2)", fit)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95 for low-noise line", fit.R2)
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := LinReg([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := LinReg([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := LinReg([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{100, 200}, []float64{110, 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	if _, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("expected error when all actuals are zero")
+	}
+}
+
+// Property: the least-squares residuals are orthogonal to the regressor,
+// i.e. sum(x_i * e_i) ≈ 0 and sum(e_i) ≈ 0.
+func TestLinRegNormalEquationsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-5, 5)
+			ys[i] = r.Range(-5, 5)
+		}
+		fit, err := LinReg(xs, ys)
+		if err != nil {
+			return true // degenerate draw
+		}
+		var se, sxe float64
+		for i := range xs {
+			e := ys[i] - fit.Predict(xs[i])
+			se += e
+			sxe += xs[i] * e
+		}
+		return math.Abs(se) < 1e-6*float64(n) && math.Abs(sxe) < 1e-6*float64(n)*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R² is always within [0, 1].
+func TestLinRegR2BoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		n := 3 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-5, 5)
+			ys[i] = r.Range(-100, 100)
+		}
+		fit, err := LinReg(xs, ys)
+		if err != nil {
+			return true
+		}
+		return fit.R2 >= 0 && fit.R2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

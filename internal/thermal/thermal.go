@@ -1,0 +1,194 @@
+// Package thermal provides the first-order RC thermal model and floorplan
+// used by the thermal-aware provisioning evaluation (Figure 18). Each core
+// is one thermal node with vertical conduction to the heatsink/ambient and
+// lateral conduction to its floorplan neighbours, which is what makes
+// sustained high power on *adjacent* cores — the situation the thermal-aware
+// policy forbids — form hotspots that isolated high power does not.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Floorplan is the adjacency structure of cores on the die.
+type Floorplan struct {
+	n   int
+	adj [][]int
+}
+
+// Grid returns a rows×cols mesh floorplan with 4-neighbour adjacency,
+// numbering cores row-major. The paper's 8-core layout (Figure 18a) is
+// Grid(2, 4).
+func Grid(rows, cols int) (Floorplan, error) {
+	if rows <= 0 || cols <= 0 {
+		return Floorplan{}, errors.New("thermal: non-positive grid dimension")
+	}
+	n := rows * cols
+	fp := Floorplan{n: n, adj: make([][]int, n)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if r > 0 {
+				fp.adj[i] = append(fp.adj[i], i-cols)
+			}
+			if r < rows-1 {
+				fp.adj[i] = append(fp.adj[i], i+cols)
+			}
+			if c > 0 {
+				fp.adj[i] = append(fp.adj[i], i-1)
+			}
+			if c < cols-1 {
+				fp.adj[i] = append(fp.adj[i], i+1)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// N returns the number of cores.
+func (f Floorplan) N() int { return f.n }
+
+// Neighbors returns the neighbour list of core i (not to be modified).
+func (f Floorplan) Neighbors(i int) []int { return f.adj[i] }
+
+// Adjacent reports whether cores a and b abut.
+func (f Floorplan) Adjacent(a, b int) bool {
+	for _, x := range f.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterizes the RC network.
+type Config struct {
+	// AmbientC is the heatsink/ambient temperature in °C.
+	AmbientC float64
+	// RthCPerW is the vertical (junction→ambient) thermal resistance per
+	// core in °C/W: steady-state core temperature is ambient + P·Rth
+	// (before lateral flow).
+	RthCPerW float64
+	// TauSec is the thermal time constant.
+	TauSec float64
+	// Coupling is the lateral conductance relative to vertical (0 = cores
+	// thermally isolated).
+	Coupling float64
+	// HotspotC is the temperature above which a core counts as a hotspot.
+	HotspotC float64
+}
+
+// DefaultConfig returns parameters typical of a 90 nm-class die with a
+// conventional heatsink: 45 °C ambient, ~4.5 °C/W per core, a 50 ms time
+// constant and a 90 °C hotspot threshold — so a core sustained at its
+// 12 W maximum approaches 99 °C and trips the threshold, while one at
+// two-thirds power does not.
+func DefaultConfig() Config {
+	return Config{AmbientC: 45, RthCPerW: 4.5, TauSec: 0.05, Coupling: 0.3, HotspotC: 90}
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.RthCPerW <= 0 {
+		return errors.New("thermal: non-positive thermal resistance")
+	}
+	if c.TauSec <= 0 {
+		return errors.New("thermal: non-positive time constant")
+	}
+	if c.Coupling < 0 {
+		return errors.New("thermal: negative coupling")
+	}
+	if c.HotspotC <= c.AmbientC {
+		return errors.New("thermal: hotspot threshold at or below ambient")
+	}
+	return nil
+}
+
+// Model integrates per-core temperatures.
+type Model struct {
+	cfg Config
+	fp  Floorplan
+	t   []float64
+	nxt []float64
+}
+
+// New builds a model with all cores at ambient.
+func New(fp Floorplan, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fp.n == 0 {
+		return nil, errors.New("thermal: empty floorplan")
+	}
+	m := &Model{cfg: cfg, fp: fp, t: make([]float64, fp.n), nxt: make([]float64, fp.n)}
+	for i := range m.t {
+		m.t[i] = cfg.AmbientC
+	}
+	return m, nil
+}
+
+// Config returns the model parameters.
+func (m *Model) Config() Config { return m.cfg }
+
+// Step advances temperatures by dt seconds under per-core power powerW
+// using forward Euler on
+//
+//	τ·dT_i/dt = P_i·R + T_amb − T_i + k·Σ_j (T_j − T_i)
+//
+// dt must be well below τ (the simulator's 2.5 ms interval against the
+// default 50 ms τ gives a comfortably stable integration).
+func (m *Model) Step(powerW []float64, dt float64) error {
+	if len(powerW) != m.fp.n {
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(powerW), m.fp.n)
+	}
+	if dt <= 0 {
+		return errors.New("thermal: non-positive dt")
+	}
+	for i := range m.t {
+		flux := m.cfg.AmbientC - m.t[i] + powerW[i]*m.cfg.RthCPerW
+		for _, j := range m.fp.adj[i] {
+			flux += m.cfg.Coupling * (m.t[j] - m.t[i])
+		}
+		m.nxt[i] = m.t[i] + dt/m.cfg.TauSec*flux
+	}
+	m.t, m.nxt = m.nxt, m.t
+	return nil
+}
+
+// Temp returns core i's temperature in °C.
+func (m *Model) Temp(i int) float64 { return m.t[i] }
+
+// Temps copies all temperatures into dst (allocating if needed) and returns
+// it.
+func (m *Model) Temps(dst []float64) []float64 {
+	if cap(dst) < len(m.t) {
+		dst = make([]float64, len(m.t))
+	}
+	dst = dst[:len(m.t)]
+	copy(dst, m.t)
+	return dst
+}
+
+// MaxTemp returns the hottest core temperature.
+func (m *Model) MaxTemp() float64 {
+	max := m.t[0]
+	for _, v := range m.t[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Hotspots appends the indices of cores above the hotspot threshold to dst
+// and returns it.
+func (m *Model) Hotspots(dst []int) []int {
+	dst = dst[:0]
+	for i, v := range m.t {
+		if v > m.cfg.HotspotC {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

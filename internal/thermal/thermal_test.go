@@ -1,0 +1,229 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridAdjacency(t *testing.T) {
+	fp, err := Grid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.N() != 8 {
+		t.Fatalf("N = %d", fp.N())
+	}
+	// Corner core 0 has 2 neighbours: 1 (right) and 4 (below).
+	nb := fp.Neighbors(0)
+	if len(nb) != 2 {
+		t.Errorf("core 0 neighbours = %v", nb)
+	}
+	if !fp.Adjacent(0, 1) || !fp.Adjacent(0, 4) {
+		t.Error("expected 0-1 and 0-4 adjacency")
+	}
+	if fp.Adjacent(0, 5) || fp.Adjacent(0, 3) {
+		t.Error("unexpected diagonal/far adjacency")
+	}
+	// Middle core 1 has 3 neighbours (0, 2, 5).
+	if len(fp.Neighbors(1)) != 3 {
+		t.Errorf("core 1 neighbours = %v", fp.Neighbors(1))
+	}
+	// Symmetry.
+	for a := 0; a < fp.N(); a++ {
+		for _, b := range fp.Neighbors(a) {
+			if !fp.Adjacent(b, a) {
+				t.Fatalf("asymmetric adjacency %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Grid(0, 4); err == nil {
+		t.Error("zero rows should be rejected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.RthCPerW = 0 },
+		func(c *Config) { c.TauSec = -1 },
+		func(c *Config) { c.Coupling = -0.1 },
+		func(c *Config) { c.HotspotC = c.AmbientC },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	fp, err := Grid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := newModel(t)
+	for i := 0; i < 8; i++ {
+		if m.Temp(i) != DefaultConfig().AmbientC {
+			t.Errorf("core %d starts at %v", i, m.Temp(i))
+		}
+	}
+}
+
+func TestSteadyStateUniformPower(t *testing.T) {
+	m := newModel(t)
+	p := make([]float64, 8)
+	for i := range p {
+		p[i] = 10
+	}
+	for k := 0; k < 4000; k++ {
+		if err := m.Step(p, 0.0025); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uniform power → no lateral flow → T = ambient + P·R for every core.
+	want := DefaultConfig().AmbientC + 10*DefaultConfig().RthCPerW
+	for i := 0; i < 8; i++ {
+		if math.Abs(m.Temp(i)-want) > 0.1 {
+			t.Errorf("core %d steady temp = %v, want %v", i, m.Temp(i), want)
+		}
+	}
+}
+
+func TestLateralCouplingSpreadsHeat(t *testing.T) {
+	m := newModel(t)
+	p := make([]float64, 8)
+	p[0] = 12 // single hot corner core
+	for k := 0; k < 4000; k++ {
+		m.Step(p, 0.0025)
+	}
+	// Neighbours of 0 must be warmer than the far corner.
+	if m.Temp(1) <= m.Temp(7) || m.Temp(4) <= m.Temp(7) {
+		t.Errorf("no lateral heat flow: T1=%v T4=%v T7=%v", m.Temp(1), m.Temp(4), m.Temp(7))
+	}
+	// And the hot core itself must be cooler than without coupling.
+	isolatedSteady := DefaultConfig().AmbientC + 12*DefaultConfig().RthCPerW
+	if m.Temp(0) >= isolatedSteady {
+		t.Errorf("coupling should cool the hot core below %v, got %v", isolatedSteady, m.Temp(0))
+	}
+}
+
+func TestHotspotDetection(t *testing.T) {
+	m := newModel(t)
+	p := make([]float64, 8)
+	for i := range p {
+		p[i] = 12 // maximum per-core power everywhere
+	}
+	for k := 0; k < 4000; k++ {
+		m.Step(p, 0.0025)
+	}
+	hs := m.Hotspots(nil)
+	if len(hs) != 8 {
+		t.Errorf("full-power chip should be all hotspots, got %v (max %v)", hs, m.MaxTemp())
+	}
+	// Two-thirds power must not trip the threshold.
+	m2 := newModel(t)
+	for i := range p {
+		p[i] = 8
+	}
+	for k := 0; k < 4000; k++ {
+		m2.Step(p, 0.0025)
+	}
+	if hs := m2.Hotspots(nil); len(hs) != 0 {
+		t.Errorf("moderate power should have no hotspots, got %v (max %v)", hs, m2.MaxTemp())
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	m := newModel(t)
+	if err := m.Step([]float64{1, 2}, 0.0025); err == nil {
+		t.Error("wrong power vector length should be rejected")
+	}
+	if err := m.Step(make([]float64, 8), 0); err == nil {
+		t.Error("zero dt should be rejected")
+	}
+}
+
+func TestTempsCopy(t *testing.T) {
+	m := newModel(t)
+	ts := m.Temps(nil)
+	ts[0] = -1000
+	if m.Temp(0) == -1000 {
+		t.Error("Temps returned internal storage")
+	}
+	buf := make([]float64, 8)
+	if got := m.Temps(buf); &got[0] != &buf[0] {
+		t.Error("Temps should reuse a big-enough buffer")
+	}
+}
+
+// Property: with bounded power, temperatures remain bounded between ambient
+// and ambient + maxP·Rth (uniform bound, valid since coupling only averages).
+func TestTemperatureBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		fp, _ := Grid(2, 4)
+		m, _ := New(fp, cfg)
+		p := make([]float64, 8)
+		s := seed
+		for k := 0; k < 400; k++ {
+			for i := range p {
+				s = s*6364136223846793005 + 1442695040888963407
+				p[i] = float64(s%1200) / 100 // 0..12 W
+			}
+			m.Step(p, 0.0025)
+		}
+		for i := 0; i < 8; i++ {
+			if m.Temp(i) < cfg.AmbientC-1e-9 || m.Temp(i) > cfg.AmbientC+12*cfg.RthCPerW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The physical premise of the thermal-aware policy (Figure 18): the same
+// total power heats the die more when concentrated on adjacent cores than
+// when spread across distant ones.
+func TestAdjacentConcentrationRunsHotter(t *testing.T) {
+	run := func(hot []int) float64 {
+		fp, _ := Grid(2, 4)
+		m, _ := New(fp, DefaultConfig())
+		p := make([]float64, 8)
+		for i := range p {
+			p[i] = 2
+		}
+		for _, i := range hot {
+			p[i] = 12
+		}
+		for k := 0; k < 4000; k++ {
+			m.Step(p, 0.0025)
+		}
+		return m.MaxTemp()
+	}
+	adjacent := run([]int{1, 5}) // vertically adjacent pair
+	spread := run([]int{0, 7})   // opposite corners
+	if adjacent <= spread {
+		t.Errorf("adjacent hot pair (%.1f C) should run hotter than spread pair (%.1f C)", adjacent, spread)
+	}
+}

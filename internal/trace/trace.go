@@ -1,0 +1,244 @@
+// Package trace provides the light-weight recording and rendering utilities
+// the experiment harnesses use: named time series, CSV export, aligned text
+// tables and ASCII line charts, so every figure and table of the paper can
+// be regenerated on a terminal without plotting dependencies.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a named sequence of samples.
+type Series struct {
+	Name    string
+	Samples []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Samples = append(s.Samples, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Mean returns the mean of the samples (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Max returns the maximum sample (-Inf when empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample (+Inf when empty).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.Samples {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Set is an ordered collection of series sharing an x-axis.
+type Set struct {
+	// XName labels the shared axis (e.g. "GPM invocation").
+	XName  string
+	series []*Series
+	index  map[string]*Series
+}
+
+// NewSet builds an empty set.
+func NewSet(xName string) *Set {
+	return &Set{XName: xName, index: map[string]*Series{}}
+}
+
+// Get returns the series with the given name, creating it on first use.
+func (t *Set) Get(name string) *Series {
+	if s, ok := t.index[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	t.index[name] = s
+	t.series = append(t.series, s)
+	return s
+}
+
+// Names returns the series names in insertion order.
+func (t *Set) Names() []string {
+	out := make([]string, len(t.series))
+	for i, s := range t.series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Series returns the series in insertion order.
+func (t *Set) Series() []*Series { return t.series }
+
+// WriteCSV emits the set as CSV: one row per x index, one column per series.
+// Shorter series leave blank cells.
+func (t *Set) WriteCSV(w io.Writer) error {
+	if len(t.series) == 0 {
+		return errors.New("trace: empty set")
+	}
+	cols := []string{t.XName}
+	n := 0
+	for _, s := range t.series {
+		cols = append(cols, s.Name)
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprint(i)}
+		for _, s := range t.series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%g", s.Samples[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders the set as an ASCII line chart of the given size, one glyph
+// per series, with a legend and y-axis labels.
+func (t *Set) Chart(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte("*o+x#@%&")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range t.series {
+		for _, v := range s.Samples {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if maxLen == 0 {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Samples {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			y := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g |", hi)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g |", lo)
+		default:
+			label = strings.Repeat(" ", 10) + " |"
+		}
+		b.WriteString(label)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "> " + t.XName + "\n")
+	for si, s := range t.series {
+		fmt.Fprintf(&b, "            %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map, for
+// deterministic report iteration.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Mean() != 0 || !math.IsInf(s.Max(), -1) || !math.IsInf(s.Min(), 1) {
+		t.Error("empty series stats wrong")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		s.Append(v)
+	}
+	if s.Len() != 3 || s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("series stats wrong: %+v", s)
+	}
+}
+
+func TestSetGetCreatesOnce(t *testing.T) {
+	set := NewSet("t")
+	a := set.Get("alpha")
+	b := set.Get("alpha")
+	if a != b {
+		t.Error("Get should return the same series")
+	}
+	set.Get("beta")
+	names := set.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("Names = %v", names)
+	}
+	if len(set.Series()) != 2 {
+		t.Error("Series length wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	set := NewSet("interval")
+	set.Get("a").Append(1)
+	set.Get("a").Append(2)
+	set.Get("b").Append(10)
+	var b strings.Builder
+	if err := set.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "interval,a,b\n0,1,10\n1,2,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	empty := NewSet("x")
+	if err := empty.WriteCSV(&b); err == nil {
+		t.Error("empty set should error")
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	set := NewSet("k")
+	for i := 0; i < 10; i++ {
+		set.Get("rise").Append(float64(i))
+		set.Get("fall").Append(float64(9 - i))
+	}
+	out := set.Chart(40, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "rise") || !strings.Contains(out, "fall") {
+		t.Error("chart missing legend")
+	}
+	if !strings.Contains(out, "> k") {
+		t.Error("chart missing x-axis label")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	set := NewSet("k")
+	if out := set.Chart(40, 8); !strings.Contains(out, "no data") {
+		t.Error("empty chart should say no data")
+	}
+	set.Get("flat").Append(5)
+	set.Get("flat").Append(5)
+	out := set.Chart(20, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	set := NewSet("k")
+	set.Get("a").Append(1)
+	out := set.Chart(1, 1) // clamped up internally
+	if len(out) == 0 {
+		t.Error("chart should render with clamped dimensions")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Errorf("header misaligned: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "22222") {
+		t.Error("rows missing")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package uarch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/cpm-sim/cpm/internal/mem"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// ReplayCore re-executes a recorded interval trace instead of generating
+// workload behaviour: each RunInterval consumes the next TraceRecord (wrapping
+// around at the end) and evaluates the frequency-dependent half of the
+// interval model at the requested operating point. Because TraceRecords are
+// frequency-independent, a trace captured under one DVFS trajectory can be
+// replayed under any other — e.g. to compare controllers on *identical*
+// workload behaviour, or to rerun experiments ~an order of magnitude faster
+// by skipping phase generation and cache simulation.
+type ReplayCore struct {
+	id     int
+	cfg    Config
+	prof   workload.Profile
+	trace  []TraceRecord
+	pos    int
+	l2Lat  float64
+	memsys *mem.System
+
+	extraMemNs        func() float64
+	totalInstructions float64
+}
+
+// NewReplayCore builds a core replaying trace. l2LatencyCycles is the L2
+// latency the trace's miss fractions are charged at (the recording
+// hierarchy's, normally cache.TableIL2PerCore().LatencyCycles).
+func NewReplayCore(id int, cfg Config, prof workload.Profile, trace []TraceRecord,
+	l2LatencyCycles int, memsys *mem.System) (*ReplayCore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("uarch: empty trace")
+	}
+	if l2LatencyCycles < 0 {
+		return nil, errors.New("uarch: negative L2 latency")
+	}
+	if memsys == nil {
+		return nil, errors.New("uarch: replay core needs a memory system")
+	}
+	return &ReplayCore{
+		id:     id,
+		cfg:    cfg,
+		prof:   prof,
+		trace:  trace,
+		l2Lat:  float64(l2LatencyCycles),
+		memsys: memsys,
+	}, nil
+}
+
+// ID returns the core's identifier.
+func (c *ReplayCore) ID() int { return c.id }
+
+// Profile returns the application profile the trace was recorded from.
+func (c *ReplayCore) Profile() workload.Profile { return c.prof }
+
+// TotalInstructions returns the cumulative instruction count.
+func (c *ReplayCore) TotalInstructions() float64 { return c.totalInstructions }
+
+// SetExtraMemLatency mirrors Core.SetExtraMemLatency.
+func (c *ReplayCore) SetExtraMemLatency(f func() float64) { c.extraMemNs = f }
+
+// Len returns the trace length in intervals.
+func (c *ReplayCore) Len() int { return len(c.trace) }
+
+// RunInterval consumes the next trace record at the given operating point.
+func (c *ReplayCore) RunInterval(freqMHz, intervalSec, overheadFrac float64) IntervalStats {
+	rec := c.trace[c.pos]
+	c.pos = (c.pos + 1) % len(c.trace)
+	memNs := c.memsys.LatencyNs()
+	if c.extraMemNs != nil {
+		memNs += c.extraMemNs()
+	}
+	stats := computeInterval(rec, c.cfg, c.prof, c.l2Lat, memNs,
+		freqMHz, intervalSec, overheadFrac)
+	c.totalInstructions += stats.Instructions
+	return stats
+}
+
+// TraceSet is a saved collection of per-core traces plus the profile names
+// needed to rebuild replay cores.
+type TraceSet struct {
+	// Benchmarks[coreID] names the profile the core ran.
+	Benchmarks map[int]string
+	// Records[coreID] is the interval trace.
+	Records map[int][]TraceRecord
+}
+
+// SaveTraces gob-encodes a TraceSet.
+func SaveTraces(w io.Writer, set TraceSet) error {
+	if len(set.Records) == 0 {
+		return errors.New("uarch: empty trace set")
+	}
+	return gob.NewEncoder(w).Encode(set)
+}
+
+// LoadTraces decodes a TraceSet and validates its shape.
+func LoadTraces(r io.Reader) (TraceSet, error) {
+	var set TraceSet
+	if err := gob.NewDecoder(r).Decode(&set); err != nil {
+		return TraceSet{}, fmt.Errorf("uarch: decoding traces: %w", err)
+	}
+	for id, recs := range set.Records {
+		if len(recs) == 0 {
+			return TraceSet{}, fmt.Errorf("uarch: core %d has an empty trace", id)
+		}
+		if _, ok := set.Benchmarks[id]; !ok {
+			return TraceSet{}, fmt.Errorf("uarch: core %d has no benchmark name", id)
+		}
+		if _, err := workload.ByName(set.Benchmarks[id]); err != nil {
+			return TraceSet{}, err
+		}
+	}
+	return set, nil
+}

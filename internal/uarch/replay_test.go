@@ -1,0 +1,99 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/mem"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func sampleTrace(t *testing.T, n int) []TraceRecord {
+	t.Helper()
+	c := newCore(t, 0, 42, "bschls")
+	var out []TraceRecord
+	c.SetRecorder(func(r TraceRecord) { out = append(out, r) })
+	for k := 0; k < n; k++ {
+		c.RunInterval(2000, 0.0025, 0)
+	}
+	if len(out) != n {
+		t.Fatalf("recorded %d records, want %d", len(out), n)
+	}
+	return out
+}
+
+func TestNewReplayCoreValidation(t *testing.T) {
+	m, _ := mem.New(mem.TableI())
+	prof := workload.MustByName("bschls")
+	trace := sampleTrace(t, 3)
+	if _, err := NewReplayCore(0, DefaultConfig(), prof, nil, 10, m); err == nil {
+		t.Error("empty trace should be rejected")
+	}
+	if _, err := NewReplayCore(0, DefaultConfig(), prof, trace, -1, m); err == nil {
+		t.Error("negative latency should be rejected")
+	}
+	if _, err := NewReplayCore(0, DefaultConfig(), prof, trace, 10, nil); err == nil {
+		t.Error("nil memory system should be rejected")
+	}
+	bad := DefaultConfig()
+	bad.NominalMaxMHz = 0
+	if _, err := NewReplayCore(0, bad, prof, trace, 10, m); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+// A replay core fed the records of a live core under the same conditions
+// produces identical interval statistics.
+func TestReplayCoreMatchesLiveCore(t *testing.T) {
+	live := newCore(t, 0, 7, "fsim")
+	var recs []TraceRecord
+	live.SetRecorder(func(r TraceRecord) { recs = append(recs, r) })
+	var liveStats []IntervalStats
+	for k := 0; k < 20; k++ {
+		liveStats = append(liveStats, live.RunInterval(1400, 0.0025, 0))
+	}
+
+	m, _ := mem.New(mem.TableI())
+	rc, err := NewReplayCore(0, DefaultConfig(), workload.MustByName("fsim"), recs,
+		cache.TableIL2PerCore().LatencyCycles, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		got := rc.RunInterval(1400, 0.0025, 0)
+		if math.Abs(got.Instructions-liveStats[k].Instructions) > 1e-6 ||
+			math.Abs(got.Utilization-liveStats[k].Utilization) > 1e-12 {
+			t.Fatalf("interval %d: replay %+v vs live %+v", k, got, liveStats[k])
+		}
+	}
+	if rc.Len() != 20 || rc.ID() != 0 || rc.Profile().Name != "fsim" {
+		t.Error("accessors wrong")
+	}
+	if math.Abs(rc.TotalInstructions()-live.TotalInstructions()) > 1e-3 {
+		t.Error("cumulative counts diverged")
+	}
+}
+
+// Replay honours extra memory latency (NoC) like a live core does.
+func TestReplayCoreExtraLatency(t *testing.T) {
+	recs := sampleTrace(t, 10)
+	m, _ := mem.New(mem.TableI())
+	mk := func(extra float64) float64 {
+		rc, err := NewReplayCore(0, DefaultConfig(), workload.MustByName("bschls"), recs, 10, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if extra > 0 {
+			rc.SetExtraMemLatency(func() float64 { return extra })
+		}
+		var instr float64
+		for k := 0; k < 10; k++ {
+			instr += rc.RunInterval(2000, 0.0025, 0).Instructions
+		}
+		return instr
+	}
+	if fast, slow := mk(0), mk(500); slow >= fast {
+		t.Errorf("added memory latency should reduce replayed throughput: %v vs %v", slow, fast)
+	}
+}

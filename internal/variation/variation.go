@@ -1,0 +1,92 @@
+// Package variation models intra-die process variation as per-core leakage
+// multipliers, the substrate for the paper's variation-aware provisioning
+// policy (§IV-B). Technology scaling below 65 nm makes leakage differ
+// significantly between cores of one die; the paper assumes islands 1–3 leak
+// 1.2×, 1.5× and 2× as much as island 4.
+package variation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// Map assigns each core a leakage multiplier (1 = nominal).
+type Map struct {
+	mult []float64
+}
+
+// Uniform returns a map with every core at nominal leakage.
+func Uniform(n int) Map {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1
+	}
+	return Map{mult: m}
+}
+
+// FromIslandMultipliers spreads per-island multipliers over coresPerIsland
+// cores each.
+func FromIslandMultipliers(perIsland []float64, coresPerIsland int) (Map, error) {
+	if len(perIsland) == 0 || coresPerIsland <= 0 {
+		return Map{}, errors.New("variation: empty island specification")
+	}
+	var m []float64
+	for i, v := range perIsland {
+		if v < 0 {
+			return Map{}, fmt.Errorf("variation: negative multiplier for island %d", i)
+		}
+		for c := 0; c < coresPerIsland; c++ {
+			m = append(m, v)
+		}
+	}
+	return Map{mult: m}, nil
+}
+
+// PaperIslands returns the §IV-B assumption for a 4-island CMP: islands
+// 1, 2 and 3 leak 1.2×, 1.5× and 2× relative to island 4.
+func PaperIslands(coresPerIsland int) Map {
+	m, err := FromIslandMultipliers([]float64{1.2, 1.5, 2.0, 1.0}, coresPerIsland)
+	if err != nil {
+		panic("variation: invalid built-in map: " + err.Error())
+	}
+	return m
+}
+
+// Random returns a map with lognormal core-to-core variation of the given
+// sigma (in log space) around 1, deterministic in seed. This models the
+// random component of intra-die variation for ablation studies.
+func Random(seed uint64, n int, sigma float64) Map {
+	r := stats.NewRand(stats.DeriveSeed(seed, 0x7a71a7))
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = math.Exp(r.Norm(0, sigma))
+	}
+	return Map{mult: m}
+}
+
+// Len returns the number of cores covered by the map.
+func (m Map) Len() int { return len(m.mult) }
+
+// CoreMult returns the multiplier for core i; cores beyond the map are
+// nominal, so a small map composes safely with a larger chip.
+func (m Map) CoreMult(i int) float64 {
+	if i < 0 || i >= len(m.mult) {
+		return 1
+	}
+	return m.mult[i]
+}
+
+// MeanMult returns the average multiplier, or 1 for an empty map.
+func (m Map) MeanMult() float64 {
+	if len(m.mult) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, v := range m.mult {
+		s += v
+	}
+	return s / float64(len(m.mult))
+}

@@ -1,0 +1,83 @@
+package variation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	m := Uniform(8)
+	if m.Len() != 8 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if m.CoreMult(i) != 1 {
+			t.Errorf("core %d mult = %v", i, m.CoreMult(i))
+		}
+	}
+	if m.MeanMult() != 1 {
+		t.Errorf("mean = %v", m.MeanMult())
+	}
+}
+
+func TestPaperIslands(t *testing.T) {
+	m := PaperIslands(2)
+	want := []float64{1.2, 1.2, 1.5, 1.5, 2.0, 2.0, 1.0, 1.0}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i, w := range want {
+		if m.CoreMult(i) != w {
+			t.Errorf("core %d mult = %v, want %v", i, m.CoreMult(i), w)
+		}
+	}
+}
+
+func TestFromIslandMultipliersValidation(t *testing.T) {
+	if _, err := FromIslandMultipliers(nil, 2); err == nil {
+		t.Error("empty spec should be rejected")
+	}
+	if _, err := FromIslandMultipliers([]float64{1}, 0); err == nil {
+		t.Error("zero cores per island should be rejected")
+	}
+	if _, err := FromIslandMultipliers([]float64{-1}, 2); err == nil {
+		t.Error("negative multiplier should be rejected")
+	}
+}
+
+func TestOutOfRangeIsNominal(t *testing.T) {
+	m := Uniform(2)
+	if m.CoreMult(-1) != 1 || m.CoreMult(5) != 1 {
+		t.Error("out-of-range cores should be nominal")
+	}
+	if (Map{}).MeanMult() != 1 {
+		t.Error("empty map mean should be 1")
+	}
+}
+
+func TestRandomDeterministicAndCentered(t *testing.T) {
+	a := Random(7, 1000, 0.2)
+	b := Random(7, 1000, 0.2)
+	for i := 0; i < 1000; i++ {
+		if a.CoreMult(i) != b.CoreMult(i) {
+			t.Fatal("same seed gave different maps")
+		}
+		if a.CoreMult(i) <= 0 {
+			t.Fatal("lognormal multiplier must be positive")
+		}
+	}
+	// Median of lognormal(0, σ) is 1; the mean is slightly above.
+	if mean := a.MeanMult(); math.Abs(mean-1) > 0.1 {
+		t.Errorf("mean multiplier = %v, want ≈1", mean)
+	}
+	c := Random(8, 1000, 0.2)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if a.CoreMult(i) != c.CoreMult(i) {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Error("different seeds should give different maps")
+	}
+}

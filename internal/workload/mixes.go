@@ -1,0 +1,140 @@
+package workload
+
+import "fmt"
+
+// Mix assigns one benchmark to each core of each island, reproducing
+// Table III of the paper.
+type Mix struct {
+	// Name identifies the mix ("Mix-1", ...).
+	Name string
+	// Islands[i] lists the benchmark names running on island i, one per
+	// core.
+	Islands [][]string
+}
+
+// Cores returns the total core count of the mix.
+func (m Mix) Cores() int {
+	n := 0
+	for _, isl := range m.Islands {
+		n += len(isl)
+	}
+	return n
+}
+
+// Validate checks that every benchmark exists and islands are non-empty.
+func (m Mix) Validate() error {
+	if len(m.Islands) == 0 {
+		return fmt.Errorf("workload: mix %s has no islands", m.Name)
+	}
+	for i, isl := range m.Islands {
+		if len(isl) == 0 {
+			return fmt.Errorf("workload: mix %s island %d empty", m.Name, i)
+		}
+		for _, b := range isl {
+			if _, err := ByName(b); err != nil {
+				return fmt.Errorf("workload: mix %s island %d: %w", m.Name, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Profiles resolves the mix to profile values, in island-major order.
+func (m Mix) Profiles() ([][]Profile, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]Profile, len(m.Islands))
+	for i, isl := range m.Islands {
+		out[i] = make([]Profile, len(isl))
+		for j, b := range isl {
+			out[i][j] = MustByName(b)
+		}
+	}
+	return out, nil
+}
+
+// Mix1 is Table III(a): each island pairs one CPU-bound and one memory-bound
+// application (8-core CMP, 4 islands × 2 cores).
+func Mix1() Mix {
+	return Mix{Name: "Mix-1", Islands: [][]string{
+		{"bschls", "sclust"},
+		{"btrack", "fsim"},
+		{"fmine", "canneal"},
+		{"x264", "vips"},
+	}}
+}
+
+// Mix2 is Table III(b): islands are homogeneous — two CPU-bound or two
+// memory-bound applications together (8-core CMP).
+func Mix2() Mix {
+	return Mix{Name: "Mix-2", Islands: [][]string{
+		{"bschls", "btrack"},
+		{"sclust", "fsim"},
+		{"fmine", "x264"},
+		{"canneal", "vips"},
+	}}
+}
+
+// Mix3 is Table III(c): the 16-core mix with 4 cores per island,
+// alternating all-CPU-bound and all-memory-bound islands. For a 32-core CMP
+// the paper replicates this mix twice; pass replicas=2.
+func Mix3(replicas int) Mix {
+	base := [][]string{
+		{"bschls", "btrack", "fmine", "x264"},
+		{"sclust", "fsim", "canneal", "vips"},
+		{"bschls", "btrack", "fmine", "x264"},
+		{"sclust", "fsim", "canneal", "vips"},
+	}
+	m := Mix{Name: "Mix-3"}
+	for r := 0; r < replicas; r++ {
+		for _, isl := range base {
+			m.Islands = append(m.Islands, append([]string(nil), isl...))
+		}
+	}
+	return m
+}
+
+// ThermalMix is the Figure 18(a) assignment: eight single-core islands
+// running mesa, bzip, gcc and sixtrack twice over — all CPU-bound, as the
+// thermal-aware evaluation requires.
+func ThermalMix() Mix {
+	return Mix{Name: "Thermal", Islands: [][]string{
+		{"mesa"}, {"bzip"}, {"gcc"}, {"sixtrack"},
+		{"mesa"}, {"bzip"}, {"gcc"}, {"sixtrack"},
+	}}
+}
+
+// PerIslandSize builds a mix from Mix-1's application set with the given
+// cores per island, used by the island-size sensitivity study (Fig 13):
+// 1 core/island spreads the 8 applications over 8 islands; 2 is Mix-1
+// itself; 4 groups them into 2 islands.
+func PerIslandSize(coresPerIsland int) (Mix, error) {
+	apps := []string{"bschls", "sclust", "btrack", "fsim", "fmine", "canneal", "x264", "vips"}
+	if coresPerIsland <= 0 || len(apps)%coresPerIsland != 0 {
+		return Mix{}, fmt.Errorf("workload: cannot split %d apps into islands of %d", len(apps), coresPerIsland)
+	}
+	m := Mix{Name: fmt.Sprintf("Mix-1/%d-per-island", coresPerIsland)}
+	for i := 0; i < len(apps); i += coresPerIsland {
+		m.Islands = append(m.Islands, apps[i:i+coresPerIsland])
+	}
+	return m, nil
+}
+
+// MixByName resolves the built-in mixes by their CLI names: "mix1", "mix2",
+// "mix3" (16 cores), "mix3x2" (32 cores) and "thermal".
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "mix1":
+		return Mix1(), nil
+	case "mix2":
+		return Mix2(), nil
+	case "mix3":
+		return Mix3(1), nil
+	case "mix3x2":
+		return Mix3(2), nil
+	case "thermal":
+		return ThermalMix(), nil
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}

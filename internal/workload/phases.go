@@ -1,0 +1,91 @@
+package workload
+
+import "github.com/cpm-sim/cpm/internal/stats"
+
+// Phase is the multiplicative perturbation a benchmark's phase machine
+// applies to its profile during one control interval.
+type Phase struct {
+	// CPIMult scales the ILP-limited base CPI.
+	CPIMult float64
+	// MemMult scales the memory reference rate.
+	MemMult float64
+	// ActMult scales switching activity.
+	ActMult float64
+}
+
+// NeutralPhase applies no perturbation.
+func NeutralPhase() Phase { return Phase{CPIMult: 1, MemMult: 1, ActMult: 1} }
+
+// Phase bounds: perturbations stay within [phaseMin, phaseMax] so that no
+// phase can turn a CPU-bound benchmark into a memory-bound one or vice
+// versa.
+const (
+	phaseMin = 0.55
+	phaseMax = 1.60
+)
+
+// PhaseGen is a deterministic, mean-reverting phase machine. Each interval
+// the three multipliers take a small random-walk step pulled back toward 1;
+// occasionally (with probability proportional to the profile's volatility)
+// the benchmark jumps to a distinctly different program phase, modelling the
+// multi-interval phase behaviour that makes the GPM's provisioning problem
+// dynamic (Figures 7 and 8).
+//
+// The generator derives all randomness from its seed, so two generators with
+// the same (seed, profile) produce identical phase sequences regardless of
+// what else runs in the process.
+type PhaseGen struct {
+	rng *stats.Rand
+	vol float64
+	cur Phase
+	// jump target and dwell control the occasional large phase changes.
+	dwell int
+}
+
+// NewPhaseGen builds a phase machine for profile p seeded by seed.
+func NewPhaseGen(seed uint64, p Profile) *PhaseGen {
+	g := &PhaseGen{
+		rng: stats.NewRand(stats.DeriveSeed(seed, 0x9a5e)),
+		vol: p.PhaseVolatility,
+		cur: NeutralPhase(),
+	}
+	return g
+}
+
+// Next advances one control interval and returns the phase to apply.
+func (g *PhaseGen) Next() Phase {
+	if g.dwell > 0 {
+		g.dwell--
+	} else if g.rng.Bool(0.01 + 0.04*g.vol) {
+		// Program phase change: jump all multipliers to a new neighbourhood
+		// and hold course for a while. Magnitudes are sized for 2.5 ms
+		// control intervals — millions of instructions average out the
+		// finer-grained behaviour, so interval-to-interval jumps are
+		// moderate even for volatile applications.
+		g.cur.CPIMult = g.rng.Range(1-0.25*g.vol, 1+0.3*g.vol)
+		g.cur.MemMult = g.rng.Range(1-0.3*g.vol, 1+0.4*g.vol)
+		// Switching activity tracks execution rate far more tightly than
+		// CPI or memory intensity drift: large independent ActMult noise
+		// would decorrelate power from throughput, which real hardware
+		// (and the paper's R²≈0.96 utilization-power fits) rules out.
+		g.cur.ActMult = g.rng.Range(1-0.08*g.vol, 1+0.08*g.vol)
+		g.dwell = 10 + g.rng.Intn(30)
+	}
+	step := 0.015 + 0.05*g.vol
+	g.cur.CPIMult = walk(g.rng, g.cur.CPIMult, step)
+	g.cur.MemMult = walk(g.rng, g.cur.MemMult, step)
+	g.cur.ActMult = walk(g.rng, g.cur.ActMult, step*0.15)
+	return g.cur
+}
+
+// walk takes one bounded, mean-reverting random-walk step.
+func walk(r *stats.Rand, v, step float64) float64 {
+	v += r.Range(-step, step) + 0.02*(1-v)
+	if v < phaseMin {
+		v = phaseMin
+	}
+	if v > phaseMax {
+		v = phaseMax
+	}
+	return v
+}

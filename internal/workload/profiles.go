@@ -1,0 +1,255 @@
+// Package workload provides the synthetic application models that stand in
+// for the PARSEC and SPEC benchmarks of the paper's evaluation (Table II).
+//
+// The original evaluation ran real PARSEC binaries under Simics; no such
+// traces are available here, so each benchmark is modelled by a profile
+// capturing what the power controllers actually observe: its ILP-limited
+// base CPI, instruction mix, memory intensity, working-set size and access
+// locality, switching activity, and phase volatility. A deterministic phase
+// machine perturbs these parameters over time, producing the time-varying
+// power demand that Figures 7–9 exercise, and an address-stream generator
+// drives the real cache hierarchy so that miss rates — and therefore the
+// CPU-bound/memory-bound split of Table III — emerge from cache geometry
+// rather than from hard-coded constants.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is the CPU-bound/memory-bound classification of Table III.
+type Class int
+
+// Benchmark classes.
+const (
+	CPUBound Class = iota
+	MemBound
+)
+
+// String returns the single-letter code used in Table III.
+func (c Class) String() string {
+	if c == CPUBound {
+		return "C"
+	}
+	return "M"
+}
+
+// Profile is a synthetic benchmark model.
+type Profile struct {
+	// Name is the short name used in mixes (e.g. "bschls").
+	Name string
+	// FullName is the benchmark's full name (e.g. "blackscholes").
+	FullName string
+	// Description is the one-line summary from Table II.
+	Description string
+	// Suite is "PARSEC" or "SPEC".
+	Suite string
+	// InputSet is the input used in the paper ("sim-large" for CPU-bound,
+	// "native" for memory-bound; §III).
+	InputSet string
+	// Class is the CPU/memory-bound classification.
+	Class Class
+
+	// BaseCPI is the ILP-limited cycles per instruction with a perfect
+	// memory system.
+	BaseCPI float64
+	// FPFraction is the floating-point share of the instruction mix.
+	FPFraction float64
+	// MemRefFraction is the data references per instruction.
+	MemRefFraction float64
+	// WorkingSetBytes is the span of the data working set; sets the L2 miss
+	// rate through actual cache geometry.
+	WorkingSetBytes uint64
+	// HotFraction is the probability that a non-sequential access falls in
+	// the hot set (temporal locality).
+	HotFraction float64
+	// HotSetBytes is the size of the hot set. CPU-bound benchmarks keep it
+	// L1-resident; memory-bound ones keep it L2-resident, so that only the
+	// cold fraction and long sequential sweeps reach memory.
+	HotSetBytes uint64
+	// SeqFraction is the share of accesses that are stride-1 (spatial
+	// locality).
+	SeqFraction float64
+	// CodeBytes is the instruction footprint driving the L1I.
+	CodeBytes uint64
+	// MLP is the memory-level parallelism: the average number of
+	// overlapping outstanding misses dividing the exposed miss penalty.
+	MLP float64
+	// ActivityScale scales switching activity relative to utilization.
+	ActivityScale float64
+	// PhaseVolatility in [0, 1] controls how strongly the phase machine
+	// perturbs the profile over time.
+	PhaseVolatility float64
+}
+
+// Validate checks profile parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile without name")
+	case p.BaseCPI <= 0:
+		return fmt.Errorf("workload %s: non-positive BaseCPI", p.Name)
+	case p.FPFraction < 0 || p.FPFraction > 1:
+		return fmt.Errorf("workload %s: FPFraction out of range", p.Name)
+	case p.MemRefFraction < 0 || p.MemRefFraction > 1:
+		return fmt.Errorf("workload %s: MemRefFraction out of range", p.Name)
+	case p.WorkingSetBytes == 0 || p.CodeBytes == 0:
+		return fmt.Errorf("workload %s: zero footprint", p.Name)
+	case p.HotSetBytes == 0 || p.HotSetBytes > p.WorkingSetBytes:
+		return fmt.Errorf("workload %s: hot set must be within the working set", p.Name)
+	case p.HotFraction < 0 || p.HotFraction > 1:
+		return fmt.Errorf("workload %s: HotFraction out of range", p.Name)
+	case p.SeqFraction < 0 || p.SeqFraction > 1:
+		return fmt.Errorf("workload %s: SeqFraction out of range", p.Name)
+	case p.MLP < 1:
+		return fmt.Errorf("workload %s: MLP below 1", p.Name)
+	case p.ActivityScale <= 0:
+		return fmt.Errorf("workload %s: non-positive ActivityScale", p.Name)
+	case p.PhaseVolatility < 0 || p.PhaseVolatility > 1:
+		return fmt.Errorf("workload %s: PhaseVolatility out of range", p.Name)
+	}
+	return nil
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// profiles is the registry. CPU-bound benchmarks have working sets that fit
+// comfortably in the 512 KB/core L2 (paper: sim-large inputs); memory-bound
+// ones exceed it by an order of magnitude (paper: native inputs).
+var profiles = map[string]Profile{
+	"bschls": {
+		Name: "bschls", FullName: "blackscholes", Suite: "PARSEC", InputSet: "sim-large",
+		Description: "PDE solver for option pricing", Class: CPUBound,
+		BaseCPI: 0.65, FPFraction: 0.45, MemRefFraction: 0.24,
+		WorkingSetBytes: 192 * kb, HotSetBytes: 12 * kb, HotFraction: 0.93, SeqFraction: 0.35,
+		CodeBytes: 24 * kb, MLP: 1.6, ActivityScale: 1.0, PhaseVolatility: 0.25,
+	},
+	"btrack": {
+		Name: "btrack", FullName: "bodytrack", Suite: "PARSEC", InputSet: "sim-large",
+		Description: "tracks the body of a person", Class: CPUBound,
+		BaseCPI: 0.72, FPFraction: 0.50, MemRefFraction: 0.27,
+		WorkingSetBytes: 256 * kb, HotSetBytes: 12 * kb, HotFraction: 0.92, SeqFraction: 0.35,
+		CodeBytes: 48 * kb, MLP: 1.8, ActivityScale: 0.95, PhaseVolatility: 0.45,
+	},
+	"fsim": {
+		Name: "fsim", FullName: "facesim", Suite: "PARSEC", InputSet: "native",
+		Description: "simulates motion of a human face", Class: MemBound,
+		BaseCPI: 0.80, FPFraction: 0.55, MemRefFraction: 0.34,
+		WorkingSetBytes: 24 * mb, HotSetBytes: 256 * kb, HotFraction: 0.75, SeqFraction: 0.55,
+		CodeBytes: 64 * kb, MLP: 2.4, ActivityScale: 0.80, PhaseVolatility: 0.35,
+	},
+	"fmine": {
+		Name: "fmine", FullName: "freqmine", Suite: "PARSEC", InputSet: "sim-large",
+		Description: "frequent item set mining", Class: CPUBound,
+		BaseCPI: 0.78, FPFraction: 0.10, MemRefFraction: 0.30,
+		WorkingSetBytes: 320 * kb, HotSetBytes: 12 * kb, HotFraction: 0.90, SeqFraction: 0.30,
+		CodeBytes: 40 * kb, MLP: 1.5, ActivityScale: 0.90, PhaseVolatility: 0.40,
+	},
+	"x264": {
+		Name: "x264", FullName: "x264", Suite: "PARSEC", InputSet: "sim-large",
+		Description: "video encoding application", Class: CPUBound,
+		BaseCPI: 0.60, FPFraction: 0.25, MemRefFraction: 0.26,
+		WorkingSetBytes: 384 * kb, HotSetBytes: 12 * kb, HotFraction: 0.90, SeqFraction: 0.40,
+		CodeBytes: 96 * kb, MLP: 2.0, ActivityScale: 1.0, PhaseVolatility: 0.55,
+	},
+	"vips": {
+		Name: "vips", FullName: "vips", Suite: "PARSEC", InputSet: "native",
+		Description: "image processing application", Class: MemBound,
+		BaseCPI: 0.70, FPFraction: 0.30, MemRefFraction: 0.36,
+		WorkingSetBytes: 32 * mb, HotSetBytes: 256 * kb, HotFraction: 0.50, SeqFraction: 0.80,
+		CodeBytes: 72 * kb, MLP: 3.0, ActivityScale: 0.85, PhaseVolatility: 0.30,
+	},
+	"sclust": {
+		Name: "sclust", FullName: "streamcluster", Suite: "PARSEC", InputSet: "native",
+		Description: "online clustering of an input stream", Class: MemBound,
+		BaseCPI: 0.75, FPFraction: 0.40, MemRefFraction: 0.38,
+		WorkingSetBytes: 48 * mb, HotSetBytes: 256 * kb, HotFraction: 0.80, SeqFraction: 0.50,
+		CodeBytes: 24 * kb, MLP: 2.8, ActivityScale: 0.75, PhaseVolatility: 0.20,
+	},
+	"canneal": {
+		Name: "canneal", FullName: "canneal", Suite: "PARSEC", InputSet: "native",
+		Description: "cache-aware simulated annealing for chip routing", Class: MemBound,
+		BaseCPI: 0.85, FPFraction: 0.15, MemRefFraction: 0.40,
+		WorkingSetBytes: 64 * mb, HotSetBytes: 256 * kb, HotFraction: 0.85, SeqFraction: 0.20,
+		CodeBytes: 32 * kb, MLP: 1.4, ActivityScale: 0.70, PhaseVolatility: 0.30,
+	},
+
+	// SPEC CPU2000 profiles used by the thermal-aware evaluation (Fig 18),
+	// all CPU-bound as required by that experiment.
+	"mesa": {
+		Name: "mesa", FullName: "mesa", Suite: "SPEC", InputSet: "ref",
+		Description: "3-D graphics library", Class: CPUBound,
+		BaseCPI: 0.68, FPFraction: 0.50, MemRefFraction: 0.26,
+		WorkingSetBytes: 224 * kb, HotSetBytes: 12 * kb, HotFraction: 0.92, SeqFraction: 0.35,
+		CodeBytes: 64 * kb, MLP: 1.7, ActivityScale: 1.0, PhaseVolatility: 0.30,
+	},
+	"bzip": {
+		Name: "bzip", FullName: "bzip2", Suite: "SPEC", InputSet: "ref",
+		Description: "compression", Class: CPUBound,
+		BaseCPI: 0.74, FPFraction: 0.05, MemRefFraction: 0.31,
+		WorkingSetBytes: 288 * kb, HotSetBytes: 12 * kb, HotFraction: 0.90, SeqFraction: 0.35,
+		CodeBytes: 24 * kb, MLP: 1.5, ActivityScale: 0.95, PhaseVolatility: 0.40,
+	},
+	"gcc": {
+		Name: "gcc", FullName: "gcc", Suite: "SPEC", InputSet: "ref",
+		Description: "C compiler", Class: CPUBound,
+		BaseCPI: 0.82, FPFraction: 0.05, MemRefFraction: 0.33,
+		WorkingSetBytes: 288 * kb, HotSetBytes: 16 * kb, HotFraction: 0.88, SeqFraction: 0.30,
+		CodeBytes: 96 * kb, MLP: 1.4, ActivityScale: 0.90, PhaseVolatility: 0.50,
+	},
+	"sixtrack": {
+		Name: "sixtrack", FullName: "sixtrack", Suite: "SPEC", InputSet: "ref",
+		Description: "particle accelerator simulation", Class: CPUBound,
+		BaseCPI: 0.64, FPFraction: 0.60, MemRefFraction: 0.22,
+		WorkingSetBytes: 160 * kb, HotSetBytes: 12 * kb, HotFraction: 0.93, SeqFraction: 0.40,
+		CodeBytes: 48 * kb, MLP: 1.9, ActivityScale: 1.05, PhaseVolatility: 0.20,
+	},
+}
+
+// ByName returns the profile registered under name.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustByName is ByName for static mixes; it panics on unknown names.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all registered benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PARSEC returns the eight PARSEC profiles of Table II, sorted by name.
+func PARSEC() []Profile { return bySuite("PARSEC") }
+
+// SPEC returns the SPEC profiles used by the thermal evaluation.
+func SPEC() []Profile { return bySuite("SPEC") }
+
+func bySuite(suite string) []Profile {
+	var out []Profile
+	for _, n := range Names() {
+		if profiles[n].Suite == suite {
+			out = append(out, profiles[n])
+		}
+	}
+	return out
+}

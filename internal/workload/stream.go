@@ -1,0 +1,106 @@
+package workload
+
+import "github.com/cpm-sim/cpm/internal/stats"
+
+// StreamGen generates the sampled address streams that drive the cache
+// hierarchy. Data accesses mix three behaviours according to the profile:
+// stride-1 sequential walks (spatial locality), accesses to a hot subset of
+// the working set (temporal locality), and uniform accesses over the whole
+// working set. Instruction fetches walk the code footprint sequentially with
+// occasional branches.
+//
+// Each core owns one StreamGen; all randomness derives from the seed so
+// streams are reproducible.
+type StreamGen struct {
+	rng     *stats.Rand
+	profile Profile
+
+	dataBase uint64 // base virtual address of the data segment
+	codeBase uint64
+	seqPos   uint64 // sequential walk cursor within the working set
+	codePos  uint64
+}
+
+const (
+	blockBytes = 64
+	// seqStride is the step of sequential walks: word-sized, so a stride-1
+	// sweep touches each cache block eight times before moving on — the
+	// spatial locality real streaming code exhibits.
+	seqStride = 8
+)
+
+// NewStreamGen builds a generator for profile p. Cores receive distinct
+// base addresses so their streams never alias in a shared L2 (the
+// applications of the paper's mixes do not share data).
+func NewStreamGen(seed uint64, coreID int, p Profile) *StreamGen {
+	return &StreamGen{
+		rng:     stats.NewRand(stats.DeriveSeed(seed, 0x57a7, uint64(coreID))),
+		profile: p,
+		// 1 TiB apart per core: disjoint address spaces.
+		dataBase: uint64(coreID+1) << 40,
+		codeBase: uint64(coreID+1)<<40 | 1<<36,
+	}
+}
+
+// DataAddrs fills dst with n sampled data addresses for an interval in
+// phase ph and returns it. dst is reused when it has capacity.
+func (s *StreamGen) DataAddrs(n int, ph Phase, dst []uint64) []uint64 {
+	dst = grow(dst, n)
+	ws := s.profile.WorkingSetBytes
+	hot := s.profile.HotSetBytes
+	if hot > ws {
+		hot = ws
+	}
+	if hot < blockBytes {
+		hot = blockBytes
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case s.rng.Bool(s.profile.SeqFraction):
+			s.seqPos = (s.seqPos + seqStride) % ws
+			dst[i] = s.dataBase + s.seqPos
+		case s.rng.Bool(s.profile.HotFraction):
+			dst[i] = s.dataBase + uint64(s.rng.Intn(int(hot/blockBytes)))*blockBytes
+		default:
+			// Cold accesses roam the working set; memory-heavier phases
+			// sweep more of it.
+			span := float64(ws) * minf(1, ph.MemMult)
+			blocks := uint64(span) / blockBytes
+			if blocks == 0 {
+				blocks = 1
+			}
+			dst[i] = s.dataBase + (s.rng.Uint64()%blocks)*blockBytes
+		}
+	}
+	return dst
+}
+
+// FetchAddrs fills dst with n sampled instruction-fetch addresses.
+func (s *StreamGen) FetchAddrs(n int, dst []uint64) []uint64 {
+	dst = grow(dst, n)
+	code := s.profile.CodeBytes
+	for i := 0; i < n; i++ {
+		if s.rng.Bool(0.04) {
+			// Branch to a random code block.
+			s.codePos = uint64(s.rng.Intn(int(code/blockBytes))) * blockBytes
+		} else {
+			s.codePos = (s.codePos + blockBytes) % code
+		}
+		dst[i] = s.codeBase + s.codePos
+	}
+	return dst
+}
+
+func grow(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	return dst[:n]
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

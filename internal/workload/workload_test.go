@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, name := range Names() {
+		p := MustByName(name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("registry key %q does not match profile name %q", name, p.Name)
+		}
+	}
+}
+
+func TestSuiteMembership(t *testing.T) {
+	if n := len(PARSEC()); n != 8 {
+		t.Errorf("PARSEC profiles = %d, want 8 (Table II)", n)
+	}
+	if n := len(SPEC()); n != 4 {
+		t.Errorf("SPEC profiles = %d, want 4 (Fig 18)", n)
+	}
+}
+
+func TestClassificationMatchesTableIII(t *testing.T) {
+	cpu := []string{"bschls", "btrack", "fmine", "x264", "mesa", "bzip", "gcc", "sixtrack"}
+	mem := []string{"sclust", "fsim", "canneal", "vips"}
+	for _, n := range cpu {
+		if MustByName(n).Class != CPUBound {
+			t.Errorf("%s should be CPU-bound", n)
+		}
+	}
+	for _, n := range mem {
+		if MustByName(n).Class != MemBound {
+			t.Errorf("%s should be memory-bound", n)
+		}
+	}
+}
+
+func TestMemBoundWorkingSetsExceedL2(t *testing.T) {
+	const l2 = 512 * 1024
+	for _, p := range PARSEC() {
+		if p.Class == MemBound && p.WorkingSetBytes <= 4*l2 {
+			t.Errorf("%s: memory-bound working set %d too small to stress the L2", p.Name, p.WorkingSetBytes)
+		}
+		if p.Class == CPUBound && p.WorkingSetBytes > l2 {
+			t.Errorf("%s: CPU-bound working set %d exceeds L2 capacity", p.Name, p.WorkingSetBytes)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("doom"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic on unknown benchmark")
+		}
+	}()
+	MustByName("doom")
+}
+
+func TestClassString(t *testing.T) {
+	if CPUBound.String() != "C" || MemBound.String() != "M" {
+		t.Error("class codes should match Table III")
+	}
+}
+
+func TestMixesMatchTableIII(t *testing.T) {
+	m1 := Mix1()
+	if err := m1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cores() != 8 || len(m1.Islands) != 4 {
+		t.Errorf("Mix-1 shape = %d cores / %d islands", m1.Cores(), len(m1.Islands))
+	}
+	// Mix-1: every island pairs one C with one M.
+	for i, isl := range m1.Islands {
+		c := MustByName(isl[0]).Class
+		m := MustByName(isl[1]).Class
+		if c != CPUBound || m != MemBound {
+			t.Errorf("Mix-1 island %d = (%v,%v), want (C,M)", i, c, m)
+		}
+	}
+	// Mix-2: islands are homogeneous.
+	for i, isl := range Mix2().Islands {
+		a := MustByName(isl[0]).Class
+		b := MustByName(isl[1]).Class
+		if a != b {
+			t.Errorf("Mix-2 island %d heterogeneous", i)
+		}
+	}
+	// Mix-3 for 16 cores.
+	m3 := Mix3(1)
+	if m3.Cores() != 16 || len(m3.Islands) != 4 {
+		t.Errorf("Mix-3(1) shape = %d cores / %d islands", m3.Cores(), len(m3.Islands))
+	}
+	for i, isl := range m3.Islands {
+		want := CPUBound
+		if i%2 == 1 {
+			want = MemBound
+		}
+		for _, b := range isl {
+			if MustByName(b).Class != want {
+				t.Errorf("Mix-3 island %d: %s has wrong class", i, b)
+			}
+		}
+	}
+	// Mix-3 replicated for 32 cores.
+	if Mix3(2).Cores() != 32 {
+		t.Error("Mix-3(2) should have 32 cores")
+	}
+	// Thermal mix: 8 single-core islands, all CPU-bound.
+	tm := ThermalMix()
+	if tm.Cores() != 8 || len(tm.Islands) != 8 {
+		t.Errorf("thermal mix shape wrong")
+	}
+	for _, isl := range tm.Islands {
+		if MustByName(isl[0]).Class != CPUBound {
+			t.Error("thermal mix must be CPU-bound only")
+		}
+	}
+}
+
+func TestMixValidateCatchesErrors(t *testing.T) {
+	if err := (Mix{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty mix should be invalid")
+	}
+	bad := Mix{Name: "bad", Islands: [][]string{{"nope"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark should invalidate mix")
+	}
+	if _, err := bad.Profiles(); err == nil {
+		t.Error("Profiles should propagate validation errors")
+	}
+}
+
+func TestPerIslandSize(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		m, err := PerIslandSize(n)
+		if err != nil {
+			t.Fatalf("PerIslandSize(%d): %v", n, err)
+		}
+		if m.Cores() != 8 {
+			t.Errorf("PerIslandSize(%d) has %d cores", n, m.Cores())
+		}
+		if len(m.Islands) != 8/n {
+			t.Errorf("PerIslandSize(%d) has %d islands", n, len(m.Islands))
+		}
+	}
+	if _, err := PerIslandSize(3); err == nil {
+		t.Error("non-divisor island size should error")
+	}
+	if _, err := PerIslandSize(0); err == nil {
+		t.Error("zero island size should error")
+	}
+}
+
+func TestPhaseGenDeterministic(t *testing.T) {
+	p := MustByName("btrack")
+	a := NewPhaseGen(42, p)
+	b := NewPhaseGen(42, p)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("phase machines with equal seeds diverged")
+		}
+	}
+}
+
+func TestPhaseGenSeedsDiffer(t *testing.T) {
+	p := MustByName("btrack")
+	a := NewPhaseGen(1, p)
+	b := NewPhaseGen(2, p)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds produced %d/200 identical phases", same)
+	}
+}
+
+// Property: phases stay within the documented bounds for every profile.
+func TestPhaseBoundsProperty(t *testing.T) {
+	f := func(seed uint64, pick uint8) bool {
+		names := Names()
+		p := MustByName(names[int(pick)%len(names)])
+		g := NewPhaseGen(seed, p)
+		for i := 0; i < 300; i++ {
+			ph := g.Next()
+			if ph.CPIMult < phaseMin || ph.CPIMult > phaseMax ||
+				ph.MemMult < phaseMin || ph.MemMult > phaseMax ||
+				ph.ActMult < phaseMin || ph.ActMult > phaseMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseGenActuallyVaries(t *testing.T) {
+	g := NewPhaseGen(7, MustByName("x264"))
+	lo, hi := 10.0, -10.0
+	for i := 0; i < 1000; i++ {
+		ph := g.Next()
+		if ph.CPIMult < lo {
+			lo = ph.CPIMult
+		}
+		if ph.CPIMult > hi {
+			hi = ph.CPIMult
+		}
+	}
+	if hi-lo < 0.1 {
+		t.Errorf("phase machine barely moved: range [%v, %v]", lo, hi)
+	}
+}
+
+func TestStreamGenDeterministicAndDisjoint(t *testing.T) {
+	p := MustByName("sclust")
+	a := NewStreamGen(9, 0, p)
+	b := NewStreamGen(9, 0, p)
+	other := NewStreamGen(9, 1, p)
+	ph := NeutralPhase()
+	aa := a.DataAddrs(256, ph, nil)
+	bb := b.DataAddrs(256, ph, nil)
+	oo := other.DataAddrs(256, ph, nil)
+	otherSet := map[uint64]bool{}
+	for _, x := range oo {
+		otherSet[x] = true
+	}
+	for i := range aa {
+		if aa[i] != bb[i] {
+			t.Fatal("equal-seed streams diverged")
+		}
+		if otherSet[aa[i]] {
+			t.Fatal("different cores share addresses")
+		}
+	}
+}
+
+func TestStreamAddressesWithinFootprints(t *testing.T) {
+	p := MustByName("canneal")
+	g := NewStreamGen(3, 2, p)
+	ph := Phase{CPIMult: 1, MemMult: phaseMax, ActMult: 1}
+	data := g.DataAddrs(4096, ph, nil)
+	base := uint64(3) << 40
+	for _, a := range data {
+		if a < base || a >= base+p.WorkingSetBytes {
+			t.Fatalf("data address %#x outside working set", a)
+		}
+	}
+	code := g.FetchAddrs(4096, nil)
+	cbase := base | 1<<36
+	for _, a := range code {
+		if a < cbase || a >= cbase+p.CodeBytes {
+			t.Fatalf("fetch address %#x outside code footprint", a)
+		}
+	}
+}
+
+func TestStreamGenReusesBuffer(t *testing.T) {
+	g := NewStreamGen(1, 0, MustByName("bschls"))
+	buf := make([]uint64, 0, 512)
+	out := g.DataAddrs(512, NeutralPhase(), buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("buffer with sufficient capacity was not reused")
+	}
+	out2 := g.DataAddrs(1024, NeutralPhase(), out)
+	if len(out2) != 1024 {
+		t.Error("growing request returned wrong length")
+	}
+}
+
+// Property: sequential fraction materializes — a fully sequential profile
+// produces strictly consecutive block addresses.
+func TestSequentialStreamProperty(t *testing.T) {
+	p := MustByName("bschls")
+	p.SeqFraction = 1
+	g := NewStreamGen(5, 0, p)
+	addrs := g.DataAddrs(1000, NeutralPhase(), nil)
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i]) - int64(addrs[i-1])
+		if d != 8 && d != -(int64(p.WorkingSetBytes)-8) {
+			t.Fatalf("non-sequential step %d at %d", d, i)
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for name, cores := range map[string]int{
+		"mix1": 8, "mix2": 8, "mix3": 16, "mix3x2": 32, "thermal": 8,
+	} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Cores() != cores {
+			t.Errorf("%s has %d cores, want %d", name, m.Cores(), cores)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Error("unknown mix should error")
+	}
+}
