@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench sweep all
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Serial-vs-pooled sweep benchmark (EXPERIMENTS.md records the measured
+# speedup).
+bench:
+	$(GO) test ./cmd/cpmsweep/ -run '^$$' -bench BenchmarkPoolSweep -benchtime 3x
+
+# Example sweep: Mix-1 budget curve on the pooled executor.
+sweep: build
+	$(GO) run ./cmd/cpmsweep -mix mix1 -budgets 0.5,0.6,0.7,0.8,0.9,0.95

@@ -13,6 +13,8 @@
 //	-quick        shortened horizons (same shapes, faster)
 //	-seed N       experiment seed (default 1)
 //	-csv DIR      also write every series as CSV files into DIR
+//	-workers N    run experiments concurrently (0 = GOMAXPROCS); reports
+//	              are buffered per experiment and printed in request order
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/experiments"
 	"github.com/cpm-sim/cpm/internal/trace"
 )
@@ -30,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run shortened horizons")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	workers := flag.Int("workers", 1, "concurrent experiments (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -43,7 +47,7 @@ func main() {
 	case "list":
 		listExperiments()
 	case "tables":
-		runIDs([]string{"table1", "table2", "table3"}, *quick, *seed, *csvDir)
+		runIDs([]string{"table1", "table2", "table3"}, *quick, *seed, *csvDir, *workers)
 	case "run":
 		ids := args[1:]
 		if len(ids) == 0 {
@@ -56,7 +60,7 @@ func main() {
 				ids = append(ids, d.ID)
 			}
 		}
-		runIDs(ids, *quick, *seed, *csvDir)
+		runIDs(ids, *quick, *seed, *csvDir, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "cpmsim: unknown command %q\n", args[0])
 		usage()
@@ -77,42 +81,64 @@ func listExperiments() {
 	fmt.Print(trace.Table([]string{"ID", "Reproduces"}, rows))
 }
 
-func runIDs(ids []string, quick bool, seed uint64, csvDir string) {
+// runReport is one experiment's buffered output, assembled off the main
+// goroutine so pooled runs can't interleave reports.
+type runReport struct {
+	text string
+	errs []string
+}
+
+func runIDs(ids []string, quick bool, seed uint64, csvDir string, workers int) {
 	opts := experiments.Options{Quick: quick, Seed: seed}
+	reports, _ := engine.Map(engine.Pool{Workers: workers}, len(ids), func(i int) (runReport, error) {
+		r := runOne(ids[i], opts, csvDir)
+		if len(r.errs) == 0 {
+			fmt.Fprintf(os.Stderr, "done %s\n", ids[i])
+		}
+		return r, nil
+	})
 	failed := false
-	for _, id := range ids {
-		d, err := experiments.ByID(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	for _, r := range reports {
+		os.Stdout.WriteString(r.text)
+		for _, e := range r.errs {
+			fmt.Fprintln(os.Stderr, e)
 			failed = true
-			continue
-		}
-		fmt.Printf("=== %s — %s ===\n", d.ID, d.Title)
-		fmt.Printf("Paper: %s\n\n", d.Paper)
-		r, err := d.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			failed = true
-			continue
-		}
-		fmt.Println(r.Text)
-		if len(r.Metrics) > 0 {
-			var rows [][]string
-			for _, k := range trace.SortedKeys(r.Metrics) {
-				rows = append(rows, []string{k, fmt.Sprintf("%.4g", r.Metrics[k])})
-			}
-			fmt.Println(trace.Table([]string{"Metric", "Value"}, rows))
-		}
-		if csvDir != "" {
-			if err := writeCSVs(csvDir, r); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: writing CSV: %v\n", id, err)
-				failed = true
-			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func runOne(id string, opts experiments.Options, csvDir string) (rep runReport) {
+	var b strings.Builder
+	defer func() { rep.text = b.String() }()
+	d, err := experiments.ByID(id)
+	if err != nil {
+		rep.errs = append(rep.errs, err.Error())
+		return rep
+	}
+	fmt.Fprintf(&b, "=== %s — %s ===\n", d.ID, d.Title)
+	fmt.Fprintf(&b, "Paper: %s\n\n", d.Paper)
+	r, err := d.Run(opts)
+	if err != nil {
+		rep.errs = append(rep.errs, fmt.Sprintf("%s: %v", id, err))
+		return rep
+	}
+	fmt.Fprintln(&b, r.Text)
+	if len(r.Metrics) > 0 {
+		var rows [][]string
+		for _, k := range trace.SortedKeys(r.Metrics) {
+			rows = append(rows, []string{k, fmt.Sprintf("%.4g", r.Metrics[k])})
+		}
+		fmt.Fprintln(&b, trace.Table([]string{"Metric", "Value"}, rows))
+	}
+	if csvDir != "" {
+		if err := writeCSVs(csvDir, r); err != nil {
+			rep.errs = append(rep.errs, fmt.Sprintf("%s: writing CSV: %v", id, err))
+		}
+	}
+	return rep
 }
 
 func writeCSVs(dir string, r experiments.Result) error {

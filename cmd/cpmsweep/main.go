@@ -1,10 +1,14 @@
 // Command cpmsweep runs managed-vs-baseline parameter sweeps and emits CSV,
 // the workhorse behind custom variants of Figures 11–17.
 //
+// Budget points are independent runs, so the sweep executes them on an
+// engine.Pool: -workers controls the concurrency and the output is
+// byte-identical at any worker count (results are emitted in budget order).
+//
 // Usage:
 //
 //	cpmsweep -mix mix1 -budgets 0.5,0.6,0.7,0.8,0.9 -epochs 16
-//	cpmsweep -mix mix3 -policy variation -budgets 0.8
+//	cpmsweep -mix mix3 -policy variation -budgets 0.8 -workers 4
 //
 // Columns: budget_frac, budget_w, ours_power_w, ours_degradation,
 // maxbips_power_w, maxbips_degradation.
@@ -13,14 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/maxbips"
-	"github.com/cpm-sim/cpm/internal/power"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/thermal"
 	"github.com/cpm-sim/cpm/internal/workload"
@@ -33,158 +38,189 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warm := flag.Int("warm", 6, "warm-up GPM epochs")
 	epochs := flag.Int("epochs", 16, "measured GPM epochs")
+	workers := flag.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	mix, err := workload.MixByName(*mixName)
 	exitOn(err)
 	fracs, err := parseBudgets(*budgets)
 	exitOn(err)
+	_, err = makePolicy(*policy) // validate the name before calibrating
+	exitOn(err)
 
-	cfg := sim.DefaultConfig(mix)
-	cfg.Seed = *seed
-	cfg.Parallel = true
+	exitOn(sweep(sweepOptions{
+		Mix:      mix,
+		Policy:   *policy,
+		Fracs:    fracs,
+		Seed:     *seed,
+		Warm:     *warm,
+		Epochs:   *epochs,
+		Workers:  *workers,
+		Parallel: true,
+	}, os.Stdout, os.Stderr))
+}
+
+// sweepOptions parameterizes one sweep.
+type sweepOptions struct {
+	Mix    workload.Mix
+	Policy string
+	Fracs  []float64
+	Seed   uint64
+	Warm   int
+	Epochs int
+	// Workers is the engine.Pool size (0 = GOMAXPROCS).
+	Workers int
+	// Parallel selects the simulator's island-parallel executor inside each
+	// run. Pool-level and island-level parallelism compose; benchmarks
+	// disable the inner level to isolate the pool's speedup.
+	Parallel bool
+}
+
+// sweepRow is one budget point's measurements, in output order.
+type sweepRow struct {
+	frac, budgetW              float64
+	oursPowerW, oursDegr       float64
+	maxbipsPowerW, maxbipsDegr float64
+}
+
+// sweep calibrates once, measures the shared unmanaged baseline, then runs
+// every budget point on an engine.Pool and emits CSV in budget order.
+func sweep(o sweepOptions, out, logw io.Writer) error {
+	cfg := sim.DefaultConfig(o.Mix)
+	cfg.Seed = o.Seed
+	cfg.Parallel = o.Parallel
 
 	cal, err := core.Calibrate(cfg, 60, 240)
-	exitOn(err)
-	fmt.Fprintf(os.Stderr, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
-		mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
-
-	base, err := measureUnmanaged(cfg, *warm, *epochs)
-	exitOn(err)
-
-	fmt.Println("budget_frac,budget_w,ours_power_w,ours_degradation,maxbips_power_w,maxbips_degradation")
-	for _, frac := range fracs {
-		budget := cal.BudgetW(frac)
-		ours, err := measureCPM(cfg, cal, budget, makePolicy(*policy, mix), *warm, *epochs)
-		exitOn(err)
-		mb, err := measureMaxBIPS(cfg, budget, *warm, *epochs)
-		exitOn(err)
-		fmt.Printf("%.2f,%.2f,%.2f,%.4f,%.2f,%.4f\n",
-			frac, budget,
-			ours.power, degr(ours.instr, base.instr),
-			mb.power, degr(mb.instr, base.instr))
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(logw, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
+		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
+
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs)
+	if err != nil {
+		return err
+	}
+
+	rows, err := sweepRows(cfg, cal, base, o)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "budget_frac,budget_w,ours_power_w,ours_degradation,maxbips_power_w,maxbips_degradation")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%.2f,%.2f,%.2f,%.4f,%.2f,%.4f\n",
+			r.frac, r.budgetW, r.oursPowerW, r.oursDegr, r.maxbipsPowerW, r.maxbipsDegr)
+	}
+	return nil
 }
 
-type meas struct {
-	power float64
-	instr float64
+// sweepRows measures every budget point on an engine.Pool, returning rows
+// in budget order regardless of worker count.
+func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o sweepOptions) ([]sweepRow, error) {
+	return engine.Map(engine.Pool{Workers: o.Workers}, len(o.Fracs), func(i int) (sweepRow, error) {
+		frac := o.Fracs[i]
+		budget := cal.BudgetW(frac)
+		// Policies can be stateful (e.g. variation-aware), so each job
+		// builds its own instance.
+		pol, err := makePolicy(o.Policy)
+		if err != nil {
+			return sweepRow{}, err
+		}
+		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs)
+		if err != nil {
+			return sweepRow{}, err
+		}
+		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs)
+		if err != nil {
+			return sweepRow{}, err
+		}
+		return sweepRow{
+			frac: frac, budgetW: budget,
+			oursPowerW: ours.MeanPowerW, oursDegr: engine.Degradation(ours, base),
+			maxbipsPowerW: mb.MeanPowerW, maxbipsDegr: engine.Degradation(mb, base),
+		}, nil
+	})
 }
 
-func measureUnmanaged(cfg sim.Config, warm, epochs int) (meas, error) {
+func measureUnmanaged(cfg sim.Config, warm, epochs int) (engine.Summary, error) {
 	cfg.InitialLevel = -1
 	cmp, err := sim.New(cfg)
 	if err != nil {
-		return meas{}, err
+		return engine.Summary{}, err
 	}
-	for k := 0; k < warm*20; k++ {
-		cmp.Step()
+	s, err := engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+		WarmEpochs: warm, MeasureEpochs: epochs, Label: "unmanaged",
+	})
+	if err != nil {
+		return engine.Summary{}, err
 	}
-	var m meas
-	n := epochs * 20
-	for k := 0; k < n; k++ {
-		r := cmp.Step()
-		m.power += r.ChipPowerW
-		for _, ir := range r.Islands {
-			m.instr += ir.Instructions
-		}
-	}
-	m.power /= float64(n)
-	return m, nil
+	return s.Run(), nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int) (meas, error) {
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
-		return meas{}, err
+		return engine.Summary{}, err
 	}
 	c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers})
 	if err != nil {
-		return meas{}, err
+		return engine.Summary{}, err
 	}
-	c.Run(warm * 20)
-	var m meas
-	n := epochs * 20
-	for k := 0; k < n; k++ {
-		r := c.Step()
-		m.power += r.Sim.ChipPowerW
-		for _, ir := range r.Sim.Islands {
-			m.instr += ir.Instructions
-		}
+	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
+		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "cpm",
+	})
+	if err != nil {
+		return engine.Summary{}, err
 	}
-	m.power /= float64(n)
-	return m, nil
+	return s.Run(), nil
 }
 
-func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int) (meas, error) {
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
-		return meas{}, err
+		return engine.Summary{}, err
 	}
 	planner, err := maxbips.New(cmp.Table())
 	if err != nil {
-		return meas{}, err
+		return engine.Summary{}, err
 	}
-	if err := planner.SetStaticTable(staticTable(cmp)); err != nil {
-		return meas{}, err
+	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
+		return engine.Summary{}, err
 	}
-	nIsl := cmp.NumIslands()
-	obs := make([]maxbips.IslandObs, nIsl)
-	var m meas
-	total := (warm + epochs) * 20
-	for k := 0; k < total; k++ {
-		if k%20 == 0 && k > 0 {
-			for i := range obs {
-				obs[i] = maxbips.IslandObs{Level: cmp.Level(i)}
-			}
-			for i, lvl := range planner.Choose(budget, obs) {
-				cmp.SetLevel(i, lvl)
-			}
-		}
-		r := cmp.Step()
-		if k >= warm*20 {
-			m.power += r.ChipPowerW
-			for _, ir := range r.Islands {
-				m.instr += ir.Instructions
-			}
-		}
+	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)
+	if err != nil {
+		return engine.Summary{}, err
 	}
-	m.power /= float64(epochs * 20)
-	return m, nil
+	s, err := engine.NewSession(r, engine.SessionConfig{
+		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "maxbips",
+	})
+	if err != nil {
+		return engine.Summary{}, err
+	}
+	return s.Run(), nil
 }
 
-func staticTable(cmp *sim.CMP) [][]float64 {
-	model := cmp.Model()
-	levels := cmp.Table().Levels()
-	out := make([][]float64, cmp.NumIslands())
-	for i := range out {
-		out[i] = make([]float64, levels)
-		for l := 0; l < levels; l++ {
-			op := cmp.Table().Point(l)
-			core := 0.7*model.Dynamic.Power(op, power.FullActivity()) +
-				model.Leakage.Power(op.VoltageV, model.Leakage.TRefC, 1)
-			out[i][l] = core * float64(cmp.IslandCores(i))
-		}
-	}
-	return out
-}
-
-func makePolicy(name string, mix workload.Mix) gpm.Policy {
+func makePolicy(name string) (gpm.Policy, error) {
 	switch name {
 	case "equal":
-		return gpm.EqualShare{}
+		return gpm.EqualShare{}, nil
 	case "variation":
-		return &gpm.VariationAware{StepFrac: 0.08, HoldIntervals: 1, MinShareFrac: 0.7}
+		return &gpm.VariationAware{StepFrac: 0.08, HoldIntervals: 1, MinShareFrac: 0.7}, nil
 	case "thermal":
 		fp, err := thermal.Grid(2, 4)
-		exitOn(err)
+		if err != nil {
+			return nil, err
+		}
 		return &gpm.ThermalAware{
 			Base: &gpm.PerformanceAware{}, Floorplan: fp,
 			AdjacentPairCap: 0.30, ConsecutiveLimit: 2,
 			SoloCap: 0.20, SoloConsecutiveLimit: 4,
-		}
+		}, nil
+	case "performance":
+		return &gpm.PerformanceAware{}, nil
 	default:
-		return &gpm.PerformanceAware{}
+		return nil, fmt.Errorf("cpmsweep: unknown policy %q (want performance, equal, thermal, variation)", name)
 	}
 }
 
@@ -204,17 +240,6 @@ func parseBudgets(s string) ([]float64, error) {
 		return nil, fmt.Errorf("cpmsweep: no budgets")
 	}
 	return out, nil
-}
-
-func degr(run, base float64) float64 {
-	if base == 0 {
-		return 0
-	}
-	d := 1 - run/base
-	if d < 0 {
-		return 0
-	}
-	return d
 }
 
 func exitOn(err error) {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func testOptions(workers int) sweepOptions {
+	return sweepOptions{
+		Mix:     workload.Mix1(),
+		Policy:  "performance",
+		Fracs:   []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95},
+		Seed:    1,
+		Warm:    1,
+		Epochs:  2,
+		Workers: workers,
+	}
+}
+
+// TestSweepOutputIdenticalAcrossWorkerCounts is the CSV-level determinism
+// guarantee: pooled execution must be byte-identical to serial.
+func TestSweepOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	var serial, pooled bytes.Buffer
+	if err := sweep(testOptions(1), &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep(testOptions(8), &pooled, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), pooled.Bytes()) {
+		t.Fatalf("workers=8 output differs from workers=1:\n--- serial ---\n%s--- pooled ---\n%s",
+			serial.String(), pooled.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty sweep output")
+	}
+}
+
+func TestParseBudgets(t *testing.T) {
+	got, err := parseBudgets(" 0.5, 0.8 ,0.95")
+	if err != nil || len(got) != 3 || got[0] != 0.5 || got[2] != 0.95 {
+		t.Fatalf("parseBudgets = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "1.5", "0.5,,0.8"} {
+		if _, err := parseBudgets(bad); err == nil {
+			t.Errorf("parseBudgets(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMakePolicyNames(t *testing.T) {
+	for _, name := range []string{"performance", "equal", "variation", "thermal"} {
+		p, err := makePolicy(name)
+		if err != nil || p == nil {
+			t.Errorf("makePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := makePolicy("nope"); err == nil {
+		t.Error("makePolicy(\"nope\") accepted an unknown policy name")
+	}
+}
+
+// BenchmarkPoolSweep compares a serial 8-point sweep against the pooled
+// executor. Calibration and the unmanaged baseline are shared setup; the
+// benchmark isolates the per-budget-point fan-out. Island-level parallelism
+// is disabled so the two concurrency levels don't compete for cores.
+func BenchmarkPoolSweep(b *testing.B) {
+	o := testOptions(1)
+	o.Parallel = false
+	cfg := sim.DefaultConfig(o.Mix)
+	cfg.Seed = o.Seed
+	cfg.Parallel = o.Parallel
+	cal, err := core.Calibrate(cfg, 60, 240)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		o := o
+		o.Workers = workers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweepRows(cfg, cal, base, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("pooled", func(b *testing.B) { run(b, 0) })
+}

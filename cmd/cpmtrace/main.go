@@ -19,7 +19,9 @@ import (
 	"os"
 
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/uarch"
 	"github.com/cpm-sim/cpm/internal/workload"
 )
@@ -138,16 +140,17 @@ func replay(args []string) error {
 	if err != nil {
 		return err
 	}
-	c.Run(6 * 20)
-	var power, bips float64
-	n := *epochs * 20
-	for k := 0; k < n; k++ {
-		r := c.Step()
-		power += r.Sim.ChipPowerW / float64(n)
-		bips += r.Sim.TotalBIPS / float64(n)
+	rec := trace.NewRecorder("GPM epoch")
+	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
+		WarmEpochs: 6, MeasureEpochs: *epochs, BudgetW: cal.BudgetW(*budget), Label: "replay",
+	}, rec)
+	if err != nil {
+		return err
 	}
+	sum := s.Run()
 	fmt.Printf("replayed %s under CPM at %.1f W (%.0f%%): mean %.1f W, %.2f BIPS\n",
-		*in, cal.BudgetW(*budget), *budget*100, power, bips)
+		*in, cal.BudgetW(*budget), *budget*100, sum.MeanPowerW, sum.MeanBIPS)
+	fmt.Print(rec.Set().Chart(70, 12))
 	return nil
 }
 

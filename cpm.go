@@ -37,6 +37,7 @@ import (
 
 	"github.com/cpm-sim/cpm/internal/control"
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/sensor"
 	"github.com/cpm-sim/cpm/internal/sim"
@@ -148,3 +149,65 @@ func SaveTraces(w io.Writer, set TraceSet) error { return uarch.SaveTraces(w, se
 
 // LoadTraces deserializes a TraceSet.
 func LoadTraces(r io.Reader) (TraceSet, error) { return uarch.LoadTraces(r) }
+
+// --- run engine --------------------------------------------------------------
+//
+// The engine unifies every run loop in the repository: a Runner adapts a
+// steppable system (managed chip, unmanaged chip, MaxBIPS baseline) to a
+// uniform per-interval Step, a Session drives it through warmup and a
+// measurement window into a Summary, Observers hook the run at interval,
+// epoch and lifecycle granularity, and a Pool executes independent Sessions
+// concurrently with deterministic, ordered results.
+
+// Runner adapts one steppable system to the engine.
+type Runner = engine.Runner
+
+// Observer receives engine events; Session fans them out during Run.
+type Observer = engine.Observer
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// fields are skipped.
+type ObserverFuncs = engine.Funcs
+
+// Session drives a Runner through warmup and measurement.
+type Session = engine.Session
+
+// SessionConfig shapes one run (warmup, window, budget, what to keep).
+type SessionConfig = engine.SessionConfig
+
+// Summary aggregates one run's measurement window.
+type Summary = engine.Summary
+
+// EngineStep is the unified per-interval observation delivered to
+// observers (named to keep the facade's StepResult for the controller's
+// own step type).
+type EngineStep = engine.Step
+
+// EpochEvent summarises one GPM epoch for observers.
+type EpochEvent = engine.Epoch
+
+// RunInfo describes a run at RunStart.
+type RunInfo = engine.RunInfo
+
+// Pool executes independent jobs on a bounded worker pool, returning
+// results in job order.
+type Pool = engine.Pool
+
+// NewSession validates the configuration and binds runner and observers.
+func NewSession(r Runner, cfg SessionConfig, obs ...Observer) (*Session, error) {
+	return engine.NewSession(r, cfg, obs...)
+}
+
+// NewManagedRunner adapts a CPM controller to the engine.
+func NewManagedRunner(ctl *Controller) Runner { return engine.NewCPMRunner(ctl) }
+
+// NewUnmanagedRunner adapts a raw chip to the engine.
+func NewUnmanagedRunner(chip *Chip) Runner { return engine.NewChipRunner(chip) }
+
+// JobSeed derives a per-job seed for pooled batch runs: deterministic in
+// (base, job index) and decorrelated across jobs.
+func JobSeed(base uint64, job int) uint64 { return engine.JobSeed(base, job) }
+
+// Degradation returns run's throughput loss vs baseline as a fraction in
+// [0, 1], guarding degenerate (zero-instruction) baselines.
+func Degradation(run, baseline Summary) float64 { return engine.Degradation(run, baseline) }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/workload"
 )
@@ -47,18 +48,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.Run(6 * 20)
-	var power, bips float64
-	const n = 16 * 20
-	for k := 0; k < n; k++ {
-		r := c.Step()
-		power += r.Sim.ChipPowerW / n
-		bips += r.Sim.TotalBIPS / n
+	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
+		WarmEpochs: 6, MeasureEpochs: 16, BudgetW: budget, Label: "scaling",
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	sum := s.Run()
 	fmt.Printf("32-core chip at 80%% budget (%.1f W of %.1f W demand):\n", budget, cal.UnmanagedPowerW)
-	fmt.Printf("  mean power %.1f W (%+.1f%% vs budget)\n", power, (power-budget)/budget*100)
+	fmt.Printf("  mean power %.1f W (%+.1f%% vs budget)\n", sum.MeanPowerW, (sum.MeanPowerW-budget)/budget*100)
 	fmt.Printf("  throughput %.2f BIPS vs %.2f unmanaged (%.1f%% degradation)\n",
-		bips, cal.UnmanagedBIPS, (1-bips/cal.UnmanagedBIPS)*100)
+		sum.MeanBIPS, cal.UnmanagedBIPS, (1-sum.MeanBIPS/cal.UnmanagedBIPS)*100)
 }
 
 func timeRun(mix workload.Mix, parallel bool, steps int) (time.Duration, float64) {

@@ -77,7 +77,14 @@ type CPM struct {
 	interval        int
 
 	faults *faultState
+
+	stepHook func(StepResult)
 }
+
+// SetStepHook installs a callback invoked at the end of every Step with the
+// managed interval's outcome — the controller-layer attachment point for
+// observers. A nil hook detaches. Not safe to call concurrently with Step.
+func (c *CPM) SetStepHook(fn func(StepResult)) { c.stepHook = fn }
 
 // New wires a CPM over the given chip.
 func New(cmp *sim.CMP, cfg Config) (*CPM, error) {
@@ -142,6 +149,10 @@ func (c *CPM) Chip() *sim.CMP { return c.cmp }
 
 // Manager returns the GPM.
 func (c *CPM) Manager() *gpm.Manager { return c.mgr }
+
+// PIC returns island i's per-island controller, for attaching telemetry
+// hooks (see pic.Controller.SetInvokeHook).
+func (c *CPM) PIC(i int) *pic.Controller { return c.pic[i] }
 
 // AllocW returns the current per-island provisions in watts (live slice;
 // callers must not modify).
@@ -218,6 +229,9 @@ func (c *CPM) Step() StepResult {
 	c.haveMeas = true
 	c.interval++
 	res.Sim = r
+	if c.stepHook != nil {
+		c.stepHook(res)
+	}
 	return res
 }
 

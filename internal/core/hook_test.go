@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func TestStepHookReceivesManagedResults(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 5
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cmp, Config{BudgetW: 30, UseOraclePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []StepResult
+	c.SetStepHook(func(r StepResult) { got = append(got, r) })
+
+	const n = 45 // spans two GPM epochs with the default period of 20
+	want := c.Run(n)
+	if len(got) != n {
+		t.Fatalf("hook fired %d times over %d steps", len(got), n)
+	}
+	var invocations int
+	for k := range want {
+		if got[k].Sim.ChipPowerW != want[k].Sim.ChipPowerW || got[k].GPMInvoked != want[k].GPMInvoked {
+			t.Fatalf("step %d: hook saw %+v, Step returned %+v", k, got[k], want[k])
+		}
+		if got[k].GPMInvoked {
+			invocations++
+		}
+	}
+	if invocations == 0 {
+		t.Error("no GPM invocation surfaced through the hook")
+	}
+
+	c.SetStepHook(nil)
+	c.Step()
+	if len(got) != n {
+		t.Error("detached hook still fired")
+	}
+}
+
+func TestPICAccessor(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cmp, Config{BudgetW: 30, UseOraclePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cmp.NumIslands(); i++ {
+		if c.PIC(i) == nil {
+			t.Fatalf("PIC(%d) is nil", i)
+		}
+	}
+}

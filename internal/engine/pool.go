@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// Pool is a worker-pool batch executor for independent jobs — typically one
+// Session per job. Jobs run concurrently but results are always delivered
+// in job order, so any output assembled from them is byte-identical to
+// serial execution regardless of worker count.
+type Pool struct {
+	// Workers is the maximum number of concurrent jobs; values ≤ 0 select
+	// runtime.GOMAXPROCS(0). Workers == 1 is the serial path.
+	Workers int
+}
+
+// workers resolves the effective worker count for n jobs.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes jobs 0..n-1 and blocks until all complete. Every job runs
+// even if an earlier one fails; the returned error is the failure with the
+// lowest job index, making error reporting deterministic under concurrency.
+func (p Pool) Run(n int, job func(i int) error) error {
+	_, err := Map(p, n, func(i int) (struct{}, error) {
+		return struct{}{}, job(i)
+	})
+	return err
+}
+
+// Map executes jobs 0..n-1 and returns their results in job order. Like
+// Run, it executes every job and reports the lowest-indexed error.
+func Map[T any](p Pool, n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := p.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = job(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i], errs[i] = job(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("engine: job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// JobSeed derives a deterministic per-job seed from a base seed, using the
+// same splitmix derivation the simulator uses per core — job i always gets
+// the same stream no matter how jobs are scheduled across workers.
+func JobSeed(base uint64, i int) uint64 {
+	return stats.DeriveSeed(base, uint64(i))
+}

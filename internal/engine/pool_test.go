@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(Pool{Workers: workers}, 20, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestPoolRunsEveryJobAndReportsLowestError(t *testing.T) {
+	var ran atomic.Int64
+	bad := errors.New("boom")
+	err := Pool{Workers: 4}.Run(10, func(i int) error {
+		ran.Add(1)
+		if i == 3 || i == 7 {
+			return fmt.Errorf("job failure %d: %w", i, bad)
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 10 {
+		t.Errorf("ran %d jobs, want 10 (later jobs must run despite an early failure)", got)
+	}
+	if err == nil || !errors.Is(err, bad) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Errorf("error = %v, want the lowest-indexed failure (job 3)", err)
+	}
+}
+
+func TestPoolZeroJobs(t *testing.T) {
+	out, err := Map(Pool{}, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || out != nil {
+		t.Fatalf("Map(0 jobs) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestJobSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		s := JobSeed(1, i)
+		if s2 := JobSeed(1, i); s2 != s {
+			t.Fatalf("JobSeed(1, %d) not deterministic: %d vs %d", i, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("JobSeed collision between jobs %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if JobSeed(1, 0) == JobSeed(2, 0) {
+		t.Error("different base seeds produced the same job seed")
+	}
+}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SessionConfig shapes one run: how long to warm up, how long to measure,
+// and what to keep.
+type SessionConfig struct {
+	// WarmEpochs is the number of GPM epochs stepped before measurement
+	// (results discarded from the summary, still visible to observers).
+	WarmEpochs int
+	// MeasureEpochs is the number of GPM epochs aggregated into the
+	// summary. Must be positive.
+	MeasureEpochs int
+	// Period is the number of PIC intervals per GPM epoch (default 20).
+	Period int
+	// BudgetW is the chip power budget the run is evaluated against; it
+	// feeds Epoch events and the summary's worst-epoch overshoot. Zero for
+	// unmanaged runs.
+	BudgetW float64
+	// KeepSteps records every measured interval in Summary.Steps.
+	KeepSteps bool
+	// Label names the run in RunInfo.
+	Label string
+}
+
+// Summary aggregates one run's measurement window — the superset of what
+// the experiment harnesses, CLIs and examples previously each scraped by
+// hand.
+type Summary struct {
+	// MeanPowerW is the mean chip power.
+	MeanPowerW float64
+	// MeanBIPS is the mean chip throughput.
+	MeanBIPS float64
+	// Instructions executed during the measurement window.
+	Instructions float64
+	// WorstEpochOver is the worst per-GPM-epoch budget overshoot fraction
+	// (0 when the session has no budget).
+	WorstEpochOver float64
+	// MaxTempC is the peak temperature seen during measurement.
+	MaxTempC float64
+	// Epochs holds per-epoch mean chip power.
+	Epochs []float64
+	// EpochInstr holds per-epoch instruction totals.
+	EpochInstr []float64
+	// IslandAlloc[i] is the per-epoch allocation per island (managed runs
+	// only; nil otherwise).
+	IslandAlloc [][]float64
+	// IslandPower[i] and IslandBIPS[i] are per-epoch means per island.
+	IslandPower [][]float64
+	IslandBIPS  [][]float64
+	// AllocTrace records the allocation vector at every measured GPM
+	// invocation (managed runs only).
+	AllocTrace [][]float64
+	// Steps records every measured interval (set SessionConfig.KeepSteps).
+	Steps []Step
+}
+
+// Session drives a Runner through warmup and measurement, aggregating the
+// measurement window into a Summary and fanning events out to observers.
+type Session struct {
+	runner Runner
+	cfg    SessionConfig
+	obs    []Observer
+}
+
+// NewSession validates the configuration and binds runner and observers.
+func NewSession(r Runner, cfg SessionConfig, obs ...Observer) (*Session, error) {
+	if r == nil {
+		return nil, errors.New("engine: nil runner")
+	}
+	if cfg.MeasureEpochs <= 0 {
+		return nil, fmt.Errorf("engine: non-positive measurement window (%d epochs)", cfg.MeasureEpochs)
+	}
+	if cfg.WarmEpochs < 0 {
+		return nil, fmt.Errorf("engine: negative warmup (%d epochs)", cfg.WarmEpochs)
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 20
+	}
+	return &Session{runner: r, cfg: cfg, obs: obs}, nil
+}
+
+// Run executes the session: warmup epochs, then the measurement window,
+// then the summary. It may be called once per Session (Runners are
+// single-use).
+func (s *Session) Run() Summary {
+	cmp := s.runner.Chip()
+	period := s.cfg.Period
+	warm := s.cfg.WarmEpochs * period
+	meas := s.cfg.MeasureEpochs * period
+
+	info := RunInfo{
+		Label:            s.cfg.Label,
+		Islands:          cmp.NumIslands(),
+		Cores:            cmp.NumCores(),
+		Period:           period,
+		WarmIntervals:    warm,
+		MeasureIntervals: meas,
+		BudgetW:          s.cfg.BudgetW,
+		IntervalSec:      cmp.IntervalSec(),
+	}
+	for _, o := range s.obs {
+		o.RunStart(info)
+	}
+
+	for k := 0; k < warm; k++ {
+		st := s.runner.Step()
+		for _, o := range s.obs {
+			o.ObserveStep(st)
+		}
+	}
+
+	n := cmp.NumIslands()
+	sum := Summary{
+		IslandPower: make([][]float64, n),
+		IslandBIPS:  make([][]float64, n),
+	}
+	epochPow := 0.0
+	epochInstr := 0.0
+	epochBIPSAcc := 0.0
+	epochIslPow := make([]float64, n)
+	epochIslBIPS := make([]float64, n)
+	managed := false
+	for k := 0; k < meas; k++ {
+		st := s.runner.Step()
+		st.Measured = true
+		if s.cfg.KeepSteps {
+			sum.Steps = append(sum.Steps, st)
+		}
+		if st.AllocW != nil {
+			managed = true
+			if st.GPMInvoked {
+				sum.AllocTrace = append(sum.AllocTrace, append([]float64(nil), st.AllocW...))
+			}
+		}
+		sum.MeanPowerW += st.Sim.ChipPowerW
+		sum.MeanBIPS += st.Sim.TotalBIPS
+		if st.Sim.MaxTempC > sum.MaxTempC {
+			sum.MaxTempC = st.Sim.MaxTempC
+		}
+		epochPow += st.Sim.ChipPowerW
+		epochBIPSAcc += st.Sim.TotalBIPS
+		for i, ir := range st.Sim.Islands {
+			sum.Instructions += ir.Instructions
+			epochInstr += ir.Instructions
+			epochIslPow[i] += ir.PowerW
+			epochIslBIPS[i] += ir.BIPS
+		}
+		for _, o := range s.obs {
+			o.ObserveStep(st)
+		}
+		if (k+1)%period == 0 {
+			p := float64(period)
+			mean := epochPow / p
+			sum.Epochs = append(sum.Epochs, mean)
+			sum.EpochInstr = append(sum.EpochInstr, epochInstr)
+			if s.cfg.BudgetW > 0 {
+				if over := (mean - s.cfg.BudgetW) / s.cfg.BudgetW; over > sum.WorstEpochOver {
+					sum.WorstEpochOver = over
+				}
+			}
+			ev := Epoch{
+				Index:        len(sum.Epochs) - 1,
+				MeanPowerW:   mean,
+				MeanBIPS:     epochBIPSAcc / p,
+				Instructions: epochInstr,
+				BudgetW:      s.cfg.BudgetW,
+				IslandPowerW: make([]float64, n),
+				IslandBIPS:   make([]float64, n),
+			}
+			if managed && st.AllocW != nil {
+				ev.AllocW = append([]float64(nil), st.AllocW...)
+				if sum.IslandAlloc == nil {
+					sum.IslandAlloc = make([][]float64, n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				ev.IslandPowerW[i] = epochIslPow[i] / p
+				ev.IslandBIPS[i] = epochIslBIPS[i] / p
+				if ev.AllocW != nil {
+					sum.IslandAlloc[i] = append(sum.IslandAlloc[i], st.AllocW[i])
+				}
+				sum.IslandPower[i] = append(sum.IslandPower[i], epochIslPow[i]/p)
+				sum.IslandBIPS[i] = append(sum.IslandBIPS[i], epochIslBIPS[i]/p)
+				epochIslPow[i], epochIslBIPS[i] = 0, 0
+			}
+			epochPow, epochInstr, epochBIPSAcc = 0, 0, 0
+			for _, o := range s.obs {
+				o.ObserveEpoch(ev)
+			}
+		}
+	}
+	sum.MeanPowerW /= float64(meas)
+	sum.MeanBIPS /= float64(meas)
+	for _, o := range s.obs {
+		o.RunEnd(&sum)
+	}
+	return sum
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/workload"
 )
@@ -142,35 +141,24 @@ func runFig14(o Options) (Result, error) {
 		return Result{}, err
 	}
 	meas := o.epochs(24)
-	ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(1.0), warmEpochs: 6, measEpochs: meas, keepSteps: true})
+	ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(1.0), warmEpochs: 6, measEpochs: meas})
 	if err != nil {
 		return Result{}, err
 	}
-	// Unmanaged over the identical window, per epoch.
-	base, err := runCPMBaselineEpochs(cfg, 6, meas)
+	// Unmanaged over the identical window (same seed, so epochs align).
+	base, err := runUnmanagedWindow(cfg, 6, meas, 20)
 	if err != nil {
 		return Result{}, err
 	}
 	set := trace.NewSet("GPM invocation")
 	var worst, sumD float64
-	n := len(ours.Epochs)
-	if len(base) < n {
-		n = len(base)
+	perEpoch := ours.EpochInstr
+	n := len(perEpoch)
+	if len(base.EpochInstr) < n {
+		n = len(base.EpochInstr)
 	}
-	// Per-epoch instruction totals for managed run.
-	perEpoch := make([]float64, 0, n)
-	var acc float64
-	for k, st := range ours.Steps {
-		for _, ir := range st.Sim.Islands {
-			acc += ir.Instructions
-		}
-		if (k+1)%20 == 0 {
-			perEpoch = append(perEpoch, acc)
-			acc = 0
-		}
-	}
-	for e := 0; e < n && e < len(perEpoch); e++ {
-		d := 1 - perEpoch[e]/base[e]
+	for e := 0; e < n; e++ {
+		d := 1 - perEpoch[e]/base.EpochInstr[e]
 		if d < 0 {
 			d = 0
 		}
@@ -195,32 +183,4 @@ func runFig14(o Options) (Result, error) {
 			"max_degradation": worst,
 		},
 	}, nil
-}
-
-// runCPMBaselineEpochs returns per-epoch instruction totals of the
-// unmanaged chip over the same interval window as a managed run with the
-// same seed (identical workload phases, so epochs align exactly).
-func runCPMBaselineEpochs(cfg sim.Config, warmEpochs, measEpochs int) ([]float64, error) {
-	cfg.InitialLevel = -1
-	cmp, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	const period = 20
-	for k := 0; k < warmEpochs*period; k++ {
-		cmp.Step()
-	}
-	out := make([]float64, 0, measEpochs)
-	var acc float64
-	for k := 0; k < measEpochs*period; k++ {
-		r := cmp.Step()
-		for _, ir := range r.Islands {
-			acc += ir.Instructions
-		}
-		if (k+1)%period == 0 {
-			out = append(out, acc)
-			acc = 0
-		}
-	}
-	return out, nil
 }

@@ -7,7 +7,6 @@ import (
 
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/gpm"
-	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/workload"
 )
@@ -104,22 +103,13 @@ func runExt2(o Options) (Result, error) {
 	var rows [][]string
 	metrics := map[string]float64{}
 	for i, cse := range cases {
-		cmp, err := sim.New(cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		c, err := core.New(cmp, core.Config{
-			BudgetW: budget, Transducers: cal.Transducers, Faults: cse.plan,
+		sum, err := runCPM(cfg, cal, cpmParams{
+			budgetW: budget, warmEpochs: 7, measEpochs: meas, faults: cse.plan,
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		c.Run(7 * 20)
-		var mean float64
-		n := meas * 20
-		for k := 0; k < n; k++ {
-			mean += c.Step().Sim.ChipPowerW / float64(n)
-		}
+		mean := sum.MeanPowerW
 		errFrac := (mean - budget) / budget
 		rows = append(rows, []string{cse.name, fmt.Sprintf("%.1f W", mean), fmt.Sprintf("%+.1f%%", errFrac*100)})
 		metrics[fmt.Sprintf("err_case%d", i)] = math.Abs(errFrac)

@@ -2,39 +2,15 @@ package experiments
 
 import (
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/maxbips"
-	"github.com/cpm-sim/cpm/internal/power"
 	"github.com/cpm-sim/cpm/internal/sim"
 )
 
-// runSummary aggregates one managed or baseline run over its measurement
-// window.
-type runSummary struct {
-	// MeanPowerW is the mean chip power.
-	MeanPowerW float64
-	// Instructions executed during the measurement window.
-	Instructions float64
-	// MeanBIPS is the mean chip throughput.
-	MeanBIPS float64
-	// WorstEpochOver is the worst per-GPM-epoch budget overshoot fraction.
-	WorstEpochOver float64
-	// Epochs holds per-epoch mean chip power.
-	Epochs []float64
-	// IslandAlloc[i] and IslandPower[i] are per-epoch allocation and mean
-	// measured power per island (managed runs only).
-	IslandAlloc [][]float64
-	IslandPower [][]float64
-	// IslandBIPS[i] is per-epoch mean BIPS per island.
-	IslandBIPS [][]float64
-	// Steps optionally records every interval (set keepSteps).
-	Steps []core.StepResult
-	// MaxTempC is the peak temperature seen during measurement.
-	MaxTempC float64
-	// AllocTrace records the allocation vector at every GPM invocation
-	// (for thermal-violation analysis).
-	AllocTrace [][]float64
-}
+// runSummary is the engine's run summary; the experiments previously
+// aggregated this by hand in three bespoke loops.
+type runSummary = engine.Summary
 
 // cpmParams configures a managed run.
 type cpmParams struct {
@@ -45,6 +21,9 @@ type cpmParams struct {
 	measEpochs  int
 	keepSteps   bool
 	oraclePower bool
+	faults      *core.FaultPlan
+	// observers watch the run as it executes (engine.Observer fan-out).
+	observers []engine.Observer
 }
 
 // runCPM executes a CPM-managed run and summarises its measurement window.
@@ -63,59 +42,23 @@ func runCPM(cfg sim.Config, cal core.Calibration, p cpmParams) (runSummary, erro
 		GPMPeriod:      period,
 		Transducers:    cal.Transducers,
 		UseOraclePower: p.oraclePower,
+		Faults:         p.faults,
 	})
 	if err != nil {
 		return runSummary{}, err
 	}
-	c.Run(p.warmEpochs * period)
-
-	n := cmp.NumIslands()
-	sum := runSummary{
-		IslandAlloc: make([][]float64, n),
-		IslandPower: make([][]float64, n),
-		IslandBIPS:  make([][]float64, n),
+	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
+		WarmEpochs:    p.warmEpochs,
+		MeasureEpochs: p.measEpochs,
+		Period:        period,
+		BudgetW:       p.budgetW,
+		KeepSteps:     p.keepSteps,
+		Label:         "cpm",
+	}, p.observers...)
+	if err != nil {
+		return runSummary{}, err
 	}
-	intervals := p.measEpochs * period
-	epochPow := 0.0
-	epochIslPow := make([]float64, n)
-	epochIslBIPS := make([]float64, n)
-	for k := 0; k < intervals; k++ {
-		r := c.Step()
-		if p.keepSteps {
-			sum.Steps = append(sum.Steps, r)
-		}
-		if r.GPMInvoked {
-			sum.AllocTrace = append(sum.AllocTrace, append([]float64(nil), r.AllocW...))
-		}
-		sum.MeanPowerW += r.Sim.ChipPowerW
-		sum.MeanBIPS += r.Sim.TotalBIPS
-		if r.Sim.MaxTempC > sum.MaxTempC {
-			sum.MaxTempC = r.Sim.MaxTempC
-		}
-		epochPow += r.Sim.ChipPowerW
-		for i, ir := range r.Sim.Islands {
-			sum.Instructions += ir.Instructions
-			epochIslPow[i] += ir.PowerW
-			epochIslBIPS[i] += ir.BIPS
-		}
-		if (k+1)%period == 0 {
-			mean := epochPow / float64(period)
-			sum.Epochs = append(sum.Epochs, mean)
-			if over := (mean - p.budgetW) / p.budgetW; over > sum.WorstEpochOver {
-				sum.WorstEpochOver = over
-			}
-			for i := 0; i < n; i++ {
-				sum.IslandAlloc[i] = append(sum.IslandAlloc[i], r.AllocW[i])
-				sum.IslandPower[i] = append(sum.IslandPower[i], epochIslPow[i]/float64(period))
-				sum.IslandBIPS[i] = append(sum.IslandBIPS[i], epochIslBIPS[i]/float64(period))
-				epochIslPow[i], epochIslBIPS[i] = 0, 0
-			}
-			epochPow = 0
-		}
-	}
-	sum.MeanPowerW /= float64(intervals)
-	sum.MeanBIPS /= float64(intervals)
-	return sum, nil
+	return s.Run(), nil
 }
 
 // runMaxBIPS executes the MaxBIPS baseline: every GPM period the planner
@@ -134,7 +77,7 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 		return runSummary{}, err
 	}
 	if static {
-		if err := planner.SetStaticTable(staticTableFor(cmp)); err != nil {
+		if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
 			return runSummary{}, err
 		}
 	}
@@ -142,66 +85,21 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 	if period <= 0 {
 		period = 20
 	}
-	n := cmp.NumIslands()
-	obs := make([]maxbips.IslandObs, n)
-	epochPow := make([]float64, n)
-	epochBIPS := make([]float64, n)
-	haveObs := false
-
-	sum := runSummary{}
-	total := (warmEpochs + measEpochs) * period
-	measStart := warmEpochs * period
-	epochChip := 0.0
-	for k := 0; k < total; k++ {
-		if k%period == 0 && haveObs {
-			for i := 0; i < n; i++ {
-				obs[i] = maxbips.IslandObs{
-					Level:  cmp.Level(i),
-					PowerW: epochPow[i] / float64(period),
-					BIPS:   epochBIPS[i] / float64(period),
-				}
-				epochPow[i], epochBIPS[i] = 0, 0
-			}
-			for i, lvl := range planner.Choose(budgetW, obs) {
-				cmp.SetLevel(i, lvl)
-			}
-		} else if k%period == 0 {
-			for i := range epochPow {
-				epochPow[i], epochBIPS[i] = 0, 0
-			}
-		}
-		r := cmp.Step()
-		for i, ir := range r.Islands {
-			epochPow[i] += ir.PowerW
-			epochBIPS[i] += ir.BIPS
-			if k >= measStart {
-				sum.Instructions += ir.Instructions
-			}
-		}
-		if (k+1)%period == 0 {
-			haveObs = true
-		}
-		if k >= measStart {
-			sum.MeanPowerW += r.ChipPowerW
-			sum.MeanBIPS += r.TotalBIPS
-			if r.MaxTempC > sum.MaxTempC {
-				sum.MaxTempC = r.MaxTempC
-			}
-			epochChip += r.ChipPowerW
-			if (k+1)%period == 0 {
-				mean := epochChip / float64(period)
-				sum.Epochs = append(sum.Epochs, mean)
-				if over := (mean - budgetW) / budgetW; over > sum.WorstEpochOver {
-					sum.WorstEpochOver = over
-				}
-				epochChip = 0
-			}
-		}
+	r, err := engine.NewMaxBIPSRunner(cmp, planner, budgetW, period)
+	if err != nil {
+		return runSummary{}, err
 	}
-	intervals := float64(measEpochs * period)
-	sum.MeanPowerW /= intervals
-	sum.MeanBIPS /= intervals
-	return sum, nil
+	s, err := engine.NewSession(r, engine.SessionConfig{
+		WarmEpochs:    warmEpochs,
+		MeasureEpochs: measEpochs,
+		Period:        period,
+		BudgetW:       budgetW,
+		Label:         "maxbips",
+	})
+	if err != nil {
+		return runSummary{}, err
+	}
+	return s.Run(), nil
 }
 
 // runUnmanagedWindow measures the no-power-management baseline over exactly
@@ -213,56 +111,19 @@ func runUnmanagedWindow(cfg sim.Config, warmEpochs, measEpochs, gpmPeriod int) (
 	if err != nil {
 		return runSummary{}, err
 	}
-	period := gpmPeriod
-	if period <= 0 {
-		period = 20
+	s, err := engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+		WarmEpochs:    warmEpochs,
+		MeasureEpochs: measEpochs,
+		Period:        gpmPeriod,
+		Label:         "unmanaged",
+	})
+	if err != nil {
+		return runSummary{}, err
 	}
-	for k := 0; k < warmEpochs*period; k++ {
-		cmp.Step()
-	}
-	sum := runSummary{}
-	intervals := measEpochs * period
-	for k := 0; k < intervals; k++ {
-		r := cmp.Step()
-		sum.MeanPowerW += r.ChipPowerW
-		sum.MeanBIPS += r.TotalBIPS
-		for _, ir := range r.Islands {
-			sum.Instructions += ir.Instructions
-		}
-	}
-	sum.MeanPowerW /= float64(intervals)
-	sum.MeanBIPS /= float64(intervals)
-	return sum, nil
+	return s.Run(), nil
 }
 
 // degradation returns the throughput loss of run vs baseline as a fraction.
 func degradation(run, baseline runSummary) float64 {
-	if baseline.Instructions == 0 {
-		return 0
-	}
-	d := 1 - run.Instructions/baseline.Instructions
-	if d < 0 {
-		return 0
-	}
-	return d
-}
-
-// staticTableFor builds the characterization table the static MaxBIPS
-// selects from: per island and level, the nominal power of its cores at a
-// typical 70% activity plus reference-temperature leakage — the kind of
-// offline table a datasheet-driven implementation would carry.
-func staticTableFor(cmp *sim.CMP) [][]float64 {
-	m := cmp.Model()
-	levels := cmp.Table().Levels()
-	out := make([][]float64, cmp.NumIslands())
-	for i := range out {
-		out[i] = make([]float64, levels)
-		for l := 0; l < levels; l++ {
-			op := cmp.Table().Point(l)
-			corePred := 0.7*m.Dynamic.Power(op, power.FullActivity()) +
-				m.Leakage.Power(op.VoltageV, m.Leakage.TRefC, 1)
-			out[i][l] = corePred * float64(cmp.IslandCores(i))
-		}
-	}
-	return out
+	return engine.Degradation(run, baseline)
 }

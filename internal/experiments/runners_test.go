@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDegradationGuardsBaseline pins the wrapper's behaviour on degenerate
+// baselines: a run compared against a chip that executed (essentially)
+// nothing reports zero degradation instead of ±Inf or NaN.
+func TestDegradationGuardsBaseline(t *testing.T) {
+	cases := []struct {
+		name      string
+		run, base float64
+		want      float64
+	}{
+		{"zero baseline", 5, 0, 0},
+		{"near-zero baseline", 5, 1e-12, 0},
+		{"normal", 90, 100, 0.1},
+		{"run above baseline", 110, 100, 0},
+	}
+	for _, c := range cases {
+		got := degradation(runSummary{Instructions: c.run}, runSummary{Instructions: c.base})
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: degradation = %v", c.name, got)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: degradation = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/workload"
@@ -43,18 +44,19 @@ func runFig7(o Options) (Result, error) {
 		return Result{}, err
 	}
 	budget := cal.BudgetW(0.8)
-	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20),
-	})
-	if err != nil {
-		return Result{}, err
-	}
+	// The provision series is recorded live by an epoch observer rather
+	// than scraped from the summary afterwards.
 	set := trace.NewSet("GPM invocation")
-	for i, allocs := range sum.IslandAlloc {
-		s := set.Get(fmt.Sprintf("Island%d", i+1))
-		for _, a := range allocs {
-			s.Append(a / cal.UnmanagedPowerW * 100)
+	obs := engine.Funcs{OnEpoch: func(e engine.Epoch) {
+		for i, a := range e.AllocW {
+			set.Get(fmt.Sprintf("Island%d", i+1)).Append(a / cal.UnmanagedPowerW * 100)
 		}
+	}}
+	if _, err := runCPM(cfg, cal, cpmParams{
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20),
+		observers: []engine.Observer{obs},
+	}); err != nil {
+		return Result{}, err
 	}
 	var lo, hi float64 = math.Inf(1), math.Inf(-1)
 	for _, s := range set.Series() {
@@ -243,24 +245,25 @@ func runFig10(o Options) (Result, error) {
 		return Result{}, err
 	}
 	budget := cal.BudgetW(0.8)
-	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40),
-	})
-	if err != nil {
-		return Result{}, err
-	}
 	set := trace.NewSet("GPM invocation")
 	worstOver, worstUnder := 0.0, 0.0
-	for _, p := range sum.Epochs {
-		set.Get("Pactual").Append(p / cal.UnmanagedPowerW * 100)
+	obs := engine.Funcs{OnEpoch: func(e engine.Epoch) {
+		set.Get("Pactual").Append(e.MeanPowerW / cal.UnmanagedPowerW * 100)
 		set.Get("Ptarget").Append(80)
-		dev := (p - budget) / budget
+		dev := (e.MeanPowerW - budget) / budget
 		if dev > worstOver {
 			worstOver = dev
 		}
 		if -dev > worstUnder {
 			worstUnder = -dev
 		}
+	}}
+	sum, err := runCPM(cfg, cal, cpmParams{
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40),
+		observers: []engine.Observer{obs},
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chip power (%% of required power) vs the 80%% budget:\n\n")

@@ -70,6 +70,17 @@ func (EqualShare) Provision(budgetW float64, obs []IslandObs) []float64 {
 type Manager struct {
 	policy  Policy
 	budgetW float64
+
+	provisionHook func(budgetW float64, obs []IslandObs, alloc []float64)
+}
+
+// SetProvisionHook installs a callback invoked after every Provision with
+// the budget, the island observations the policy saw, and the clipped
+// allocations it produced — the gpm-layer attachment point for observers.
+// The slices are live; callers must copy what they keep. A nil hook
+// detaches. Not safe to call concurrently with Provision.
+func (m *Manager) SetProvisionHook(fn func(budgetW float64, obs []IslandObs, alloc []float64)) {
+	m.provisionHook = fn
 }
 
 // NewManager builds a GPM with the given policy and chip budget in watts.
@@ -115,6 +126,9 @@ func (m *Manager) Provision(obs []IslandObs) []float64 {
 		for i := range alloc {
 			alloc[i] *= scale
 		}
+	}
+	if m.provisionHook != nil {
+		m.provisionHook(m.budgetW, obs, alloc)
 	}
 	return alloc
 }

@@ -77,6 +77,16 @@ type Controller struct {
 	// lastLevel is the DVFS level the controller most recently applied —
 	// the level the incoming measurement was taken at.
 	lastLevel int
+
+	invokeHook func(targetFrac, estFrac float64, level int)
+}
+
+// SetInvokeHook installs a callback invoked after every Invoke with the
+// island's target fraction, the (smoothed) feedback power estimate, and the
+// chosen DVFS level — the pic-layer attachment point for fine-grained
+// tracking observers. A nil hook detaches.
+func (c *Controller) SetInvokeHook(fn func(targetFrac, estFrac float64, level int)) {
+	c.invokeHook = fn
 }
 
 // New builds a controller starting from the given initial DVFS level.
@@ -132,6 +142,15 @@ func (c *Controller) TargetFrac() float64 { return c.targetFrac }
 // UseOraclePower ablation. It returns the DVFS level the actuator should
 // apply for the next interval.
 func (c *Controller) Invoke(meanUtil, oraclePowerW float64) int {
+	lvl := c.invoke(meanUtil, oraclePowerW)
+	if c.invokeHook != nil {
+		c.invokeHook(c.targetFrac, c.ema, lvl)
+	}
+	return lvl
+}
+
+// invoke is the hook-free controller invocation.
+func (c *Controller) invoke(meanUtil, oraclePowerW float64) int {
 	var estFrac float64
 	if c.cfg.UseOraclePower {
 		estFrac = oraclePowerW / c.cfg.IslandMaxW

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func TestStepHookReceivesEveryResult(t *testing.T) {
+	cfg := DefaultConfig(workload.Mix1())
+	cfg.Seed = 3
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	c.SetStepHook(func(r Result) { got = append(got, r) })
+	const n = 10
+	want := make([]Result, 0, n)
+	for k := 0; k < n; k++ {
+		want = append(want, c.Step())
+	}
+	if len(got) != n {
+		t.Fatalf("hook fired %d times over %d steps", len(got), n)
+	}
+	for k := range want {
+		if got[k].ChipPowerW != want[k].ChipPowerW || got[k].TotalBIPS != want[k].TotalBIPS {
+			t.Fatalf("step %d: hook saw %+v, Step returned %+v", k, got[k], want[k])
+		}
+	}
+
+	c.SetStepHook(nil)
+	c.Step()
+	if len(got) != n {
+		t.Error("detached hook still fired")
+	}
+}

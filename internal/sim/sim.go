@@ -174,7 +174,15 @@ type CMP struct {
 	corePowers []float64 // global, indexed by core ID
 	interval   int
 	totalInstr float64
+
+	stepHook func(Result)
 }
+
+// SetStepHook installs a callback invoked at the end of every Step with the
+// interval's observation — the sim-layer attachment point for observers
+// when the chip is driven directly rather than through a controller. A nil
+// hook detaches. Not safe to call concurrently with Step.
+func (c *CMP) SetStepHook(fn func(Result)) { c.stepHook = fn }
 
 // New builds a CMP from cfg.
 func New(cfg Config) (*CMP, error) {
@@ -453,6 +461,9 @@ func (c *CMP) Step() Result {
 	}
 	res.MaxTempC = c.thermals.MaxTemp()
 	c.interval++
+	if c.stepHook != nil {
+		c.stepHook(res)
+	}
 	return res
 }
 

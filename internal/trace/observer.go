@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+)
+
+// Recorder is an engine.Observer that records a session's per-epoch
+// telemetry into a Set as it runs, so any engine-driven run (experiment,
+// CLI, replay) can produce CSV exports and ASCII charts without scraping
+// the summary afterwards.
+//
+// The zero value is not usable; construct with NewRecorder.
+type Recorder struct {
+	set *Set
+	// PerIsland additionally records each island's allocation and measured
+	// power series.
+	PerIsland bool
+}
+
+// NewRecorder builds a recorder whose series share the given x-axis label
+// (typically "GPM epoch").
+func NewRecorder(xName string) *Recorder {
+	return &Recorder{set: NewSet(xName)}
+}
+
+// Set returns the recorded series.
+func (r *Recorder) Set() *Set { return r.set }
+
+// RunStart implements engine.Observer.
+func (r *Recorder) RunStart(engine.RunInfo) {}
+
+// ObserveStep implements engine.Observer. The recorder works at epoch
+// granularity, so per-interval events are ignored.
+func (r *Recorder) ObserveStep(engine.Step) {}
+
+// ObserveEpoch implements engine.Observer.
+func (r *Recorder) ObserveEpoch(e engine.Epoch) {
+	r.set.Get("chip power (W)").Append(e.MeanPowerW)
+	r.set.Get("chip BIPS").Append(e.MeanBIPS)
+	if e.BudgetW > 0 {
+		r.set.Get("budget (W)").Append(e.BudgetW)
+	}
+	if !r.PerIsland {
+		return
+	}
+	for i, p := range e.IslandPowerW {
+		r.set.Get(fmt.Sprintf("island %d power (W)", i)).Append(p)
+	}
+	for i, a := range e.AllocW {
+		r.set.Get(fmt.Sprintf("island %d alloc (W)", i)).Append(a)
+	}
+}
+
+// RunEnd implements engine.Observer.
+func (r *Recorder) RunEnd(*engine.Summary) {}
+
+// engine.Observer conformance is checked at compile time.
+var _ engine.Observer = (*Recorder)(nil)

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func TestRecorderCapturesManagedRun(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 9
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.New(cmp, core.Config{BudgetW: 30, UseOraclePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder("GPM epoch")
+	rec.PerIsland = true
+	const meas = 3
+	s, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
+		WarmEpochs: 1, MeasureEpochs: meas, BudgetW: 30,
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Run()
+
+	set := rec.Set()
+	pow := set.Get("chip power (W)")
+	if pow.Len() != meas {
+		t.Fatalf("recorded %d power samples, want %d", pow.Len(), meas)
+	}
+	for e, v := range pow.Samples {
+		if v != sum.Epochs[e] {
+			t.Errorf("epoch %d: recorded %v, summary %v", e, v, sum.Epochs[e])
+		}
+	}
+	if set.Get("budget (W)").Len() != meas {
+		t.Error("budget series missing on a managed run")
+	}
+	for i := 0; i < cmp.NumIslands(); i++ {
+		name := "island 0 alloc (W)"
+		if i > 0 {
+			name = strings.Replace(name, "0", string(rune('0'+i)), 1)
+		}
+		if set.Get(name).Len() != meas {
+			t.Errorf("%s has %d samples, want %d", name, set.Get(name).Len(), meas)
+		}
+	}
+}
