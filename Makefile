@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench sweep all
+.PHONY: build test race vet bench sweep fuzz cover golden all
 
 all: vet build test
 
@@ -24,3 +25,19 @@ bench:
 # Example sweep: Mix-1 budget curve on the pooled executor.
 sweep: build
 	$(GO) run ./cmd/cpmsweep -mix mix1 -budgets 0.5,0.6,0.7,0.8,0.9,0.95
+
+# Fuzz smoke: run each native fuzz target briefly (seed corpora live in
+# the packages' testdata/fuzz directories). Override with FUZZTIME=5m etc.
+fuzz:
+	$(GO) test ./internal/workload -fuzz FuzzParseMix -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/workload -fuzz FuzzStreamAddrs -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/control -fuzz FuzzRoots -fuzztime $(FUZZTIME)
+
+# Coverage for the control-critical packages; ci.yml enforces the floor.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/check ./internal/engine ./internal/control
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate the golden traces after an intentional behaviour change.
+golden:
+	$(GO) test ./internal/check -run TestGoldenScenarios -update

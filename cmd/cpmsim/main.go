@@ -11,7 +11,9 @@
 // Flags:
 //
 //	-quick        shortened horizons (same shapes, faster)
-//	-seed N       experiment seed (default 1)
+//	-seed N       experiment seed (default 1, must be non-zero)
+//	-check        attach the invariant suite to every run (internal/check);
+//	              any violation fails the experiment
 //	-csv DIR      also write every series as CSV files into DIR
 //	-workers N    run experiments concurrently (0 = GOMAXPROCS); reports
 //	              are buffered per experiment and printed in request order
@@ -20,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,48 +32,83 @@ import (
 	"github.com/cpm-sim/cpm/internal/trace"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "run shortened horizons")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	csvDir := flag.String("csv", "", "directory to write CSV series into")
-	workers := flag.Int("workers", 1, "concurrent experiments (0 = GOMAXPROCS)")
-	flag.Usage = usage
-	flag.Parse()
-
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
-	}
-
-	switch args[0] {
-	case "list":
-		listExperiments()
-	case "tables":
-		runIDs([]string{"table1", "table2", "table3"}, *quick, *seed, *csvDir, *workers)
-	case "run":
-		ids := args[1:]
-		if len(ids) == 0 {
-			fmt.Fprintln(os.Stderr, "cpmsim run: need experiment IDs or 'all'")
-			os.Exit(2)
-		}
-		if len(ids) == 1 && ids[0] == "all" {
-			ids = nil
-			for _, d := range experiments.All() {
-				ids = append(ids, d.ID)
-			}
-		}
-		runIDs(ids, *quick, *seed, *csvDir, *workers)
-	default:
-		fmt.Fprintf(os.Stderr, "cpmsim: unknown command %q\n", args[0])
-		usage()
-		os.Exit(2)
-	}
+// cliConfig is the parsed, validated command line.
+type cliConfig struct {
+	opts    experiments.Options
+	csvDir  string
+	workers int
+	cmd     string
+	ids     []string
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: cpmsim [flags] list | tables | run <id>...|all\n\n")
-	flag.PrintDefaults()
+// parseCLI parses and validates argv (without the program name). It is the
+// testable core of main: every reject path returns an error instead of
+// exiting.
+func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
+	fs := flag.NewFlagSet("cpmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run shortened horizons")
+	seed := fs.Uint64("seed", 1, "experiment seed (non-zero)")
+	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
+	csvDir := fs.String("csv", "", "directory to write CSV series into")
+	workers := fs.Int("workers", 1, "concurrent experiments (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cpmsim [flags] list | tables | run <id>...|all\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return cliConfig{}, err
+	}
+	if *seed == 0 {
+		return cliConfig{}, fmt.Errorf("cpmsim: -seed must be non-zero (0 is the unseeded sentinel)")
+	}
+	if *workers < 0 {
+		return cliConfig{}, fmt.Errorf("cpmsim: -workers must be >= 0, got %d", *workers)
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
+		return cliConfig{}, fmt.Errorf("cpmsim: need a command")
+	}
+	c := cliConfig{
+		opts:    experiments.Options{Quick: *quick, Seed: *seed, Check: *checked},
+		csvDir:  *csvDir,
+		workers: *workers,
+		cmd:     args[0],
+	}
+	switch args[0] {
+	case "list":
+	case "tables":
+		c.ids = []string{"table1", "table2", "table3"}
+	case "run":
+		c.ids = args[1:]
+		if len(c.ids) == 0 {
+			return cliConfig{}, fmt.Errorf("cpmsim run: need experiment IDs or 'all'")
+		}
+		if len(c.ids) == 1 && c.ids[0] == "all" {
+			c.ids = nil
+			for _, d := range experiments.All() {
+				c.ids = append(c.ids, d.ID)
+			}
+		}
+	default:
+		fs.Usage()
+		return cliConfig{}, fmt.Errorf("cpmsim: unknown command %q", args[0])
+	}
+	return c, nil
+}
+
+func main() {
+	c, err := parseCLI(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if c.cmd == "list" {
+		listExperiments()
+		return
+	}
+	runIDs(c.ids, c.opts, c.csvDir, c.workers)
 }
 
 func listExperiments() {
@@ -88,8 +126,7 @@ type runReport struct {
 	errs []string
 }
 
-func runIDs(ids []string, quick bool, seed uint64, csvDir string, workers int) {
-	opts := experiments.Options{Quick: quick, Seed: seed}
+func runIDs(ids []string, opts experiments.Options, csvDir string, workers int) {
 	reports, _ := engine.Map(engine.Pool{Workers: workers}, len(ids), func(i int) (runReport, error) {
 		r := runOne(ids[i], opts, csvDir)
 		if len(r.errs) == 0 {

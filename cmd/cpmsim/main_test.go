@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseCLIValid(t *testing.T) {
+	c, err := parseCLI([]string{"-quick", "-seed", "7", "-check", "run", "fig11", "fig12"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.opts.Quick || c.opts.Seed != 7 || !c.opts.Check {
+		t.Errorf("options not threaded: %+v", c.opts)
+	}
+	if c.cmd != "run" || len(c.ids) != 2 || c.ids[0] != "fig11" {
+		t.Errorf("command not parsed: %+v", c)
+	}
+}
+
+func TestParseCLIDefaults(t *testing.T) {
+	c, err := parseCLI([]string{"tables"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Seed != 1 || c.opts.Quick || c.opts.Check || c.workers != 1 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if len(c.ids) != 3 || c.ids[0] != "table1" {
+		t.Errorf("tables shorthand wrong: %v", c.ids)
+	}
+}
+
+func TestParseCLIRunAll(t *testing.T) {
+	c, err := parseCLI([]string{"run", "all"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ids) < 10 {
+		t.Errorf("run all expanded to only %d experiments", len(c.ids))
+	}
+	for _, id := range c.ids {
+		if id == "all" {
+			t.Error("sentinel 'all' leaked into the ID list")
+		}
+	}
+}
+
+func TestParseCLIRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"zero seed", []string{"-seed", "0", "run", "fig11"}, "-seed must be non-zero"},
+		{"negative workers", []string{"-workers", "-2", "run", "fig11"}, "-workers must be >= 0"},
+		{"no command", []string{"-quick"}, "need a command"},
+		{"unknown command", []string{"frobnicate"}, "unknown command"},
+		{"run without ids", []string{"run"}, "need experiment IDs"},
+		{"unknown flag", []string{"-frob", "run", "fig11"}, "not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseCLI(c.argv, io.Discard)
+			if err == nil {
+				t.Fatalf("parseCLI(%v) accepted", c.argv)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("parseCLI(%v) = %v, want error containing %q", c.argv, err, c.want)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/cpm-sim/cpm/internal/check"
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
@@ -31,24 +32,47 @@ import (
 	"github.com/cpm-sim/cpm/internal/workload"
 )
 
-func main() {
-	mixName := flag.String("mix", "mix1", "application mix: mix1, mix2, mix3, mix3x2, thermal")
-	policy := flag.String("policy", "performance", "GPM policy: performance, equal, thermal, variation")
-	budgets := flag.String("budgets", "0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated budget fractions of required power")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	warm := flag.Int("warm", 6, "warm-up GPM epochs")
-	epochs := flag.Int("epochs", 16, "measured GPM epochs")
-	workers := flag.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
-	flag.Parse()
-
+// parseSweepCLI parses and validates argv (without the program name),
+// returning the sweep options. Every reject path is an error, not an exit,
+// so the validation is testable.
+func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
+	fs := flag.NewFlagSet("cpmsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mixName := fs.String("mix", "mix1", "application mix: mix1, mix2, mix3, mix3x2, thermal")
+	policy := fs.String("policy", "performance", "GPM policy: performance, equal, thermal, variation")
+	budgets := fs.String("budgets", "0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated budget fractions of required power")
+	seed := fs.Uint64("seed", 1, "simulation seed (non-zero)")
+	warm := fs.Int("warm", 6, "warm-up GPM epochs")
+	epochs := fs.Int("epochs", 16, "measured GPM epochs")
+	workers := fs.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
+	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
+	if err := fs.Parse(argv); err != nil {
+		return sweepOptions{}, err
+	}
+	if *seed == 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -seed must be non-zero (0 is the unseeded sentinel)")
+	}
+	if *warm < 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -warm must be >= 0, got %d", *warm)
+	}
+	if *epochs <= 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -epochs must be > 0, got %d", *epochs)
+	}
+	if *workers < 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -workers must be >= 0, got %d", *workers)
+	}
 	mix, err := workload.MixByName(*mixName)
-	exitOn(err)
+	if err != nil {
+		return sweepOptions{}, err
+	}
 	fracs, err := parseBudgets(*budgets)
-	exitOn(err)
-	_, err = makePolicy(*policy) // validate the name before calibrating
-	exitOn(err)
-
-	exitOn(sweep(sweepOptions{
+	if err != nil {
+		return sweepOptions{}, err
+	}
+	if _, err := makePolicy(*policy); err != nil { // validate the name before calibrating
+		return sweepOptions{}, err
+	}
+	return sweepOptions{
 		Mix:      mix,
 		Policy:   *policy,
 		Fracs:    fracs,
@@ -57,7 +81,14 @@ func main() {
 		Epochs:   *epochs,
 		Workers:  *workers,
 		Parallel: true,
-	}, os.Stdout, os.Stderr))
+		Check:    *checked,
+	}, nil
+}
+
+func main() {
+	o, err := parseSweepCLI(os.Args[1:], os.Stderr)
+	exitOn(err)
+	exitOn(sweep(o, os.Stdout, os.Stderr))
 }
 
 // sweepOptions parameterizes one sweep.
@@ -74,6 +105,9 @@ type sweepOptions struct {
 	// run. Pool-level and island-level parallelism compose; benchmarks
 	// disable the inner level to isolate the pool's speedup.
 	Parallel bool
+	// Check attaches the invariant suite to every run; a violation fails
+	// the sweep.
+	Check bool
 }
 
 // sweepRow is one budget point's measurements, in output order.
@@ -97,7 +131,7 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 	fmt.Fprintf(logw, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
 		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
 
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs)
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check)
 	if err != nil {
 		return err
 	}
@@ -127,11 +161,11 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 		if err != nil {
 			return sweepRow{}, err
 		}
-		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs)
+		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check)
 		if err != nil {
 			return sweepRow{}, err
 		}
-		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs)
+		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs, o.Check)
 		if err != nil {
 			return sweepRow{}, err
 		}
@@ -143,22 +177,34 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 	})
 }
 
-func measureUnmanaged(cfg sim.Config, warm, epochs int) (engine.Summary, error) {
+func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool) (engine.Summary, error) {
 	cfg.InitialLevel = -1
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return engine.Summary{}, err
 	}
+	var obs []engine.Observer
+	var suite *check.Suite
+	if checked {
+		suite = check.All(check.ForChip(cmp, 0))
+		obs = append(obs, suite)
+	}
 	s, err := engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, Label: "unmanaged",
-	})
+	}, obs...)
 	if err != nil {
 		return engine.Summary{}, err
 	}
-	return s.Run(), nil
+	sum := s.Run()
+	if suite != nil {
+		if err := suite.Err(); err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int) (engine.Summary, error) {
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return engine.Summary{}, err
@@ -167,16 +213,28 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 	if err != nil {
 		return engine.Summary{}, err
 	}
+	var obs []engine.Observer
+	var suite *check.Suite
+	if checked {
+		suite = check.ForCPM(c, budget)
+		obs = append(obs, suite)
+	}
 	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "cpm",
-	})
+	}, obs...)
 	if err != nil {
 		return engine.Summary{}, err
 	}
-	return s.Run(), nil
+	sum := s.Run()
+	if suite != nil {
+		if err := suite.Err(); err != nil {
+			return sum, fmt.Errorf("budget %.2f W: %w", budget, err)
+		}
+	}
+	return sum, nil
 }
 
-func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int) (engine.Summary, error) {
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return engine.Summary{}, err
@@ -192,13 +250,30 @@ func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int) (engine.Su
 	if err != nil {
 		return engine.Summary{}, err
 	}
+	var obs []engine.Observer
+	var suite *check.Suite
+	if checked {
+		// Open-loop MaxBIPS overshoots realized power by design; widen the
+		// budget tolerance to the paper's reported ~20% worst case.
+		ccfg := check.ForChip(cmp, budget)
+		ccfg.BudgetTolFrac = 0.25
+		ccfg.IslandTolFrac = 0.25
+		suite = check.All(ccfg)
+		obs = append(obs, suite)
+	}
 	s, err := engine.NewSession(r, engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "maxbips",
-	})
+	}, obs...)
 	if err != nil {
 		return engine.Summary{}, err
 	}
-	return s.Run(), nil
+	sum := s.Run()
+	if suite != nil {
+		if err := suite.Err(); err != nil {
+			return sum, fmt.Errorf("maxbips budget %.2f W: %w", budget, err)
+		}
+	}
+	return sum, nil
 }
 
 func makePolicy(name string) (gpm.Policy, error) {

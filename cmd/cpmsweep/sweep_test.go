@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 
 	"github.com/cpm-sim/cpm/internal/core"
@@ -56,6 +57,64 @@ func TestParseBudgets(t *testing.T) {
 	}
 }
 
+func TestParseSweepCLIValid(t *testing.T) {
+	o, err := parseSweepCLI([]string{"-mix", "mix3", "-policy", "equal", "-budgets", "0.7,0.8", "-warm", "2", "-epochs", "4", "-check"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Mix.Name != "Mix-3" || o.Policy != "equal" || len(o.Fracs) != 2 ||
+		o.Warm != 2 || o.Epochs != 4 || !o.Check || !o.Parallel {
+		t.Errorf("options not threaded: %+v", o)
+	}
+}
+
+func TestParseSweepCLIRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"zero seed", []string{"-seed", "0"}, "-seed must be non-zero"},
+		{"negative warm", []string{"-warm", "-1"}, "-warm must be >= 0"},
+		{"zero epochs", []string{"-epochs", "0"}, "-epochs must be > 0"},
+		{"negative epochs", []string{"-epochs", "-3"}, "-epochs must be > 0"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"bad mix", []string{"-mix", "nope"}, "nope"},
+		{"bad policy", []string{"-policy", "nope"}, "unknown policy"},
+		{"bad budget", []string{"-budgets", "1.5"}, "out of (0, 1]"},
+		{"empty budgets", []string{"-budgets", ""}, "bad budget"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseSweepCLI(c.argv, io.Discard)
+			if err == nil {
+				t.Fatalf("parseSweepCLI(%v) accepted", c.argv)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("parseSweepCLI(%v) = %v, want error containing %q", c.argv, err, c.want)
+			}
+		})
+	}
+}
+
+// TestSweepChecked runs a tiny checked sweep end to end: the -check plumbing
+// must attach the suite and the canonical mix must come back clean.
+func TestSweepChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checked sweep in -short mode")
+	}
+	o := testOptions(1)
+	o.Fracs = []float64{0.8}
+	o.Check = true
+	var out bytes.Buffer
+	if err := sweep(o, &out, io.Discard); err != nil {
+		t.Fatalf("checked sweep failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "budget_frac") {
+		t.Fatalf("no CSV emitted:\n%s", out.String())
+	}
+}
+
 func TestMakePolicyNames(t *testing.T) {
 	for _, name := range []string{"performance", "equal", "variation", "thermal"} {
 		p, err := makePolicy(name)
@@ -82,7 +141,7 @@ func BenchmarkPoolSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs)
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, false)
 	if err != nil {
 		b.Fatal(err)
 	}

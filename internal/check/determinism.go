@@ -1,0 +1,95 @@
+package check
+
+import (
+	"hash/fnv"
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+)
+
+// Determinism folds the entire per-interval state series — chip power,
+// throughput, peak temperature and every island's level, frequency, power,
+// BIPS and instruction count — into one streaming FNV-1a hash. Two runs of
+// the same configuration and seed must produce the same digest regardless
+// of executor (sequential, island-parallel, pooled); construct with a
+// non-zero expectation to turn a mismatch into a violation at RunEnd, or
+// with 0 to use it purely as a recorder (Sum64 after the run).
+type Determinism struct {
+	recorder
+	h      hash64
+	expect uint64
+}
+
+// hash64 is the subset of hash.Hash64 the check uses (kept small so the
+// digest algorithm is explicit: FNV-1a over little-endian float64 bits).
+type hash64 interface {
+	Write(p []byte) (int, error)
+	Sum64() uint64
+}
+
+// NewDeterminism builds the check; expect of 0 records without comparing.
+func NewDeterminism(expect uint64) *Determinism {
+	return &Determinism{
+		recorder: recorder{name: "determinism"},
+		h:        fnv.New64a(),
+		expect:   expect,
+	}
+}
+
+// Sum64 returns the digest of everything observed so far.
+func (c *Determinism) Sum64() uint64 { return c.h.Sum64() }
+
+func (c *Determinism) word(v float64) {
+	b := math.Float64bits(v)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(b >> (8 * i))
+	}
+	c.h.Write(buf[:])
+}
+
+// RunStart implements engine.Observer.
+func (c *Determinism) RunStart(info engine.RunInfo) {
+	c.word(float64(info.Islands))
+	c.word(float64(info.Cores))
+	c.word(float64(info.MeasureIntervals))
+}
+
+// ObserveStep implements engine.Observer.
+func (c *Determinism) ObserveStep(st engine.Step) {
+	c.word(float64(st.Index))
+	c.word(st.Sim.ChipPowerW)
+	c.word(st.Sim.TotalBIPS)
+	c.word(st.Sim.MaxTempC)
+	for _, ir := range st.Sim.Islands {
+		c.word(float64(ir.Level))
+		c.word(ir.FreqMHz)
+		c.word(ir.PowerW)
+		c.word(ir.BIPS)
+		c.word(ir.Instructions)
+	}
+	for _, a := range st.AllocW {
+		c.word(a)
+	}
+}
+
+// ObserveEpoch implements engine.Observer.
+func (c *Determinism) ObserveEpoch(e engine.Epoch) {
+	c.word(e.MeanPowerW)
+	c.word(e.MeanBIPS)
+	c.word(e.Instructions)
+}
+
+// RunEnd implements engine.Observer.
+func (c *Determinism) RunEnd(*engine.Summary) {
+	if c.expect == 0 {
+		return
+	}
+	if got := c.h.Sum64(); got != c.expect {
+		c.report(Violation{
+			Interval: -1, Epoch: -1, Island: -1,
+			Observed: float64(got), Bound: float64(c.expect),
+			Msg: "state-series digest diverged from expectation",
+		})
+	}
+}

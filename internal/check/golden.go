@@ -1,0 +1,160 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+)
+
+// Golden records a compact hashed trace of a run: one digest per measured
+// GPM epoch (folding the epoch's chip power, throughput, instruction count,
+// per-island powers and allocations), plus a final digest folding the
+// per-interval determinism hash. Stored traces are small (a few hundred
+// bytes per scenario) but pin the run's entire observable behaviour: any
+// change to the power model, controllers, workload generation or scheduling
+// shifts at least one digest.
+//
+// Digest inputs are quantized to 9 significant decimal digits before
+// hashing, so traces are stable against non-semantic float formatting
+// differences while still catching any real numerical drift.
+type Golden struct {
+	recorder
+	scenario string
+	det      *Determinism
+	trace    Trace
+}
+
+// NewGolden builds a recorder for the named scenario.
+func NewGolden(scenario string) *Golden {
+	return &Golden{
+		recorder: recorder{name: "golden"},
+		scenario: scenario,
+		det:      NewDeterminism(0),
+	}
+}
+
+// Trace is the serialized golden record of one scenario run.
+type Trace struct {
+	// Scenario names the canonical scenario the trace pins.
+	Scenario string `json:"scenario"`
+	// Epochs is the number of measured GPM epochs.
+	Epochs int `json:"epochs"`
+	// EpochDigests are per-epoch FNV-1a digests (hex).
+	EpochDigests []string `json:"epoch_digests"`
+	// FinalDigest folds the full per-interval state series.
+	FinalDigest string `json:"final_digest"`
+	// MeanPowerW, MeanBIPS and MaxTempC are rounded headline numbers kept
+	// for human diffing — the digests, not these, are what the regression
+	// test compares exactly.
+	MeanPowerW float64 `json:"mean_power_w"`
+	MeanBIPS   float64 `json:"mean_bips"`
+	MaxTempC   float64 `json:"max_temp_c"`
+}
+
+// quantize renders v at 9 significant digits, the golden-digest input
+// format.
+func quantize(v float64) string { return fmt.Sprintf("%.9g", v) }
+
+// RunStart implements engine.Observer.
+func (g *Golden) RunStart(info engine.RunInfo) {
+	g.det.RunStart(info)
+	g.trace = Trace{Scenario: g.scenario}
+}
+
+// ObserveStep implements engine.Observer.
+func (g *Golden) ObserveStep(st engine.Step) { g.det.ObserveStep(st) }
+
+// ObserveEpoch implements engine.Observer.
+func (g *Golden) ObserveEpoch(e engine.Epoch) {
+	g.det.ObserveEpoch(e)
+	h := fnv.New64a()
+	put := func(v float64) { h.Write([]byte(quantize(v))) }
+	put(float64(e.Index))
+	put(e.MeanPowerW)
+	put(e.MeanBIPS)
+	put(e.Instructions)
+	for _, p := range e.IslandPowerW {
+		put(p)
+	}
+	for _, bips := range e.IslandBIPS {
+		put(bips)
+	}
+	for _, a := range e.AllocW {
+		put(a)
+	}
+	g.trace.EpochDigests = append(g.trace.EpochDigests, fmt.Sprintf("%016x", h.Sum64()))
+	g.trace.Epochs = len(g.trace.EpochDigests)
+}
+
+// RunEnd implements engine.Observer.
+func (g *Golden) RunEnd(sum *engine.Summary) {
+	g.trace.FinalDigest = fmt.Sprintf("%016x", g.det.Sum64())
+	if sum != nil {
+		g.trace.MeanPowerW = round6(sum.MeanPowerW)
+		g.trace.MeanBIPS = round6(sum.MeanBIPS)
+		g.trace.MaxTempC = round6(sum.MaxTempC)
+	}
+}
+
+// round6 rounds to 6 decimal places for the human-readable trailer fields.
+func round6(v float64) float64 {
+	s := fmt.Sprintf("%.6f", v)
+	var out float64
+	fmt.Sscanf(s, "%f", &out)
+	return out
+}
+
+// Trace returns the recorded trace (complete once RunEnd has fired).
+func (g *Golden) Trace() Trace { return g.trace }
+
+// Diff compares tr against a reference trace and returns a descriptive
+// error at the first divergence, or nil when identical.
+func (tr Trace) Diff(ref Trace) error {
+	if tr.Scenario != ref.Scenario {
+		return fmt.Errorf("golden: scenario %q compared against %q", tr.Scenario, ref.Scenario)
+	}
+	if tr.Epochs != ref.Epochs {
+		return fmt.Errorf("golden: %s ran %d epochs, reference has %d", tr.Scenario, tr.Epochs, ref.Epochs)
+	}
+	for i := range ref.EpochDigests {
+		if i < len(tr.EpochDigests) && tr.EpochDigests[i] != ref.EpochDigests[i] {
+			return fmt.Errorf("golden: %s diverged at epoch %d: digest %s, reference %s (mean power now %.4f W, reference %.4f W)",
+				tr.Scenario, i, tr.EpochDigests[i], ref.EpochDigests[i], tr.MeanPowerW, ref.MeanPowerW)
+		}
+	}
+	if tr.FinalDigest != ref.FinalDigest {
+		return fmt.Errorf("golden: %s epoch digests match but the interval-level digest diverged: %s vs reference %s",
+			tr.Scenario, tr.FinalDigest, ref.FinalDigest)
+	}
+	return nil
+}
+
+// WriteFile stores the trace as indented JSON at path, creating parent
+// directories as needed.
+func (tr Trace) WriteFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadTrace reads a stored golden trace.
+func LoadTrace(path string) (Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return Trace{}, fmt.Errorf("golden: parsing %s: %w", path, err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,66 @@
+package check
+
+import (
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/pic"
+)
+
+// PIDBounds checks the controller-state invariants of §II-D on every
+// interval: each island PIC's integral accumulator stays inside its
+// anti-windup clamp (Eq. 7's conditional integration), its continuous
+// frequency state stays inside the normalized actuator range [0, 1], and
+// its power target is a sane non-negative fraction. The check polls the
+// controllers after each step, so it needs the live PICs rather than the
+// engine event stream alone — attach it with NewPIDBounds(ctl.PIC(i)...).
+type PIDBounds struct {
+	recorder
+	pics []*pic.Controller
+}
+
+// NewPIDBounds builds the check over the given controllers.
+func NewPIDBounds(pics ...*pic.Controller) *PIDBounds {
+	return &PIDBounds{recorder: recorder{name: "pid-bounds"}, pics: pics}
+}
+
+// RunStart implements engine.Observer.
+func (c *PIDBounds) RunStart(engine.RunInfo) {}
+
+// ObserveStep implements engine.Observer.
+func (c *PIDBounds) ObserveStep(st engine.Step) {
+	for i, p := range c.pics {
+		if p == nil {
+			continue
+		}
+		lo, hi := p.IntegratorBounds()
+		integ := p.Integrator()
+		if math.IsNaN(integ) || (hi > lo && (integ < lo-1e-12 || integ > hi+1e-12)) {
+			c.report(Violation{
+				Interval: st.Index, Epoch: -1, Island: i,
+				Observed: integ, Bound: hi,
+				Msg: "PID integrator outside its anti-windup clamp",
+			})
+		}
+		if f := p.FreqNorm(); math.IsNaN(f) || f < -1e-12 || f > 1+1e-12 {
+			c.report(Violation{
+				Interval: st.Index, Epoch: -1, Island: i,
+				Observed: f, Bound: 1,
+				Msg: "PID frequency state outside the normalized actuator range",
+			})
+		}
+		if tf := p.TargetFrac(); math.IsNaN(tf) || tf < 0 {
+			c.report(Violation{
+				Interval: st.Index, Epoch: -1, Island: i,
+				Observed: tf, Bound: 0,
+				Msg: "negative or NaN PIC power target",
+			})
+		}
+	}
+}
+
+// ObserveEpoch implements engine.Observer.
+func (c *PIDBounds) ObserveEpoch(engine.Epoch) {}
+
+// RunEnd implements engine.Observer.
+func (c *PIDBounds) RunEnd(*engine.Summary) {}

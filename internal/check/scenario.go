@@ -1,0 +1,231 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/gpm"
+	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/thermal"
+	"github.com/cpm-sim/cpm/internal/variation"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// Scenario is one canonical end-to-end configuration pinned by the golden
+// harness. The set in Canonical covers every control path the paper
+// evaluates: the default two-tier CPM loop, the MaxBIPS baseline, the
+// thermal- and variation-aware provisioning policies, fault injection, and
+// a second point on the budget axis.
+type Scenario struct {
+	// Name keys the golden file (testdata/golden/<Name>.json).
+	Name string
+	// Mix builds the workload.
+	Mix func() workload.Mix
+	// Variation, when non-empty, applies intra-die process variation.
+	Variation variation.Map
+	// Policy, when non-nil, builds the GPM provisioning policy (fresh per
+	// run — policies carry history). Nil means gpm.PerformanceAware.
+	Policy func() (gpm.Policy, error)
+	// BudgetFrac is the §IV budget fraction of calibrated unmanaged power.
+	BudgetFrac float64
+	// MaxBIPS selects the open-loop MaxBIPS baseline instead of CPM. Its
+	// chip-budget tolerance is widened (see Run): the planner holds
+	// *predicted* power under budget, and the paper's point is precisely
+	// that its realized power overshoots.
+	MaxBIPS bool
+	// Faults, when non-nil, injects the §"extension" fault plan.
+	Faults *core.FaultPlan
+	// GainScale multiplies the paper PID gains (0 or 1 = paper gains).
+	// It exists for the harness's self-test: a perturbed controller must
+	// change the golden digests.
+	GainScale float64
+	// WarmEpochs/MeasureEpochs shape the run; zero means the canonical
+	// 2 warm + 4 measured epochs.
+	WarmEpochs    int
+	MeasureEpochs int
+}
+
+func (s Scenario) warm() int {
+	if s.WarmEpochs > 0 {
+		return s.WarmEpochs
+	}
+	return 2
+}
+
+func (s Scenario) meas() int {
+	if s.MeasureEpochs > 0 {
+		return s.MeasureEpochs
+	}
+	return 4
+}
+
+// Canonical returns the six pinned scenarios. Names are stable — they key
+// the golden files.
+func Canonical() []Scenario {
+	return []Scenario{
+		{Name: "cpm-default", Mix: workload.Mix1, BudgetFrac: 0.8},
+		{Name: "maxbips", Mix: workload.Mix1, BudgetFrac: 0.8, MaxBIPS: true},
+		{Name: "thermal-policy", Mix: workload.ThermalMix, BudgetFrac: 0.5, Policy: thermalPolicy},
+		{
+			Name: "variation-aware", Mix: workload.Mix1, BudgetFrac: 0.8,
+			Variation: variation.PaperIslands(2),
+			Policy: func() (gpm.Policy, error) {
+				return &gpm.VariationAware{StepFrac: 0.08, HoldIntervals: 1, MinShareFrac: 0.7}, nil
+			},
+		},
+		{
+			Name: "fault-noise", Mix: workload.Mix1, BudgetFrac: 0.8,
+			Faults: &core.FaultPlan{UtilNoiseStd: 0.15, StuckIsland: -1, Seed: 11},
+		},
+		{Name: "budget-60", Mix: workload.Mix1, BudgetFrac: 0.6},
+	}
+}
+
+// thermalPolicy builds the Figure 18 constraint set over a 2x4 floorplan,
+// matching the experiments harness.
+func thermalPolicy() (gpm.Policy, error) {
+	fp, err := thermal.Grid(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &gpm.ThermalAware{
+		Base:                 &gpm.PerformanceAware{},
+		Floorplan:            fp,
+		AdjacentPairCap:      0.30,
+		ConsecutiveLimit:     2,
+		SoloCap:              0.20,
+		SoloConsecutiveLimit: 4,
+	}, nil
+}
+
+// scenarioCal caches calibrations across scenario runs in one process —
+// calibration dominates scenario cost and is identical for equal
+// (mix, variation, seed) keys.
+var (
+	scenarioCalMu sync.Mutex
+	scenarioCal   = map[string]core.Calibration{}
+)
+
+func (s Scenario) calibrate(cfg sim.Config) (core.Calibration, error) {
+	key := fmt.Sprintf("%s/var=%d/seed=%d", cfg.Mix.Name, s.Variation.Len(), cfg.Seed)
+	scenarioCalMu.Lock()
+	cal, ok := scenarioCal[key]
+	scenarioCalMu.Unlock()
+	if ok {
+		return cal, nil
+	}
+	cal, err := core.Calibrate(cfg, 60, 240)
+	if err != nil {
+		return core.Calibration{}, err
+	}
+	scenarioCalMu.Lock()
+	scenarioCal[key] = cal
+	scenarioCalMu.Unlock()
+	return cal, nil
+}
+
+// Run executes the scenario under the full standard invariant suite plus
+// any extra observers (e.g. a Golden recorder), returning the summary and
+// the suite for violation inspection.
+func (s Scenario) Run(seed uint64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+	mix := s.Mix()
+	cfg := sim.DefaultConfig(mix)
+	cfg.Seed = seed
+	cfg.Parallel = false // sequential: golden digests must not depend on GOMAXPROCS
+	cfg.Variation = s.Variation
+	cal, err := s.calibrate(cfg)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	budget := cal.BudgetW(s.BudgetFrac)
+
+	if s.MaxBIPS {
+		return s.runMaxBIPS(cfg, budget, extra...)
+	}
+	return s.runCPM(cfg, cal, budget, extra...)
+}
+
+func (s Scenario) runCPM(cfg sim.Config, cal core.Calibration, budget float64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	var policy gpm.Policy
+	if s.Policy != nil {
+		if policy, err = s.Policy(); err != nil {
+			return engine.Summary{}, nil, err
+		}
+	}
+	gains := control.PaperGains
+	if s.GainScale != 0 && s.GainScale != 1 {
+		gains = control.Gains{
+			KP: control.PaperGains.KP * s.GainScale,
+			KI: control.PaperGains.KI * s.GainScale,
+			KD: control.PaperGains.KD * s.GainScale,
+		}
+	}
+	ctl, err := core.New(cmp, core.Config{
+		BudgetW:     budget,
+		Policy:      policy,
+		GPMPeriod:   20,
+		Gains:       gains,
+		Transducers: cal.Transducers,
+		Faults:      s.Faults,
+	})
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	suite := ForCPM(ctl, budget)
+	sess, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
+		WarmEpochs:    s.warm(),
+		MeasureEpochs: s.meas(),
+		Period:        20,
+		BudgetW:       budget,
+		Label:         s.Name,
+	}, append([]engine.Observer{suite}, extra...)...)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	return sess.Run(), suite, nil
+}
+
+func (s Scenario) runMaxBIPS(cfg sim.Config, budget float64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	planner, err := maxbips.New(cmp.Table())
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
+		return engine.Summary{}, nil, err
+	}
+	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	// MaxBIPS plans open-loop from static predictions; realized power
+	// overshooting the budget is the paper's headline result for it, not a
+	// bug. Keep the budget check but widen its tolerance to the overshoot
+	// the paper itself reports (up to ~20%); everything else stays strict.
+	ccfg := ForChip(cmp, budget)
+	ccfg.BudgetTolFrac = 0.25
+	ccfg.IslandTolFrac = 0.25
+	suite := All(ccfg)
+	sess, err := engine.NewSession(r, engine.SessionConfig{
+		WarmEpochs:    s.warm(),
+		MeasureEpochs: s.meas(),
+		Period:        20,
+		BudgetW:       budget,
+		Label:         s.Name,
+	}, append([]engine.Observer{suite}, extra...)...)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	return sess.Run(), suite, nil
+}

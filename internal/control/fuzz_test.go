@@ -1,0 +1,72 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzRoots drives the Durand–Kerner solver with arbitrary cubic (and
+// lower-degree) coefficients. Properties: no panics; when the solver
+// converges it returns exactly Degree roots, all finite, and each root is a
+// genuine zero of the polynomial to within a residual proportional to the
+// coefficient scale; and the Jury criterion, when it renders a verdict,
+// agrees with the root magnitudes away from the unit circle.
+func FuzzRoots(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(1.0, 0.0, 0.0, -1.0)
+	f.Add(0.0, 1.0, -1.5, 0.56)
+	f.Add(2.5, -1.0, 0.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e-9, 1e9, -1e9, 1.0)
+	f.Fuzz(func(t *testing.T, c3, c2, c1, c0 float64) {
+		for _, c := range []float64{c3, c2, c1, c0} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e12 {
+				return // out of the solver's documented domain
+			}
+		}
+		p := NewPoly(c3, c2, c1, c0)
+		deg := p.Degree()
+		roots, err := Roots(p)
+		if err != nil {
+			return // degenerate or non-convergent input: rejecting is fine
+		}
+		if len(roots) != deg {
+			t.Fatalf("Roots(%v) returned %d roots for degree %d", p, len(roots), deg)
+		}
+		scale := 0.0
+		for _, c := range p {
+			scale = math.Max(scale, math.Abs(c))
+		}
+		for _, r := range roots {
+			if cmplx.IsNaN(r) || cmplx.IsInf(r) {
+				t.Fatalf("Roots(%v) returned non-finite root %v", p, r)
+			}
+			// Residual tolerance grows with |root|^degree: evaluating a
+			// polynomial far from the origin amplifies coefficient error.
+			mag := math.Max(1, cmplx.Abs(r))
+			tol := 1e-6 * scale * math.Pow(mag, float64(deg))
+			if res := cmplx.Abs(p.EvalC(r)); res > tol {
+				t.Fatalf("Roots(%v): root %v has residual %g > %g", p, r, res, tol)
+			}
+		}
+
+		// Cross-check Jury against the computed spectral radius when the
+		// poles are comfortably away from the unit circle (both methods are
+		// legitimately undecided near |z| = 1).
+		radius := 0.0
+		for _, r := range roots {
+			radius = math.Max(radius, cmplx.Abs(r))
+		}
+		if math.Abs(radius-1) < 1e-2 {
+			return
+		}
+		stable, err := Jury(p)
+		if err != nil {
+			return
+		}
+		if want := radius < 1; stable != want {
+			t.Fatalf("Jury(%v) = %v but spectral radius is %.6f", p, stable, radius)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg bounds the generated magnitudes so properties exercise the
+// interesting region (roots and gains near the unit circle and the paper's
+// design space) instead of astronomically large floats.
+func quickCfg(seed int64, gen func(vs []reflect.Value, r *rand.Rand)) *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(seed)),
+		Values:   gen,
+	}
+}
+
+// TestQuickJuryAgreesWithRootMagnitudes builds random cubics from known
+// roots (three real, or a complex-conjugate pair plus a real) and checks
+// that the Jury criterion's verdict matches the explicit root magnitudes.
+// Roots within 5e-3 of the unit circle are regenerated: both methods are
+// legitimately undecided at the margin.
+func TestQuickJuryAgreesWithRootMagnitudes(t *testing.T) {
+	type input struct {
+		mags  [3]float64 // root magnitudes in [0, 2]
+		theta float64    // angle of the complex pair
+		signs [3]bool
+		pair  bool // complex-conjugate pair + real root
+	}
+	gen := func(vs []reflect.Value, r *rand.Rand) {
+		var in input
+		for i := range in.mags {
+			for {
+				m := 2 * r.Float64()
+				if math.Abs(m-1) >= 5e-3 {
+					in.mags[i] = m
+					break
+				}
+			}
+			in.signs[i] = r.Intn(2) == 0
+		}
+		in.theta = (0.1 + 0.8*r.Float64()) * math.Pi // away from the real axis
+		in.pair = r.Intn(2) == 0
+		vs[0] = reflect.ValueOf(in)
+	}
+	prop := func(in input) bool {
+		sgn := func(i int) float64 {
+			if in.signs[i] {
+				return 1
+			}
+			return -1
+		}
+		var p Poly
+		var mags []float64
+		if in.pair {
+			// (z² − 2·m·cosθ·z + m²)(z − s·m3)
+			m := in.mags[0]
+			p = NewPoly(1, -2*m*math.Cos(in.theta), m*m).Mul(NewPoly(1, -sgn(2)*in.mags[2]))
+			mags = []float64{m, m, in.mags[2]}
+		} else {
+			p = NewPoly(1, -sgn(0)*in.mags[0]).
+				Mul(NewPoly(1, -sgn(1)*in.mags[1])).
+				Mul(NewPoly(1, -sgn(2)*in.mags[2]))
+			mags = in.mags[:]
+		}
+		wantStable := true
+		for _, m := range mags {
+			if m >= 1 {
+				wantStable = false
+			}
+		}
+		stable, err := Jury(p)
+		if err != nil {
+			// Marginal constructions (e.g. |p(1)| ≈ 0) are allowed to be
+			// rejected, never misjudged.
+			return true
+		}
+		if stable != wantStable {
+			t.Logf("Jury(%v) = %v, root magnitudes %v", p, stable, mags)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(1, gen)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPIDStepMatchesAnalysis closes the loop between the linear-model
+// prediction (Analyze's step metrics, computed from the transfer function)
+// and the actual PID implementation stepped in the time domain against the
+// same integrator plant. For every stable random design the two must agree
+// on overshoot, settling time and steady-state error — the property that
+// makes design.go's offline analysis trustworthy for pic.Controller.
+func TestQuickPIDStepMatchesAnalysis(t *testing.T) {
+	type design struct {
+		a float64
+		g Gains
+	}
+	gen := func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(design{
+			a: 0.3 + 1.2*r.Float64(),
+			g: Gains{
+				KP: 0.1 + 0.9*r.Float64(),
+				KI: 0.1 + 0.9*r.Float64(),
+				KD: 0.6 * r.Float64(),
+			},
+		})
+	}
+	prop := func(d design) bool {
+		an, err := Analyze(d.a, d.g)
+		if err != nil || !an.Stable {
+			return true // only stable designs predict a step response
+		}
+		if an.Step.SettlingTime < 0 || an.Step.SettlingTime > 150 {
+			return true // barely-damped designs settle too near the horizon
+		}
+		// Time-domain replay: y(t+1) = y(t) + a·u(t) is the plant of Eq. 9,
+		// u from the real controller (no clamps: match the linear model).
+		pid := NewPID(d.g.KP, d.g.KI, d.g.KD)
+		y := 0.0
+		ys := make([]float64, 200)
+		for k := range ys {
+			u := pid.Update(1 - y)
+			y += d.a * u
+			ys[k] = y
+		}
+		m := MeasureStep(ys, 1, 0)
+		if math.Abs(m.MaxOvershoot-an.Step.MaxOvershoot) > 0.02 {
+			t.Logf("a=%.3f g=%+v: overshoot %.4f (time domain) vs %.4f (analysis)",
+				d.a, d.g, m.MaxOvershoot, an.Step.MaxOvershoot)
+			return false
+		}
+		if diff := m.SettlingTime - an.Step.SettlingTime; diff < -1 || diff > 1 {
+			t.Logf("a=%.3f g=%+v: settling %d (time domain) vs %d (analysis)",
+				d.a, d.g, m.SettlingTime, an.Step.SettlingTime)
+			return false
+		}
+		if math.Abs(m.SteadyStateError-an.Step.SteadyStateError) > 0.01 {
+			t.Logf("a=%.3f g=%+v: sse %.4f vs %.4f", d.a, d.g, m.SteadyStateError, an.Step.SteadyStateError)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(2, gen)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRootsResidual: Roots' output actually solves random stable-ish
+// monic cubics (residual check), complementing FuzzRoots with magnitudes in
+// the controller's operating region.
+func TestQuickRootsResidual(t *testing.T) {
+	gen := func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(4*r.Float64() - 2)
+		}
+	}
+	prop := func(c2, c1, c0 float64) bool {
+		p := NewPoly(1, c2, c1, c0)
+		roots, err := Roots(p)
+		if err != nil {
+			return true
+		}
+		if len(roots) != p.Degree() {
+			return false
+		}
+		for _, z := range roots {
+			mag := math.Max(1, cmplx.Abs(z))
+			if cmplx.Abs(p.EvalC(z)) > 1e-7*math.Pow(mag, 3) {
+				t.Logf("poly %v root %v residual %g", p, z, cmplx.Abs(p.EvalC(z)))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(3, gen)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDesignGainsPaperPoint pins the deterministic design-search result for
+// the paper's plant: the returned gains must meet every clause of PaperSpec
+// when re-analyzed from scratch.
+func TestDesignGainsPaperPoint(t *testing.T) {
+	g, an, err := DesignGains(PaperPlantGain, PaperSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Stable {
+		t.Fatal("design search returned an unstable design")
+	}
+	re, err := Analyze(PaperPlantGain, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Step.MaxOvershoot > PaperSpec.MaxOvershoot {
+		t.Errorf("overshoot %.3f exceeds spec %.3f", re.Step.MaxOvershoot, PaperSpec.MaxOvershoot)
+	}
+	if re.Step.SettlingTime < 0 || re.Step.SettlingTime > PaperSpec.MaxSettling {
+		t.Errorf("settling %d outside spec %d", re.Step.SettlingTime, PaperSpec.MaxSettling)
+	}
+	if re.Step.SteadyStateError > PaperSpec.MaxSteadyStateError {
+		t.Errorf("steady-state error %.4f exceeds spec %.4f", re.Step.SteadyStateError, PaperSpec.MaxSteadyStateError)
+	}
+	if m, err := MaxStableGainScale(PaperPlantGain, g, 1e-3); err != nil || m < PaperSpec.MinGainMargin {
+		t.Errorf("gain margin %.3f (err %v) below spec %.1f", m, err, PaperSpec.MinGainMargin)
+	}
+}

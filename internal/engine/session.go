@@ -124,6 +124,10 @@ func (s *Session) Run() Summary {
 	epochIslPow := make([]float64, n)
 	epochIslBIPS := make([]float64, n)
 	managed := false
+	// lastAlloc snapshots the provision before observers see the step:
+	// Step.AllocW shares its backing array with the runner, so an observer
+	// that writes into it must not be able to corrupt the epoch aggregates.
+	var lastAlloc []float64
 	for k := 0; k < meas; k++ {
 		st := s.runner.Step()
 		st.Measured = true
@@ -132,6 +136,7 @@ func (s *Session) Run() Summary {
 		}
 		if st.AllocW != nil {
 			managed = true
+			lastAlloc = append(lastAlloc[:0], st.AllocW...)
 			if st.GPMInvoked {
 				sum.AllocTrace = append(sum.AllocTrace, append([]float64(nil), st.AllocW...))
 			}
@@ -171,8 +176,8 @@ func (s *Session) Run() Summary {
 				IslandPowerW: make([]float64, n),
 				IslandBIPS:   make([]float64, n),
 			}
-			if managed && st.AllocW != nil {
-				ev.AllocW = append([]float64(nil), st.AllocW...)
+			if managed && lastAlloc != nil {
+				ev.AllocW = append([]float64(nil), lastAlloc...)
 				if sum.IslandAlloc == nil {
 					sum.IslandAlloc = make([][]float64, n)
 				}
@@ -181,7 +186,7 @@ func (s *Session) Run() Summary {
 				ev.IslandPowerW[i] = epochIslPow[i] / p
 				ev.IslandBIPS[i] = epochIslBIPS[i] / p
 				if ev.AllocW != nil {
-					sum.IslandAlloc[i] = append(sum.IslandAlloc[i], st.AllocW[i])
+					sum.IslandAlloc[i] = append(sum.IslandAlloc[i], lastAlloc[i])
 				}
 				sum.IslandPower[i] = append(sum.IslandPower[i], epochIslPow[i]/p)
 				sum.IslandBIPS[i] = append(sum.IslandBIPS[i], epochIslBIPS[i]/p)

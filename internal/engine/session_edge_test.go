@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/sim"
+)
+
+// TestSessionDegenerateWindows covers the configuration edges: zero and
+// negative measurement windows are rejected outright; a warmup longer than
+// the whole measurement window is legal and must leave the summary covering
+// exactly the measured epochs.
+func TestSessionDegenerateWindows(t *testing.T) {
+	cmp, err := sim.New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meas := range []int{0, -3} {
+		if _, err := NewSession(NewChipRunner(cmp), SessionConfig{MeasureEpochs: meas}); err == nil {
+			t.Errorf("MeasureEpochs = %d accepted", meas)
+		}
+	}
+
+	// Warmup dominates the run: 5 warm epochs, 1 measured.
+	const warm, meas, period = 5, 1, 10
+	cmp, err = sim.New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps, measured int
+	s, err := NewSession(NewChipRunner(cmp), SessionConfig{WarmEpochs: warm, MeasureEpochs: meas, Period: period},
+		Funcs{OnStep: func(st Step) {
+			steps++
+			if st.Measured {
+				measured++
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Run()
+	if steps != (warm+meas)*period || measured != meas*period {
+		t.Errorf("steps = %d (measured %d), want %d (%d)", steps, measured, (warm+meas)*period, meas*period)
+	}
+	if len(sum.Epochs) != meas {
+		t.Errorf("summary has %d epochs, want %d", len(sum.Epochs), meas)
+	}
+	if sum.MeanPowerW <= 0 || sum.Instructions <= 0 {
+		t.Errorf("empty-looking summary after long warmup: %+v", sum)
+	}
+}
+
+// TestSessionMutatingObserver runs the same managed configuration twice —
+// once with a hostile observer that scribbles over every slice it is handed,
+// once with a passive recorder — and requires bit-identical summaries. The
+// session must never let an observer's writes feed back into aggregation.
+func TestSessionMutatingObserver(t *testing.T) {
+	run := func(obs ...Observer) Summary {
+		r := newManaged(t, testConfig(t), 30)
+		s, err := NewSession(r, SessionConfig{WarmEpochs: 1, MeasureEpochs: 3, BudgetW: 30}, obs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+
+	scribble := func(xs []float64) {
+		for i := range xs {
+			xs[i] = -1e9
+		}
+	}
+	hostile := Funcs{
+		OnStep: func(st Step) {
+			scribble(st.AllocW)
+			for i := range st.Sim.Islands {
+				st.Sim.Islands[i].PowerW = -1e9
+				st.Sim.Islands[i].Instructions = -1e9
+			}
+		},
+		OnEpoch: func(e Epoch) {
+			scribble(e.AllocW)
+			scribble(e.IslandPowerW)
+			scribble(e.IslandBIPS)
+		},
+	}
+	recorder := Funcs{} // sees the same events, touches nothing
+
+	got := run(hostile)
+	want := run(recorder)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mutating observer changed the summary:\n got %+v\nwant %+v", got, want)
+	}
+	if got.IslandAlloc == nil || got.IslandAlloc[0][0] < 0 {
+		t.Errorf("IslandAlloc corrupted: %v", got.IslandAlloc)
+	}
+}
+
+// TestPoolMoreWorkersThanJobs checks the executor's small-batch edge: a pool
+// sized far beyond the job count must still run every job exactly once,
+// deliver results in job order, and report the lowest-indexed error.
+func TestPoolMoreWorkersThanJobs(t *testing.T) {
+	p := Pool{Workers: 64}
+	var ran int32
+	out, err := Map(p, 3, func(i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d jobs, want 3", ran)
+	}
+	if !reflect.DeepEqual(out, []int{0, 1, 4}) {
+		t.Errorf("out-of-order results: %v", out)
+	}
+
+	// Zero jobs: nothing runs, nothing fails.
+	out, err = Map(p, 0, func(i int) (int, error) { return 0, errors.New("must not run") })
+	if err != nil || out != nil {
+		t.Errorf("Map with 0 jobs = (%v, %v)", out, err)
+	}
+
+	// Every job still runs on failure, and the lowest index wins.
+	boom := errors.New("boom")
+	ran = 0
+	_, err = Map(Pool{Workers: 16}, 4, func(i int) (int, error) {
+		atomic.AddInt32(&ran, 1)
+		if i == 1 || i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if ran != 4 {
+		t.Errorf("ran %d jobs after failure, want 4", ran)
+	}
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if want := "engine: job 1:"; err.Error()[:len(want)] != want {
+		t.Errorf("error %q does not name the lowest failing job", err)
+	}
+
+	// JobSeed must not depend on scheduling: derive twice, compare.
+	for i := 0; i < 4; i++ {
+		if JobSeed(99, i) != JobSeed(99, i) {
+			t.Fatalf("JobSeed unstable for job %d", i)
+		}
+	}
+	if JobSeed(99, 0) == JobSeed(99, 1) {
+		t.Error("adjacent jobs share a seed")
+	}
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// Quick shortens horizons for use in tests and smoke runs; the shapes
 	// asserted by the test suite hold in both modes.
 	Quick bool
+	// Check attaches the internal/check invariant suite to every run the
+	// harness executes; a violation fails the harness with a structured
+	// report. Fault-injection runs keep every check except budget
+	// conservation, which the injected fault deliberately breaks.
+	Check bool
 }
 
 func (o Options) seed() uint64 {

@@ -323,3 +323,27 @@ func TestExt3CalibratedExponent(t *testing.T) {
 			r.Metrics["degradation_calibrated"]*100, r.Metrics["degradation_cube"]*100)
 	}
 }
+
+// TestCheckedHarnesses replays representative harnesses with the invariant
+// suite attached (Options.Check): the default loop (fig12), the thermal
+// policy (fig18) and fault injection (ext2, which exercises the
+// budget-check gating for faulted runs). A violation anywhere fails the
+// harness with a structured report.
+func TestCheckedHarnesses(t *testing.T) {
+	for _, id := range []string{"fig12", "fig18", "ext2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			d, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := d.Run(Options{Quick: true, Check: true})
+			if err != nil {
+				t.Fatalf("%s under -check: %v", id, err)
+			}
+			if r.Text == "" {
+				t.Fatalf("%s produced no report", id)
+			}
+		})
+	}
+}

@@ -53,7 +53,7 @@ func runFig7(o Options) (Result, error) {
 		}
 	}}
 	if _, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20),
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), check: o.Check,
 		observers: []engine.Observer{obs},
 	}); err != nil {
 		return Result{}, err
@@ -90,7 +90,7 @@ func runFig8(o Options) (Result, error) {
 	}
 	budget := cal.BudgetW(0.8)
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20),
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), check: o.Check,
 	})
 	if err != nil {
 		return Result{}, err
@@ -137,7 +137,7 @@ func runFig9(o Options) (Result, error) {
 	}
 	budget := cal.BudgetW(0.8)
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 8, measEpochs: o.epochs(12), keepSteps: true,
+		budgetW: budget, warmEpochs: 8, measEpochs: o.epochs(12), keepSteps: true, check: o.Check,
 	})
 	if err != nil {
 		return Result{}, err
@@ -259,7 +259,7 @@ func runFig10(o Options) (Result, error) {
 		}
 	}}
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40),
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40), check: o.Check,
 		observers: []engine.Observer{obs},
 	})
 	if err != nil {

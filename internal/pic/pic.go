@@ -214,5 +214,15 @@ func (c *Controller) clampToCapture() {
 // (before quantization), exposed for tests and telemetry.
 func (c *Controller) FreqNorm() float64 { return c.fNorm }
 
+// Integrator returns the PID's current integral accumulator, exposed for
+// the anti-windup invariant check (internal/check.PIDBounds) and telemetry.
+func (c *Controller) Integrator() float64 { return c.pid.Integral() }
+
+// IntegratorBounds returns the anti-windup clamp the controller was built
+// with (lo < hi always holds for controllers from New).
+func (c *Controller) IntegratorBounds() (lo, hi float64) {
+	return c.pid.IntMin, c.pid.IntMax
+}
+
 // Reset clears the PID state, for experiments that restart an epoch.
 func (c *Controller) Reset() { c.pid.Reset() }

@@ -124,6 +124,20 @@ func (t *DVFSTable) NearestLevel(freqMHz float64) int {
 	return best
 }
 
+// LevelOf returns the level whose frequency equals freqMHz (to within a
+// relative tolerance of 1e-9), or (-1, false) when no operating point
+// matches — the legality test an actuated frequency must pass: unlike
+// NearestLevel, which snaps any frequency to the table, LevelOf rejects
+// frequencies that are not actually in it.
+func (t *DVFSTable) LevelOf(freqMHz float64) (int, bool) {
+	for i, p := range t.points {
+		if math.Abs(p.FreqMHz-freqMHz) <= 1e-9*p.FreqMHz {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
 // FloorLevel returns the highest level whose frequency does not exceed
 // freqMHz, or 0 if freqMHz is below the table.
 func (t *DVFSTable) FloorLevel(freqMHz float64) int {

@@ -105,6 +105,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// MaxSteadyTempC returns the temperature no core can exceed in steady state
+// when every core dissipates at most maxCoreW: the hottest core's lateral
+// flux is non-positive (its neighbours are no hotter), so its equilibrium is
+// bounded by ambient + maxCoreW·Rth. The bound is what the invariant checker
+// (internal/check.ThermalEnvelope) holds run-long temperatures against.
+func (c Config) MaxSteadyTempC(maxCoreW float64) float64 {
+	return c.AmbientC + maxCoreW*c.RthCPerW
+}
+
+// MaxStepDeltaC returns the largest per-step temperature change the forward
+// Euler integration can produce for a core dissipating at most maxCoreW
+// while all temperatures stay within the [ambient, maxSteady] envelope:
+// |ΔT| ≤ dt/τ · (maxCoreW·Rth + span + k·4·span), with span the envelope
+// width (4 is the mesh's maximum neighbour count).
+func (c Config) MaxStepDeltaC(maxCoreW, dt float64) float64 {
+	span := maxCoreW * c.RthCPerW
+	return dt / c.TauSec * (maxCoreW*c.RthCPerW + span + c.Coupling*4*span)
+}
+
 // Model integrates per-core temperatures.
 type Model struct {
 	cfg Config

@@ -122,7 +122,9 @@ func PerIslandSize(coresPerIsland int) (Mix, error) {
 }
 
 // MixByName resolves the built-in mixes by their CLI names: "mix1", "mix2",
-// "mix3" (16 cores), "mix3x2" (32 cores) and "thermal".
+// "mix3" (16 cores), "mix3x2" (32 cores) and "thermal". Anything else is
+// treated as a custom mix specification (see ParseMix), so CLIs accept e.g.
+// -mix mesa/bzip/gcc,sixtrack without a code change.
 func MixByName(name string) (Mix, error) {
 	switch name {
 	case "mix1":
@@ -136,5 +138,9 @@ func MixByName(name string) (Mix, error) {
 	case "thermal":
 		return ThermalMix(), nil
 	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+	m, err := ParseMix(name)
+	if err != nil {
+		return Mix{}, fmt.Errorf("workload: unknown mix %q (not a built-in, and not a valid spec: %v)", name, err)
+	}
+	return m, nil
 }

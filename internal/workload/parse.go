@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mix-spec limits: a spec is a CLI convenience, not a bulk format, and the
+// simulator's cost grows with core count, so oversized specs are rejected
+// up front rather than silently accepted.
+const (
+	maxSpecIslands        = 64
+	maxSpecCoresPerIsland = 16
+)
+
+// ParseMix parses a custom mix specification of the form
+//
+//	[name:]island/island/...
+//
+// where each island is a comma-separated list of benchmark names, e.g.
+//
+//	bschls,sclust/btrack,fsim/fmine,canneal/x264,vips
+//	hot:mesa/bzip/gcc/sixtrack
+//
+// Whitespace around names is ignored. Every benchmark must be one of the
+// built-in profiles (see Names), each island needs at least one core, and
+// the spec is bounded by maxSpecIslands × maxSpecCoresPerIsland.
+func ParseMix(spec string) (Mix, error) {
+	name := "custom"
+	body := spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = strings.TrimSpace(spec[:i])
+		body = spec[i+1:]
+		if name == "" {
+			return Mix{}, fmt.Errorf("workload: empty mix name in spec %q", spec)
+		}
+		if strings.ContainsAny(name, "/,") {
+			return Mix{}, fmt.Errorf("workload: mix name %q may not contain '/' or ','", name)
+		}
+	}
+	if strings.TrimSpace(body) == "" {
+		return Mix{}, fmt.Errorf("workload: empty mix spec")
+	}
+	islands := strings.Split(body, "/")
+	if len(islands) > maxSpecIslands {
+		return Mix{}, fmt.Errorf("workload: mix spec has %d islands, max %d", len(islands), maxSpecIslands)
+	}
+	m := Mix{Name: name}
+	for i, isl := range islands {
+		var cores []string
+		for _, b := range strings.Split(isl, ",") {
+			b = strings.TrimSpace(b)
+			if b == "" {
+				return Mix{}, fmt.Errorf("workload: island %d has an empty benchmark name", i)
+			}
+			cores = append(cores, b)
+		}
+		if len(cores) == 0 {
+			return Mix{}, fmt.Errorf("workload: island %d is empty", i)
+		}
+		if len(cores) > maxSpecCoresPerIsland {
+			return Mix{}, fmt.Errorf("workload: island %d has %d cores, max %d", i, len(cores), maxSpecCoresPerIsland)
+		}
+		m.Islands = append(m.Islands, cores)
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
