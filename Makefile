@@ -1,7 +1,10 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench sweep fuzz cover golden all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden all
+
+# Perf trajectory output of `make bench` (see EXPERIMENTS.md).
+BENCH_OUT ?= BENCH_PR3.json
 
 all: vet build test
 
@@ -17,9 +20,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Interval-kernel benchmark suite → $(BENCH_OUT): cache and stream
+# microbenches plus the end-to-end interval kernel, with alloc counters.
+# Pin reference numbers with BENCH_FLAGS='-baseline cache_access=24.5,...'.
+bench:
+	$(GO) run ./cmd/benchreport -out $(BENCH_OUT) $(BENCH_FLAGS)
+
 # Serial-vs-pooled sweep benchmark (EXPERIMENTS.md records the measured
 # speedup).
-bench:
+bench-sweep:
 	$(GO) test ./cmd/cpmsweep/ -run '^$$' -bench BenchmarkPoolSweep -benchtime 3x
 
 # Example sweep: Mix-1 budget curve on the pooled executor.

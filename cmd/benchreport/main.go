@@ -1,0 +1,162 @@
+// Command benchreport runs the repository's interval-kernel benchmark suite
+// and emits a machine-readable JSON report — the perf trajectory artifact
+// (`make bench` → BENCH_PR<n>.json) that lets successive PRs record
+// before/after numbers in a comparable format.
+//
+// Each benchmark is run -count times and the minimum ns/op is kept: on
+// machines with frequency scaling or noisy neighbours the minimum is the
+// least-contended estimate, and the suite exists to compare builds, not to
+// model steady-state throughput. Baseline numbers from an earlier build can
+// be pinned with -baseline to compute speedups into the same report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suite lists the benchmarks the report tracks: the cache microbenches, the
+// address-stream generator, and the end-to-end interval kernel.
+var suite = []struct {
+	key   string // JSON key
+	bench string // exact benchmark name
+	pkg   string // package path
+}{
+	{"cache_access", "BenchmarkCacheAccess", "."},
+	{"cache_hit", "BenchmarkCacheHit", "./internal/cache"},
+	{"stream_gen", "BenchmarkStreamGen", "./internal/workload"},
+	{"interval_kernel", "BenchmarkIntervalKernel", "./internal/sim"},
+	{"sim_step_8core", "BenchmarkSimStep8Sequential", "."},
+}
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// BaselineNsPerOp and Speedup are present when -baseline pinned a
+	// reference number for this key.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion string           `json:"go_version"`
+	GOARCH    string           `json:"goarch"`
+	Count     int              `json:"count"`
+	Benchtime string           `json:"benchtime"`
+	Note      string           `json:"note,omitempty"`
+	Results   map[string]Entry `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	count := flag.Int("count", 3, "runs per benchmark (minimum ns/op kept)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	baseline := flag.String("baseline", "", "comma-separated key=ns_per_op reference numbers (e.g. cache_access=24.5)")
+	note := flag.String("note", "", "free-form provenance note stored in the report")
+	flag.Parse()
+
+	base, err := parseBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Count:     *count,
+		Benchtime: *benchtime,
+		Note:      *note,
+		Results:   map[string]Entry{},
+	}
+	for _, b := range suite {
+		e, err := run(b.bench, b.pkg, *count, *benchtime)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", b.bench, err))
+		}
+		if ref, ok := base[b.key]; ok {
+			e.BaselineNsPerOp = ref
+			e.Speedup = ref / e.NsPerOp
+		}
+		rep.Results[b.key] = e
+		fmt.Printf("%-16s %10.2f ns/op  %d allocs/op\n", b.key, e.NsPerOp, e.AllocsPerOp)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// run executes one benchmark count times and keeps the minimum ns/op (with
+// its alloc counters, which do not vary between runs).
+func run(bench, pkg string, count int, benchtime string) (Entry, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "^"+bench+"$",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	outb, err := cmd.Output()
+	if err != nil {
+		return Entry{}, err
+	}
+	best := Entry{}
+	seen := false
+	for _, line := range strings.Split(string(outb), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if !seen || ns < best.NsPerOp {
+			best.NsPerOp = ns
+			if m[3] != "" {
+				best.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+				best.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			seen = true
+		}
+	}
+	if !seen {
+		return Entry{}, fmt.Errorf("no benchmark output parsed")
+	}
+	return best, nil
+}
+
+func parseBaseline(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("benchreport: malformed baseline entry %q", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: baseline %s: %w", k, err)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

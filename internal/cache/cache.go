@@ -12,6 +12,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -60,26 +61,62 @@ type Stats struct {
 	Evictions uint64
 }
 
-// MissRate returns Misses/Accesses, or 0 with no accesses.
+// MissRate returns Misses/Accesses. An interval with no accesses has no
+// defined miss rate — returning 0 would make an idle or fully-stalled core
+// read as a perfect cache — so the sentinel NaN is returned instead.
+// Callers folding the rate into a model must check Accesses (or
+// math.IsNaN) first.
 func (s Stats) MissRate() float64 {
 	if s.Accesses == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// maxOrderWays is the widest associativity the packed LRU order word can
+// track: 16 ways of 4 bits each in one uint64. Wider caches fall back to a
+// move-to-front tag layout.
+const maxOrderWays = 16
+
+// maxPrefWays is the widest associativity the per-set prefetched-line bit
+// word supports (one bit per way).
+const maxPrefWays = 64
+
 // Cache is a single set-associative cache with true LRU replacement.
+//
+// Storage is packed: all tags live in one flat array of sets*assoc words
+// (indexed set*assoc+way) with lines at fixed way positions, and recency is
+// tracked per set in a 64-bit order word of 4-bit way indices, most recent
+// first. A hit therefore updates LRU state with a few register-width shifts
+// instead of the memmove a move-to-front tag list needs, and an eviction
+// reads its victim from the order word's last nibble. Associativities above
+// 16 use a move-to-front layout within the same flat array.
+//
 // It is not safe for concurrent use; in the parallel simulator each cache is
 // owned by exactly one island goroutine.
 type Cache struct {
-	cfg       Config
-	sets      [][]uint64 // per-set tag list, most recently used first
+	cfg  Config
+	tags []uint64 // sets*assoc, indexed set*assoc+way
+	// order is the per-set LRU order word: nibble k holds the way index of
+	// the k-th most recently used line. Only the first size[s] nibbles are
+	// meaningful; higher nibbles may hold stale values. Nil for wide caches.
+	order []uint64
+	// sigs holds one 8-bit tag signature per way, packed eight ways to a
+	// word (sigWords words per set): a lookup SWAR-compares the signatures
+	// and only verifies full tags at candidate ways, so most misses never
+	// touch the (much larger) tag array. Nil for wide caches.
+	sigs []uint64
+	pref []uint64 // per-set prefetched-line marks, bit w = way w
+	size []int32  // valid ways per set
+
 	setMask   uint64
+	setShift  uint // tag shift: block bits consumed by set indexing
 	blockBits uint
+	assoc     int
+	sigWords  int  // signature words per set: (assoc+7)/8
+	wide      bool // assoc > maxOrderWays: move-to-front layout
+	prefLive  bool // a prefetcher has marked at least one line
 	stats     Stats
-	// prefetched marks lines filled by a prefetcher but not yet touched by
-	// demand (lazily allocated; nil when no prefetcher is attached).
-	prefetched map[prefKey]struct{}
 }
 
 // New builds a cache from cfg.
@@ -90,12 +127,19 @@ func New(cfg Config) (*Cache, error) {
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:       cfg,
-		sets:      make([][]uint64, nsets),
+		tags:      make([]uint64, nsets*cfg.Assoc),
+		pref:      make([]uint64, nsets),
+		size:      make([]int32, nsets),
 		setMask:   uint64(nsets - 1),
 		blockBits: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		assoc:     cfg.Assoc,
+		wide:      cfg.Assoc > maxOrderWays,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]uint64, 0, cfg.Assoc)
+	c.setShift = uint(bits.TrailingZeros64(c.setMask + 1))
+	if !c.wide {
+		c.order = make([]uint64, nsets)
+		c.sigWords = (cfg.Assoc + 7) / 8
+		c.sigs = make([]uint64, nsets*c.sigWords)
 	}
 	return c, nil
 }
@@ -112,11 +156,12 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Flush invalidates all contents and clears statistics.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
-	}
+	clear(c.size)
+	clear(c.order)
+	clear(c.sigs)
+	clear(c.pref)
+	c.prefLive = false
 	c.stats = Stats{}
-	c.prefetched = nil
 }
 
 // Access looks up the block containing addr, updating LRU state and
@@ -124,54 +169,147 @@ func (c *Cache) Flush() {
 // evicting the LRU line of its set if needed.
 func (c *Cache) Access(addr uint64) bool {
 	block := addr >> c.blockBits
-	setIdx := block & c.setMask
-	tag := block >> bits.TrailingZeros64(c.setMask+1)
-
-	set := c.sets[setIdx]
+	set := block & c.setMask
+	tag := block >> c.setShift
 	c.stats.Accesses++
-	for i, t := range set {
+	if c.wide {
+		return c.accessWide(set, tag)
+	}
+	base := int(set) * c.assoc
+	n := int(c.size[set])
+	ord := c.order[set]
+	si := int(set) * c.sigWords
+	bcast := (tag & 0xff) * sigLo
+	// SWAR-match the packed per-way signatures: candidate ways fall out of
+	// a branch-free byte compare, and only candidates load the full tag.
+	// The zero-byte trick never misses a true match (borrows can only raise
+	// spurious flags, rejected by the verify), so most misses finish here
+	// without touching the tag array.
+	for k := 0; k < c.sigWords; k++ {
+		x := c.sigs[si+k] ^ bcast
+		for m := (x - sigLo) &^ x & sigHi; m != 0; m &= m - 1 {
+			w := k*8 + bits.TrailingZeros64(m)>>3
+			if w < n && c.tags[base+w] == tag {
+				c.stats.Hits++
+				// Locate way w's nibble in the order word with the same
+				// zero-find, then move it to the front with shifts. Stale
+				// nibbles sit above every valid one, so the lowest flag is
+				// the true rank.
+				y := ord ^ uint64(w)*sigNib
+				p := uint(bits.TrailingZeros64((y-sigNib)&^y&sigNibHi)) &^ 3
+				low := ord & (1<<p - 1)
+				c.order[set] = ord&^(1<<(p+4)-1) | low<<4 | uint64(w)
+				return true
+			}
+		}
+	}
+	c.stats.Misses++
+	var way uint64
+	if n < c.assoc {
+		way = uint64(n)
+		c.size[set] = int32(n + 1)
+	} else {
+		c.stats.Evictions++
+		way = ord >> (4 * uint(n-1)) & 0xf
+		if c.prefLive {
+			c.pref[set] &^= 1 << way
+		}
+	}
+	c.tags[base+int(way)] = tag
+	c.order[set] = ord<<4 | way
+	c.setSig(si, int(way), tag)
+	return false
+}
+
+// SWAR constants: byte and nibble lane units and high-bit masks.
+const (
+	sigLo    = 0x0101010101010101
+	sigHi    = 0x8080808080808080
+	sigNib   = 0x1111111111111111
+	sigNibHi = 0x8888888888888888
+)
+
+// setSig stores tag's signature byte for the given way of the set whose
+// first signature word is at index si.
+func (c *Cache) setSig(si, way int, tag uint64) {
+	sh := uint(way&7) * 8
+	i := si + way>>3
+	c.sigs[i] = c.sigs[i]&^(0xff<<sh) | (tag&0xff)<<sh
+}
+
+// accessWide is the Access fallback for associativities the order word
+// cannot hold: tags are kept most-recently-used first and rotated in place.
+func (c *Cache) accessWide(set, tag uint64) bool {
+	base := int(set) * c.assoc
+	n := int(c.size[set])
+	ways := c.tags[base : base+n : base+n]
+	for i, t := range ways {
 		if t == tag {
-			// Move to front (most recently used).
-			copy(set[1:i+1], set[:i])
-			set[0] = tag
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			if c.prefLive {
+				c.pref[set] = promoteBit(c.pref[set], uint(i))
+			}
 			c.stats.Hits++
 			return true
 		}
 	}
 	c.stats.Misses++
-	if len(set) < c.cfg.Assoc {
-		set = append(set, 0)
+	if n < c.assoc {
+		n++
+		c.size[set] = int32(n)
+		ways = c.tags[base : base+n : base+n]
 	} else {
 		c.stats.Evictions++
-		if c.prefetched != nil {
-			delete(c.prefetched, prefKey{setIdx, set[len(set)-1]})
-		}
 	}
-	copy(set[1:], set)
-	set[0] = tag
-	c.sets[setIdx] = set
+	copy(ways[1:], ways)
+	ways[0] = tag
+	if c.prefLive {
+		// The victim's mark (bit n-1) shifts out; the new line enters clean.
+		c.pref[set] = c.pref[set] << 1 & wayMask(n)
+	}
 	return false
+}
+
+// promoteBit moves bit i of a per-way bit word to bit 0, shifting bits
+// below it up by one — the bit-word analogue of a move-to-front rotation.
+func promoteBit(word uint64, i uint) uint64 {
+	b := word >> i & 1
+	low := word & (1<<i - 1)
+	return word&^(1<<(i+1)-1) | low<<1 | b
+}
+
+// wayMask returns a mask of the low n way bits (n ≤ 64).
+func wayMask(n int) uint64 {
+	return 1<<uint(n) - 1 // n == 64 wraps to ^0 via Go's shift semantics
 }
 
 // Probe reports whether the block containing addr is present without
 // updating LRU state or counters.
 func (c *Cache) Probe(addr uint64) bool {
 	block := addr >> c.blockBits
-	setIdx := block & c.setMask
-	tag := block >> bits.TrailingZeros64(c.setMask+1)
-	for _, t := range c.sets[setIdx] {
+	set := block & c.setMask
+	_, ok := c.findWay(set, block>>c.setShift)
+	return ok
+}
+
+// findWay scans the valid ways of set for tag.
+func (c *Cache) findWay(set, tag uint64) (uint, bool) {
+	base := int(set) * c.assoc
+	ways := c.tags[base : base+int(c.size[set])]
+	for w, t := range ways {
 		if t == tag {
-			return true
+			return uint(w), true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, s := range c.sets {
-		n += len(s)
+	for _, s := range c.size {
+		n += int(s)
 	}
 	return n
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -156,13 +157,20 @@ func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
 }
 
 func TestMissRate(t *testing.T) {
+	// Regression: zero-access stats must not read as a perfect cache. The
+	// documented sentinel is NaN, which any consumer folding the rate into a
+	// model has to handle explicitly.
 	var s Stats
-	if s.MissRate() != 0 {
-		t.Error("empty MissRate should be 0")
+	if !math.IsNaN(s.MissRate()) {
+		t.Errorf("empty MissRate = %v, want NaN sentinel", s.MissRate())
 	}
 	s = Stats{Accesses: 10, Misses: 3}
 	if s.MissRate() != 0.3 {
 		t.Errorf("MissRate = %v", s.MissRate())
+	}
+	s = Stats{Accesses: 5, Hits: 5}
+	if s.MissRate() != 0 {
+		t.Errorf("all-hit MissRate = %v, want 0", s.MissRate())
 	}
 }
 

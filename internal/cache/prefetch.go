@@ -1,6 +1,9 @@
 package cache
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // StreamPrefetcher wraps a second-level cache with a sequential stream
 // prefetcher: when a demand miss extends an ascending block stream, the next
@@ -23,10 +26,14 @@ type StreamPrefetcher struct {
 }
 
 // NewStreamPrefetcher wraps inner with a prefetcher of the given degree and
-// stream-table size.
+// stream-table size. The inner cache's associativity must not exceed 64:
+// prefetched-line marks are one bit per way in a packed per-set word.
 func NewStreamPrefetcher(inner *Cache, degree, tableSize int) (*StreamPrefetcher, error) {
 	if inner == nil {
 		return nil, errors.New("cache: nil inner cache")
+	}
+	if inner.assoc > maxPrefWays {
+		return nil, fmt.Errorf("cache: prefetched-line marks need assoc ≤ %d, got %d", maxPrefWays, inner.assoc)
 	}
 	if degree <= 0 {
 		return nil, errors.New("cache: non-positive prefetch degree")
@@ -99,63 +106,70 @@ func (p *StreamPrefetcher) Useful() uint64 { return p.useful }
 
 // Fill inserts the block containing addr without touching the demand
 // counters, marking it as prefetched; it reports whether a fill actually
-// happened (false when the block was already resident).
+// happened (false when the block was already resident). The mark lives in
+// the set's packed per-way bit word, so Fill requires assoc ≤ 64 (enforced
+// by NewStreamPrefetcher).
 func (c *Cache) Fill(addr uint64) bool {
 	block := addr >> c.blockBits
-	setIdx := block & c.setMask
-	tag := block >> trailingSetBits(c.setMask)
-	set := c.sets[setIdx]
-	for _, t := range set {
+	set := block & c.setMask
+	tag := block >> c.setShift
+	base := int(set) * c.assoc
+	n := int(c.size[set])
+	for _, t := range c.tags[base : base+n] {
 		if t == tag {
 			return false
 		}
 	}
-	if len(set) < c.cfg.Assoc {
-		set = append(set, 0)
+	c.prefLive = true
+	if c.wide {
+		if n < c.assoc {
+			n++
+			c.size[set] = int32(n)
+		} else {
+			// Evicting for a prefetch still counts as an eviction; the
+			// evicted line's mark (bit n-1) shifts out below.
+			c.stats.Evictions++
+		}
+		ways := c.tags[base : base+n : base+n]
+		copy(ways[1:], ways)
+		ways[0] = tag
+		c.pref[set] = c.pref[set]<<1&wayMask(n) | 1
+		return true
+	}
+	var way uint64
+	if n < c.assoc {
+		way = uint64(n)
+		c.size[set] = int32(n + 1)
 	} else {
-		// Evicting for a prefetch still counts as an eviction; any evicted
-		// line's prefetched mark is dropped with it.
 		c.stats.Evictions++
-		evicted := set[len(set)-1]
-		delete(c.prefetched, prefKey{setIdx, evicted})
+		way = c.order[set] >> (4 * uint(n-1)) & 0xf
 	}
-	copy(set[1:], set)
-	set[0] = tag
-	c.sets[setIdx] = set
-	if c.prefetched == nil {
-		c.prefetched = make(map[prefKey]struct{})
-	}
-	c.prefetched[prefKey{setIdx, tag}] = struct{}{}
+	c.tags[base+int(way)] = tag
+	c.order[set] = c.order[set]<<4 | way
+	c.setSig(int(set)*c.sigWords, int(way), tag)
+	c.pref[set] |= 1 << way
 	return true
 }
 
-type prefKey struct {
-	set uint64
-	tag uint64
-}
-
 func (c *Cache) wasPrefetched(addr uint64) bool {
-	if c.prefetched == nil {
+	if !c.prefLive {
 		return false
 	}
 	block := addr >> c.blockBits
-	_, ok := c.prefetched[prefKey{block & c.setMask, block >> trailingSetBits(c.setMask)}]
-	return ok
+	set := block & c.setMask
+	if w, ok := c.findWay(set, block>>c.setShift); ok {
+		return c.pref[set]>>w&1 == 1
+	}
+	return false
 }
 
 func (c *Cache) clearPrefetched(addr uint64) {
-	if c.prefetched == nil {
+	if !c.prefLive {
 		return
 	}
 	block := addr >> c.blockBits
-	delete(c.prefetched, prefKey{block & c.setMask, block >> trailingSetBits(c.setMask)})
-}
-
-func trailingSetBits(mask uint64) uint {
-	n := uint(0)
-	for mask != 0 {
-		mask >>= 1
-		n++
+	set := block & c.setMask
+	if w, ok := c.findWay(set, block>>c.setShift); ok {
+		c.pref[set] &^= 1 << w
 	}
-	return n
 }

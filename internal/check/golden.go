@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -100,12 +101,15 @@ func (g *Golden) RunEnd(sum *engine.Summary) {
 	}
 }
 
-// round6 rounds to 6 decimal places for the human-readable trailer fields.
+// round6 rounds to 6 decimal places for the human-readable trailer fields,
+// half away from zero. An earlier implementation round-tripped through
+// Sprintf/Sscanf, whose ties-to-even decimal rendering could flip a value
+// sitting exactly on a quantum boundary depending on how the compiler
+// contracted the upstream arithmetic; math.Round's half-away-from-zero rule
+// is deterministic in the value alone. (Digest inputs go through quantize,
+// not this.)
 func round6(v float64) float64 {
-	s := fmt.Sprintf("%.6f", v)
-	var out float64
-	fmt.Sscanf(s, "%f", &out)
-	return out
+	return math.Round(v*1e6) / 1e6
 }
 
 // Trace returns the recorded trace (complete once RunEnd has fired).

@@ -99,3 +99,24 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Fatalf("two identical runs diverged: %v", err)
 	}
 }
+
+// TestRound6HalfAwayFromZero pins the trailer-field rounding rule at quantum
+// boundaries: ties round away from zero in both directions, and values just
+// under a quantum are not truncated. IEEE semantics make these expressions
+// platform-deterministic.
+func TestRound6HalfAwayFromZero(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{12345.5 / 1e6, 12346.0 / 1e6},   // positive tie: away from zero
+		{-12345.5 / 1e6, -12346.0 / 1e6}, // negative tie: away from zero
+		{12344.5 / 1e6, 12345.0 / 1e6},   // tie with even neighbour below: still up
+		{0.9999995, 1.0},                 // cast truncation would give 0.999999
+		{-0.9999995, -1.0},
+		{1.2000004, 1.2},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := round6(c.in); got != c.want {
+			t.Errorf("round6(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type Config struct {
 }
 
 // StepResult is one managed interval's outcome.
+//
+// Sim.Islands and AllocW alias scratch buffers that Step overwrites every
+// interval; a caller retaining a StepResult across steps must Clone it.
 type StepResult struct {
 	// Sim is the simulator's observation for the interval.
 	Sim sim.Result
@@ -57,6 +60,14 @@ type StepResult struct {
 	AllocW []float64
 	// GPMInvoked reports whether this interval began a new GPM epoch.
 	GPMInvoked bool
+}
+
+// Clone returns a deep copy independent of the controller's and chip's
+// scratch buffers, safe to retain across Steps.
+func (r StepResult) Clone() StepResult {
+	r.Sim = r.Sim.Clone()
+	r.AllocW = append([]float64(nil), r.AllocW...)
+	return r
 }
 
 // CPM couples a simulated chip with the two-tier controller.
@@ -67,6 +78,7 @@ type CPM struct {
 	pic []*pic.Controller
 
 	alloc    []float64
+	resAlloc []float64 // reused backing array of StepResult.AllocW
 	haveMeas bool
 	lastUtil []float64
 	lastPowW []float64
@@ -161,9 +173,11 @@ func (c *CPM) AllocW() []float64 { return c.alloc }
 // SetBudgetW changes the chip budget at the next GPM invocation.
 func (c *CPM) SetBudgetW(w float64) { c.mgr.SetBudgetW(w) }
 
-// Step advances the managed chip one PIC interval.
+// Step advances the managed chip one PIC interval. The returned StepResult
+// aliases scratch buffers valid until the next Step (see StepResult.Clone).
 func (c *CPM) Step() StepResult {
-	res := StepResult{AllocW: append([]float64(nil), c.alloc...)}
+	c.resAlloc = append(c.resAlloc[:0], c.alloc...)
+	res := StepResult{AllocW: c.resAlloc}
 
 	// GPM at epoch boundaries (Figure 4), once measurements exist.
 	gpmDue := c.interval%c.cfg.GPMPeriod == 0 && c.accN > 0
@@ -235,11 +249,12 @@ func (c *CPM) Step() StepResult {
 	return res
 }
 
-// Run advances n intervals, returning every step result.
+// Run advances n intervals, returning every step result. Results are cloned
+// out of the per-step scratch buffers, so the slice is safe to keep.
 func (c *CPM) Run(n int) []StepResult {
 	out := make([]StepResult, n)
 	for i := range out {
-		out[i] = c.Step()
+		out[i] = c.Step().Clone()
 	}
 	return out
 }

@@ -19,7 +19,9 @@ func TestStepHookReceivesManagedResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []StepResult
-	c.SetStepHook(func(r StepResult) { got = append(got, r) })
+	// StepResults are retained across steps, so the hook clones them out of
+	// the controller's scratch buffers.
+	c.SetStepHook(func(r StepResult) { got = append(got, r.Clone()) })
 
 	const n = 45 // spans two GPM epochs with the default period of 20
 	want := c.Run(n)

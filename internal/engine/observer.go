@@ -25,6 +25,17 @@ type Step struct {
 	GPMObs []gpm.IslandObs
 }
 
+// Clone returns a deep copy of the step, independent of the runner's and
+// chip's per-interval scratch buffers (Sim.Islands, AllocW). Observers see
+// steps synchronously and need no copy; anything retaining a Step across
+// intervals must Clone it.
+func (s Step) Clone() Step {
+	s.Sim = s.Sim.Clone()
+	s.AllocW = append([]float64(nil), s.AllocW...)
+	s.GPMObs = append([]gpm.IslandObs(nil), s.GPMObs...)
+	return s
+}
+
 // Epoch is one GPM epoch's aggregate over the measurement window.
 type Epoch struct {
 	// Index counts measured epochs from 0.

@@ -132,7 +132,7 @@ func (s *Session) Run() Summary {
 		st := s.runner.Step()
 		st.Measured = true
 		if s.cfg.KeepSteps {
-			sum.Steps = append(sum.Steps, st)
+			sum.Steps = append(sum.Steps, st.Clone())
 		}
 		if st.AllocW != nil {
 			managed = true

@@ -14,11 +14,13 @@ func TestStepHookReceivesEveryResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []Result
-	c.SetStepHook(func(r Result) { got = append(got, r) })
+	// Results are retained across steps, so the hook clones them out of the
+	// chip's scratch buffers.
+	c.SetStepHook(func(r Result) { got = append(got, r.Clone()) })
 	const n = 10
 	want := make([]Result, 0, n)
 	for k := 0; k < n; k++ {
-		want = append(want, c.Step())
+		want = append(want, c.Step().Clone())
 	}
 	if len(got) != n {
 		t.Fatalf("hook fired %d times over %d steps", len(got), n)

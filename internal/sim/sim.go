@@ -129,6 +129,10 @@ type IslandResult struct {
 }
 
 // Result is one interval's chip-wide observation.
+//
+// Islands aliases a per-chip scratch buffer that Step overwrites on every
+// interval (the steady-state loop allocates nothing); a caller that retains
+// a Result across steps must Clone it first.
 type Result struct {
 	Interval      int
 	Islands       []IslandResult
@@ -136,6 +140,13 @@ type Result struct {
 	ChipPowerFrac float64
 	TotalBIPS     float64
 	MaxTempC      float64
+}
+
+// Clone returns a deep copy whose Islands slice is independent of the
+// chip's scratch buffer, safe to retain across Steps.
+func (r Result) Clone() Result {
+	r.Islands = append([]IslandResult(nil), r.Islands...)
+	return r
 }
 
 // coreModel is the per-core surface the engine drives, satisfied by both
@@ -172,6 +183,9 @@ type CMP struct {
 	nCores     int
 	maxChipW   float64
 	corePowers []float64 // global, indexed by core ID
+	// resIslands is the reused backing array of every Result.Islands the
+	// chip returns — part of the zero-allocation steady-state contract.
+	resIslands []IslandResult
 	interval   int
 	totalInstr float64
 
@@ -342,6 +356,7 @@ func New(cfg Config) (*CMP, error) {
 		st.powers = make([]float64, len(st.cores))
 		c.islands = append(c.islands, st)
 	}
+	c.resIslands = make([]IslandResult, len(c.islands))
 	return c, nil
 }
 
@@ -418,7 +433,9 @@ func (c *CMP) Thermals() *thermal.Model { return c.thermals }
 // TotalInstructions returns cumulative instructions across all cores.
 func (c *CMP) TotalInstructions() float64 { return c.totalInstr }
 
-// Step advances the chip by one interval and returns its observation.
+// Step advances the chip by one interval and returns its observation. The
+// returned Result's Islands slice is valid until the next Step (see
+// Result.Clone).
 func (c *CMP) Step() Result {
 	if c.cfg.Parallel && len(c.islands) > 1 {
 		var wg sync.WaitGroup
@@ -437,7 +454,7 @@ func (c *CMP) Step() Result {
 	}
 
 	// Reduce: chip aggregates and delayed cross-island couplings.
-	res := Result{Interval: c.interval, Islands: make([]IslandResult, len(c.islands))}
+	res := Result{Interval: c.interval, Islands: c.resIslands}
 	var blocks uint64
 	for i, st := range c.islands {
 		res.Islands[i] = st.res

@@ -153,12 +153,16 @@ func NewCore(id int, seed uint64, cfg Config, prof workload.Profile, hier *cache
 	if hier == nil || memsys == nil {
 		return nil, errors.New("uarch: core needs a cache hierarchy and memory system")
 	}
+	streams, err := workload.NewStreamGen(seed, id, prof)
+	if err != nil {
+		return nil, err
+	}
 	return &Core{
 		id:      id,
 		cfg:     cfg,
 		prof:    prof,
 		phases:  workload.NewPhaseGen(seed, prof),
-		streams: workload.NewStreamGen(seed, id, prof),
+		streams: streams,
 		hier:    hier,
 		memsys:  memsys,
 	}, nil

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
+
+// TestDivisorMatchesHardwareRemainder checks the reciprocal remainder against
+// the hardware `%` over edge-case divisors (powers of two, neighbours of
+// powers of two, the generators' real block counts, extremes) and edge-case
+// plus random operands. The address generators rely on exact equality: one
+// differing draw would shift every subsequent address and break the golden
+// traces.
+func TestDivisorMatchesHardwareRemainder(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 5, 7, 63, 64, 65, 127, 128,
+		192, 256, 384, 640, 768, 1024, 1152, 1536, 4096, // registry hot/code block counts
+		1<<20 - 1, 1 << 20, 1<<20 + 1,
+		1<<33 + 7, 1 << 63, 1<<63 + 1, ^uint64(0) - 1, ^uint64(0),
+	}
+	r := stats.NewRand(0xd17)
+	for _, d := range divisors {
+		v := newDivisor(d)
+		xs := []uint64{0, 1, d - 1, d, d + 1, 2*d - 1, 2 * d, ^uint64(0), ^uint64(0) - 1}
+		for i := 0; i < 2000; i++ {
+			xs = append(xs[:9], r.Uint64())
+			for _, x := range xs {
+				if got, want := v.mod(x), x%d; got != want {
+					t.Fatalf("divisor %d: mod(%d) = %d, want %d", d, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDivisorRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newDivisor(0) should panic")
+		}
+	}()
+	newDivisor(0)
+}

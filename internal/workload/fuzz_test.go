@@ -92,7 +92,10 @@ func FuzzStreamAddrs(f *testing.F) {
 			ph.MemMult = memMult
 		}
 
-		g := NewStreamGen(seed, coreID, p)
+		g, err := NewStreamGen(seed, coreID, p)
+		if err != nil {
+			t.Fatalf("NewStreamGen rejected registry profile %s: %v", p.Name, err)
+		}
 		base := uint64(coreID+1) << 40
 		next := uint64(coreID+2) << 40
 
@@ -125,7 +128,10 @@ func FuzzStreamAddrs(f *testing.F) {
 		}
 
 		// Same inputs, fresh generator: streams must be reproducible.
-		g2 := NewStreamGen(seed, coreID, p)
+		g2, err := NewStreamGen(seed, coreID, p)
+		if err != nil {
+			t.Fatalf("NewStreamGen rejected registry profile %s: %v", p.Name, err)
+		}
 		data2 := g2.DataAddrs(n, ph, nil)
 		for i := range data {
 			if data[i] != data2[i] {

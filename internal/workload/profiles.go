@@ -96,8 +96,12 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %s: MemRefFraction out of range", p.Name)
 	case p.WorkingSetBytes == 0 || p.CodeBytes == 0:
 		return fmt.Errorf("workload %s: zero footprint", p.Name)
-	case p.HotSetBytes == 0 || p.HotSetBytes > p.WorkingSetBytes:
+	case p.HotSetBytes < blockBytes:
+		return fmt.Errorf("workload %s: hot set %d smaller than a cache block (%d)", p.Name, p.HotSetBytes, blockBytes)
+	case p.HotSetBytes > p.WorkingSetBytes:
 		return fmt.Errorf("workload %s: hot set must be within the working set", p.Name)
+	case p.CodeBytes < blockBytes:
+		return fmt.Errorf("workload %s: code footprint %d smaller than a cache block (%d)", p.Name, p.CodeBytes, blockBytes)
 	case p.HotFraction < 0 || p.HotFraction > 1:
 		return fmt.Errorf("workload %s: HotFraction out of range", p.Name)
 	case p.SeqFraction < 0 || p.SeqFraction > 1:

@@ -1,6 +1,10 @@
 package workload
 
-import "github.com/cpm-sim/cpm/internal/stats"
+import (
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/stats"
+)
 
 // StreamGen generates the sampled address streams that drive the cache
 // hierarchy. Data accesses mix three behaviours according to the profile:
@@ -19,6 +23,15 @@ type StreamGen struct {
 	codeBase uint64
 	seqPos   uint64 // sequential walk cursor within the working set
 	codePos  uint64
+
+	// Reciprocals for the per-address uniform draws, prepared once at
+	// construction (hot set, code footprint) or once per observed phase
+	// multiplier (cold span), so the generator loops never execute a
+	// hardware divide.
+	hotDiv   divisor
+	codeDiv  divisor
+	coldDiv  divisor
+	coldMult float64 // phase multiplier coldDiv was built for; NaN initially
 }
 
 const (
@@ -29,17 +42,26 @@ const (
 	seqStride = 8
 )
 
-// NewStreamGen builds a generator for profile p. Cores receive distinct
-// base addresses so their streams never alias in a shared L2 (the
-// applications of the paper's mixes do not share data).
-func NewStreamGen(seed uint64, coreID int, p Profile) *StreamGen {
+// NewStreamGen builds a generator for profile p, which must validate: the
+// generator relies on the footprint bounds (hot set and code footprint at
+// least one block, hot set within the working set) instead of silently
+// clamping misconfigured profiles. Cores receive distinct base addresses so
+// their streams never alias in a shared L2 (the applications of the paper's
+// mixes do not share data).
+func NewStreamGen(seed uint64, coreID int, p Profile) (*StreamGen, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return &StreamGen{
 		rng:     stats.NewRand(stats.DeriveSeed(seed, 0x57a7, uint64(coreID))),
 		profile: p,
 		// 1 TiB apart per core: disjoint address spaces.
 		dataBase: uint64(coreID+1) << 40,
 		codeBase: uint64(coreID+1)<<40 | 1<<36,
-	}
+		hotDiv:   newDivisor(p.HotSetBytes / blockBytes),
+		codeDiv:  newDivisor(p.CodeBytes / blockBytes),
+		coldMult: math.NaN(), // never equal: first DataAddrs call builds coldDiv
+	}, nil
 }
 
 // DataAddrs fills dst with n sampled data addresses for an interval in
@@ -47,29 +69,33 @@ func NewStreamGen(seed uint64, coreID int, p Profile) *StreamGen {
 func (s *StreamGen) DataAddrs(n int, ph Phase, dst []uint64) []uint64 {
 	dst = grow(dst, n)
 	ws := s.profile.WorkingSetBytes
-	hot := s.profile.HotSetBytes
-	if hot > ws {
-		hot = ws
+	if ph.MemMult != s.coldMult {
+		// Cold accesses roam the working set; memory-heavier phases sweep
+		// more of it. The span is fixed for the whole phase, so the
+		// reciprocal survives across calls until the phase machine moves.
+		blocks := uint64(float64(ws)*minf(1, ph.MemMult)) / blockBytes
+		if blocks == 0 {
+			blocks = 1
+		}
+		s.coldDiv = newDivisor(blocks)
+		s.coldMult = ph.MemMult
 	}
-	if hot < blockBytes {
-		hot = blockBytes
-	}
-	for i := 0; i < n; i++ {
+	rng := s.rng
+	seqF, hotF := s.profile.SeqFraction, s.profile.HotFraction
+	for i := range dst {
 		switch {
-		case s.rng.Bool(s.profile.SeqFraction):
-			s.seqPos = (s.seqPos + seqStride) % ws
-			dst[i] = s.dataBase + s.seqPos
-		case s.rng.Bool(s.profile.HotFraction):
-			dst[i] = s.dataBase + uint64(s.rng.Intn(int(hot/blockBytes)))*blockBytes
-		default:
-			// Cold accesses roam the working set; memory-heavier phases
-			// sweep more of it.
-			span := float64(ws) * minf(1, ph.MemMult)
-			blocks := uint64(span) / blockBytes
-			if blocks == 0 {
-				blocks = 1
+		case rng.Bool(seqF):
+			// seqPos stays below ws, so one conditional subtract is the
+			// wrap-around (ws is at least one block, far above the stride).
+			s.seqPos += seqStride
+			if s.seqPos >= ws {
+				s.seqPos -= ws
 			}
-			dst[i] = s.dataBase + (s.rng.Uint64()%blocks)*blockBytes
+			dst[i] = s.dataBase + s.seqPos
+		case rng.Bool(hotF):
+			dst[i] = s.dataBase + s.hotDiv.mod(rng.Uint64())*blockBytes
+		default:
+			dst[i] = s.dataBase + s.coldDiv.mod(rng.Uint64())*blockBytes
 		}
 	}
 	return dst
@@ -78,13 +104,18 @@ func (s *StreamGen) DataAddrs(n int, ph Phase, dst []uint64) []uint64 {
 // FetchAddrs fills dst with n sampled instruction-fetch addresses.
 func (s *StreamGen) FetchAddrs(n int, dst []uint64) []uint64 {
 	dst = grow(dst, n)
+	rng := s.rng
 	code := s.profile.CodeBytes
-	for i := 0; i < n; i++ {
-		if s.rng.Bool(0.04) {
+	for i := range dst {
+		if rng.Bool(0.04) {
 			// Branch to a random code block.
-			s.codePos = uint64(s.rng.Intn(int(code/blockBytes))) * blockBytes
+			s.codePos = s.codeDiv.mod(rng.Uint64()) * blockBytes
 		} else {
-			s.codePos = (s.codePos + blockBytes) % code
+			// codePos stays below code, so wrap-around is one subtract.
+			s.codePos += blockBytes
+			if s.codePos >= code {
+				s.codePos -= code
+			}
 		}
 		dst[i] = s.codeBase + s.codePos
 	}

@@ -225,11 +225,20 @@ func TestPhaseGenActuallyVaries(t *testing.T) {
 	}
 }
 
+func mustStream(t *testing.T, seed uint64, coreID int, p Profile) *StreamGen {
+	t.Helper()
+	g, err := NewStreamGen(seed, coreID, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func TestStreamGenDeterministicAndDisjoint(t *testing.T) {
 	p := MustByName("sclust")
-	a := NewStreamGen(9, 0, p)
-	b := NewStreamGen(9, 0, p)
-	other := NewStreamGen(9, 1, p)
+	a := mustStream(t, 9, 0, p)
+	b := mustStream(t, 9, 0, p)
+	other := mustStream(t, 9, 1, p)
 	ph := NeutralPhase()
 	aa := a.DataAddrs(256, ph, nil)
 	bb := b.DataAddrs(256, ph, nil)
@@ -250,7 +259,7 @@ func TestStreamGenDeterministicAndDisjoint(t *testing.T) {
 
 func TestStreamAddressesWithinFootprints(t *testing.T) {
 	p := MustByName("canneal")
-	g := NewStreamGen(3, 2, p)
+	g := mustStream(t, 3, 2, p)
 	ph := Phase{CPIMult: 1, MemMult: phaseMax, ActMult: 1}
 	data := g.DataAddrs(4096, ph, nil)
 	base := uint64(3) << 40
@@ -269,7 +278,7 @@ func TestStreamAddressesWithinFootprints(t *testing.T) {
 }
 
 func TestStreamGenReusesBuffer(t *testing.T) {
-	g := NewStreamGen(1, 0, MustByName("bschls"))
+	g := mustStream(t, 1, 0, MustByName("bschls"))
 	buf := make([]uint64, 0, 512)
 	out := g.DataAddrs(512, NeutralPhase(), buf)
 	if &out[0] != &buf[:1][0] {
@@ -286,7 +295,7 @@ func TestStreamGenReusesBuffer(t *testing.T) {
 func TestSequentialStreamProperty(t *testing.T) {
 	p := MustByName("bschls")
 	p.SeqFraction = 1
-	g := NewStreamGen(5, 0, p)
+	g := mustStream(t, 5, 0, p)
 	addrs := g.DataAddrs(1000, NeutralPhase(), nil)
 	for i := 1; i < len(addrs); i++ {
 		d := int64(addrs[i]) - int64(addrs[i-1])
