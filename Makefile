@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR3.json
@@ -50,3 +50,14 @@ cover:
 # Regenerate the golden traces after an intentional behaviour change.
 golden:
 	$(GO) test ./internal/check -run TestGoldenScenarios -update
+
+# Race-enabled metrics suite: the registry/observer tests plus the pooled
+# sweep with a concurrent scraper (cmd/cpmsweep TestSweepConcurrentScrape).
+test-metrics-race:
+	$(GO) test -race ./internal/metrics ./internal/diag ./cmd/cpmsweep
+
+# Telemetry of the golden cpm-default scenario in both exporter formats
+# (ci.yml uploads these as an informational artifact).
+telemetry:
+	$(GO) run ./cmd/cpmsim -metrics telemetry.prom scenario cpm-default
+	$(GO) run ./cmd/cpmsim -metrics telemetry.json scenario cpm-default

@@ -7,6 +7,7 @@
 //	cpmsim run fig11 fig12      # run specific experiments
 //	cpmsim run all              # run everything (Tables I-III, Figures 5-19)
 //	cpmsim tables               # shorthand for the three tables
+//	cpmsim scenario cpm-default # replay a canonical golden scenario
 //
 // Flags:
 //
@@ -17,6 +18,10 @@
 //	-csv DIR      also write every series as CSV files into DIR
 //	-workers N    run experiments concurrently (0 = GOMAXPROCS); reports
 //	              are buffered per experiment and printed in request order
+//	-metrics F    export run telemetry to F after the run ("-" = stdout,
+//	              .json = JSON, anything else Prometheus text format)
+//	-pprof ADDR   serve net/http/pprof on ADDR for the life of the process
+//	-trace F      write a runtime/trace capture to F
 package main
 
 import (
@@ -27,8 +32,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/cpm-sim/cpm/internal/check"
+	"github.com/cpm-sim/cpm/internal/diag"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/experiments"
+	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/trace"
 )
 
@@ -39,6 +47,7 @@ type cliConfig struct {
 	workers int
 	cmd     string
 	ids     []string
+	diag    *diag.Flags
 }
 
 // parseCLI parses and validates argv (without the program name). It is the
@@ -52,8 +61,9 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
 	csvDir := fs.String("csv", "", "directory to write CSV series into")
 	workers := fs.Int("workers", 1, "concurrent experiments (0 = GOMAXPROCS)")
+	dflags := diag.AddFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cpmsim [flags] list | tables | run <id>...|all\n\n")
+		fmt.Fprintf(stderr, "usage: cpmsim [flags] list | tables | run <id>...|all | scenario <name>...|all\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -75,6 +85,7 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 		csvDir:  *csvDir,
 		workers: *workers,
 		cmd:     args[0],
+		diag:    dflags,
 	}
 	switch args[0] {
 	case "list":
@@ -91,6 +102,23 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 				c.ids = append(c.ids, d.ID)
 			}
 		}
+	case "scenario":
+		c.ids = args[1:]
+		if len(c.ids) == 0 {
+			return cliConfig{}, fmt.Errorf("cpmsim scenario: need scenario names or 'all' (see check.Canonical)")
+		}
+		if len(c.ids) == 1 && c.ids[0] == "all" {
+			c.ids = nil
+			for _, sc := range check.Canonical() {
+				c.ids = append(c.ids, sc.Name)
+			}
+		} else {
+			for _, name := range c.ids {
+				if _, err := scenarioByName(name); err != nil {
+					return cliConfig{}, err
+				}
+			}
+		}
 	default:
 		fs.Usage()
 		return cliConfig{}, fmt.Errorf("cpmsim: unknown command %q", args[0])
@@ -104,11 +132,75 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if c.cmd == "list" {
+	stopTrace, err := c.diag.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopTrace()
+	c.opts.Metrics = c.diag.Registry()
+	switch c.cmd {
+	case "list":
 		listExperiments()
 		return
+	case "scenario":
+		if err := runScenarios(c, os.Stdout); err != nil {
+			stopTrace()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		if !runIDs(c.ids, c.opts, c.csvDir, c.workers) {
+			stopTrace()
+			os.Exit(1)
+		}
 	}
-	runIDs(c.ids, c.opts, c.csvDir, c.workers)
+	if err := c.diag.WriteMetrics(c.opts.Metrics, os.Stdout); err != nil {
+		stopTrace()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// scenarioByName resolves a canonical golden scenario.
+func scenarioByName(name string) (check.Scenario, error) {
+	for _, sc := range check.Canonical() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	var names []string
+	for _, sc := range check.Canonical() {
+		names = append(names, sc.Name)
+	}
+	return check.Scenario{}, fmt.Errorf("cpmsim scenario: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// runScenarios replays canonical golden scenarios under the invariant
+// suite, attaching the telemetry observer when -metrics is given — the
+// scenario-level entry point CI uses to capture the cpm-default telemetry
+// artifact.
+func runScenarios(c cliConfig, out io.Writer) error {
+	for _, name := range c.ids {
+		sc, err := scenarioByName(name)
+		if err != nil {
+			return err
+		}
+		var extra []engine.Observer
+		if c.opts.Metrics != nil {
+			extra = append(extra, metrics.NewObserver(c.opts.Metrics, metrics.ObserverOptions{Label: sc.Name}))
+		}
+		sum, suite, err := sc.Run(c.opts.Seed, extra...)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		if err := suite.Err(); err != nil {
+			return fmt.Errorf("scenario %s violated invariants:\n%w", name, err)
+		}
+		fmt.Fprintf(out, "scenario %-16s mean power %7.2f W, %6.3f BIPS, peak %5.1f C\n",
+			name, sum.MeanPowerW, sum.MeanBIPS, sum.MaxTempC)
+	}
+	return nil
 }
 
 func listExperiments() {
@@ -126,7 +218,7 @@ type runReport struct {
 	errs []string
 }
 
-func runIDs(ids []string, opts experiments.Options, csvDir string, workers int) {
+func runIDs(ids []string, opts experiments.Options, csvDir string, workers int) bool {
 	reports, _ := engine.Map(engine.Pool{Workers: workers}, len(ids), func(i int) (runReport, error) {
 		r := runOne(ids[i], opts, csvDir)
 		if len(r.errs) == 0 {
@@ -134,17 +226,15 @@ func runIDs(ids []string, opts experiments.Options, csvDir string, workers int) 
 		}
 		return r, nil
 	})
-	failed := false
+	ok := true
 	for _, r := range reports {
 		os.Stdout.WriteString(r.text)
 		for _, e := range r.errs {
 			fmt.Fprintln(os.Stderr, e)
-			failed = true
+			ok = false
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return ok
 }
 
 func runOne(id string, opts experiments.Options, csvDir string) (rep runReport) {

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/cpm-sim/cpm/internal/check"
 )
 
 func TestParseCLIValid(t *testing.T) {
@@ -47,6 +54,41 @@ func TestParseCLIRunAll(t *testing.T) {
 	}
 }
 
+func TestParseCLIDiagFlags(t *testing.T) {
+	c, err := parseCLI([]string{"-metrics", "-", "-pprof", "localhost:6060", "-trace", "run.trace", "list"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.diag == nil {
+		t.Fatal("diag flags not bound")
+	}
+	if c.diag.MetricsPath != "-" || c.diag.PprofAddr != "localhost:6060" || c.diag.TracePath != "run.trace" {
+		t.Errorf("diag flags not threaded: %+v", c.diag)
+	}
+}
+
+func TestParseCLIScenario(t *testing.T) {
+	c, err := parseCLI([]string{"scenario", "cpm-default"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cmd != "scenario" || len(c.ids) != 1 || c.ids[0] != "cpm-default" {
+		t.Errorf("scenario command not parsed: %+v", c)
+	}
+	c, err = parseCLI([]string{"scenario", "all"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ids) != len(check.Canonical()) {
+		t.Errorf("scenario all expanded to %d names, want %d", len(c.ids), len(check.Canonical()))
+	}
+	for _, id := range c.ids {
+		if id == "all" {
+			t.Error("sentinel 'all' leaked into the scenario list")
+		}
+	}
+}
+
 func TestParseCLIRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -58,6 +100,8 @@ func TestParseCLIRejects(t *testing.T) {
 		{"no command", []string{"-quick"}, "need a command"},
 		{"unknown command", []string{"frobnicate"}, "unknown command"},
 		{"run without ids", []string{"run"}, "need experiment IDs"},
+		{"scenario without names", []string{"scenario"}, "need scenario names"},
+		{"unknown scenario", []string{"scenario", "nope"}, "unknown scenario"},
 		{"unknown flag", []string{"-frob", "run", "fig11"}, "not defined"},
 	}
 	for _, c := range cases {
@@ -70,5 +114,52 @@ func TestParseCLIRejects(t *testing.T) {
 				t.Errorf("parseCLI(%v) = %v, want error containing %q", c.argv, err, c.want)
 			}
 		})
+	}
+}
+
+// TestScenarioMetricsJSONRoundTrip is the CLI-level regression test for
+// non-finite telemetry: a scenario run plus a zero-access miss-rate gauge
+// (NaN, as sim.Stats.MissRate reports before any access) must still export
+// JSON that encoding/json accepts, with the NaN encoded as null.
+func TestScenarioMetricsJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenario replay in -short mode")
+	}
+	c, err := parseCLI([]string{"-metrics", filepath.Join(t.TempDir(), "telemetry.json"), "scenario", "cpm-default"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.opts.Metrics = c.diag.Registry()
+	if c.opts.Metrics == nil {
+		t.Fatal("registry not created for -metrics")
+	}
+	var out bytes.Buffer
+	if err := runScenarios(c, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scenario cpm-default") {
+		t.Errorf("no scenario report:\n%s", out.String())
+	}
+	// A zero-access interval reports MissRate() == NaN; the exporter must
+	// encode it as null rather than produce invalid JSON.
+	c.opts.Metrics.GaugeVec("cpm_cache_miss_rate",
+		"Cumulative cache miss rate by hierarchy level (NaN until the level is accessed).",
+		"run", "level").With("zero-access", "l1i").Set(math.NaN())
+	if err := c.diag.WriteMetrics(c.opts.Metrics, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.diag.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exported telemetry is not valid JSON: %v", err)
+	}
+	if !bytes.Contains(raw, []byte(`"value": null`)) {
+		t.Errorf("NaN miss rate not encoded as null:\n%s", raw)
+	}
+	if !bytes.Contains(raw, []byte(`"cpm_intervals_total"`)) {
+		t.Errorf("scenario telemetry missing from export:\n%s", raw)
 	}
 }

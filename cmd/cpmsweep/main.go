@@ -24,9 +24,12 @@ import (
 
 	"github.com/cpm-sim/cpm/internal/check"
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/diag"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/metrics"
+	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/thermal"
 	"github.com/cpm-sim/cpm/internal/workload"
@@ -46,6 +49,7 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	epochs := fs.Int("epochs", 16, "measured GPM epochs")
 	workers := fs.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
 	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
+	dflags := diag.AddFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return sweepOptions{}, err
 	}
@@ -82,13 +86,22 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 		Workers:  *workers,
 		Parallel: true,
 		Check:    *checked,
+		Diag:     dflags,
 	}, nil
 }
 
 func main() {
 	o, err := parseSweepCLI(os.Args[1:], os.Stderr)
 	exitOn(err)
-	exitOn(sweep(o, os.Stdout, os.Stderr))
+	stopTrace, err := o.Diag.Start(os.Stderr)
+	exitOn(err)
+	o.Metrics = o.Diag.Registry()
+	if err := sweep(o, os.Stdout, os.Stderr); err != nil {
+		stopTrace()
+		exitOn(err)
+	}
+	stopTrace()
+	exitOn(o.Diag.WriteMetrics(o.Metrics, os.Stdout))
 }
 
 // sweepOptions parameterizes one sweep.
@@ -108,6 +121,12 @@ type sweepOptions struct {
 	// Check attaches the invariant suite to every run; a violation fails
 	// the sweep.
 	Check bool
+	// Diag holds the shared diagnostics flags (-metrics, -pprof, -trace).
+	Diag *diag.Flags
+	// Metrics, when non-nil, attaches a telemetry observer to every run.
+	// The registry is race-safe: budget points record into it concurrently
+	// from the pool, and it may be scraped while the sweep runs.
+	Metrics *metrics.Registry
 }
 
 // sweepRow is one budget point's measurements, in output order.
@@ -131,7 +150,7 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 	fmt.Fprintf(logw, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
 		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
 
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check)
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check, o.Metrics)
 	if err != nil {
 		return err
 	}
@@ -161,11 +180,11 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 		if err != nil {
 			return sweepRow{}, err
 		}
-		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check)
+		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check, o.Metrics, frac)
 		if err != nil {
 			return sweepRow{}, err
 		}
-		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs, o.Check)
+		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs, o.Check, o.Metrics, frac)
 		if err != nil {
 			return sweepRow{}, err
 		}
@@ -177,7 +196,7 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 	})
 }
 
-func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool) (engine.Summary, error) {
+func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry) (engine.Summary, error) {
 	cfg.InitialLevel = -1
 	cmp, err := sim.New(cfg)
 	if err != nil {
@@ -188,6 +207,9 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool) (engine.Su
 	if checked {
 		suite = check.All(check.ForChip(cmp, 0))
 		obs = append(obs, suite)
+	}
+	if reg != nil {
+		obs = append(obs, metrics.NewObserver(reg, metrics.ObserverOptions{Label: "unmanaged", Chip: cmp}))
 	}
 	s, err := engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, Label: "unmanaged",
@@ -204,7 +226,7 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool) (engine.Su
 	return sum, nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool) (engine.Summary, error) {
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool, reg *metrics.Registry, frac float64) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return engine.Summary{}, err
@@ -218,6 +240,15 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 	if checked {
 		suite = check.ForCPM(c, budget)
 		obs = append(obs, suite)
+	}
+	if reg != nil {
+		pics := make([]*pic.Controller, cmp.NumIslands())
+		for i := range pics {
+			pics[i] = c.PIC(i)
+		}
+		obs = append(obs, metrics.NewObserver(reg, metrics.ObserverOptions{
+			Label: fmt.Sprintf("cpm-%.2f", frac), Chip: cmp, PICs: pics,
+		}))
 	}
 	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "cpm",
@@ -234,7 +265,7 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 	return sum, nil
 }
 
-func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool) (engine.Summary, error) {
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64) (engine.Summary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return engine.Summary{}, err
@@ -260,6 +291,11 @@ func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bo
 		ccfg.IslandTolFrac = 0.25
 		suite = check.All(ccfg)
 		obs = append(obs, suite)
+	}
+	if reg != nil {
+		obs = append(obs, metrics.NewObserver(reg, metrics.ObserverOptions{
+			Label: fmt.Sprintf("maxbips-%.2f", frac), Chip: cmp,
+		}))
 	}
 	s, err := engine.NewSession(r, engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "maxbips",

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/metrics"
+)
+
+// TestSweepConcurrentScrape runs a pooled sweep with a shared telemetry
+// registry while a scraper goroutine continuously exports it — the
+// registry's race-safety contract (budget points record concurrently, a
+// monitoring endpoint may read mid-run). Run under -race this is the
+// subsystem's concurrency regression test.
+func TestSweepConcurrentScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pooled sweep in -short mode")
+	}
+	o := testOptions(4)
+	o.Fracs = []float64{0.7, 0.8, 0.9, 0.95}
+	o.Metrics = metrics.NewRegistry()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := o.Metrics.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("concurrent WritePrometheus: %v", err)
+				return
+			}
+			if err := o.Metrics.WriteJSON(io.Discard); err != nil {
+				t.Errorf("concurrent WriteJSON: %v", err)
+				return
+			}
+		}
+	}()
+	err := sweep(o, io.Discard, io.Discard)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("sweep with metrics: %v", err)
+	}
+
+	// The final export must be a valid Prometheus document and valid JSON,
+	// with every label the sweep runs under present.
+	var prom bytes.Buffer
+	if err := o.Metrics.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metrics.ParsePrometheus(bytes.NewReader(prom.Bytes())); err != nil {
+		t.Fatalf("final export does not round-trip: %v\n%s", err, prom.String())
+	}
+	var jsonBuf bytes.Buffer
+	if err := o.Metrics.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("final JSON export invalid: %v", err)
+	}
+	for _, label := range []string{`run="unmanaged"`, `run="cpm-0.70"`, `run="cpm-0.95"`, `run="maxbips-0.80"`} {
+		if !bytes.Contains(prom.Bytes(), []byte(label)) {
+			t.Errorf("export missing label %s", label)
+		}
+	}
+}

@@ -68,6 +68,30 @@ func TestParseSweepCLIValid(t *testing.T) {
 	}
 }
 
+func TestParseSweepCLIDiagFlags(t *testing.T) {
+	o, err := parseSweepCLI([]string{"-metrics", "out.prom", "-pprof", "localhost:6060", "-trace", "run.trace"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Diag == nil {
+		t.Fatal("diag flags not bound")
+	}
+	if o.Diag.MetricsPath != "out.prom" || o.Diag.PprofAddr != "localhost:6060" || o.Diag.TracePath != "run.trace" {
+		t.Errorf("diag flags not threaded: %+v", o.Diag)
+	}
+	if reg := o.Diag.Registry(); reg == nil {
+		t.Error("-metrics given but Registry() == nil")
+	}
+	// Without -metrics the registry must stay nil so runs skip the observer.
+	o, err = parseSweepCLI(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := o.Diag.Registry(); reg != nil {
+		t.Error("no -metrics flag but Registry() != nil")
+	}
+}
+
 func TestParseSweepCLIRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -141,7 +165,7 @@ func BenchmarkPoolSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, false)
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, false, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

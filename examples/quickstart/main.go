@@ -56,7 +56,9 @@ func main() {
 			r := cpm.Step()
 			pw += r.Sim.ChipPowerW
 			bips += r.Sim.TotalBIPS
-			alloc = r.AllocW
+			// r.AllocW aliases controller scratch that the next Step
+			// overwrites, so keep a copy rather than the slice itself.
+			alloc = append(alloc[:0], r.AllocW...)
 		}
 		pw /= 20
 		bips /= 20

@@ -49,7 +49,9 @@ func main() {
 			r := c.Step()
 			o.bips += r.Sim.TotalBIPS / n
 			o.power += r.Sim.ChipPowerW / n
-			o.allocW = r.AllocW
+			// r.AllocW aliases controller scratch that the next Step
+			// overwrites, so keep a copy rather than the slice itself.
+			o.allocW = append(o.allocW[:0], r.AllocW...)
 		}
 		return o
 	}

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/metrics"
+)
+
+// TestGoldenScenariosWithMetricsObserver is the tentpole acceptance gate:
+// every canonical scenario must stay bit-identical to its stored golden
+// trace with the metrics observer attached — telemetry must be purely
+// observational.
+func TestGoldenScenariosWithMetricsObserver(t *testing.T) {
+	for _, sc := range Canonical() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			g := NewGolden(sc.Name)
+			reg := metrics.NewRegistry()
+			obs := metrics.NewObserver(reg, metrics.ObserverOptions{Label: sc.Name})
+			if _, _, err := sc.Run(goldenSeed, g, obs); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := LoadTrace(goldenPath(sc.Name))
+			if err != nil {
+				t.Skipf("golden trace missing (%v); run -update first", err)
+			}
+			if err := g.Trace().Diff(ref); err != nil {
+				t.Errorf("metrics observer changed the run: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := metrics.ParsePrometheus(&buf); err != nil {
+				t.Errorf("scenario telemetry fails the exposition round trip: %v", err)
+			}
+		})
+	}
+}
+
+// TestGoldenUnchangedByHostileObserver is the scratch-scribbling mutation
+// test: an observer that overwrites every live slice it is handed — the
+// per-chip scratch behind Step.Sim.Islands and Step.AllocW, and the epoch
+// slices — must change neither the golden digests nor the telemetry
+// recorded by observers ahead of it. This pins the engine's snapshot-before-
+// observers contract at the scenario level, where the invariant suite,
+// golden recorder and metrics observer are all attached at once.
+func TestGoldenUnchangedByHostileObserver(t *testing.T) {
+	sc := Canonical()[0] // cpm-default
+
+	run := func(hostile bool) (*Golden, *bytes.Buffer) {
+		g := NewGolden(sc.Name)
+		reg := metrics.NewRegistry()
+		obs := metrics.NewObserver(reg, metrics.ObserverOptions{Label: sc.Name})
+		extra := []engine.Observer{g, obs}
+		if hostile {
+			extra = append(extra, engine.Funcs{
+				OnStep: func(st engine.Step) {
+					for i := range st.Sim.Islands {
+						ir := &st.Sim.Islands[i]
+						ir.PowerW, ir.BIPS, ir.MeanUtil, ir.Level = -1e9, -1e9, -1e9, -1
+					}
+					for i := range st.AllocW {
+						st.AllocW[i] = -1e9
+					}
+					for i := range st.GPMObs {
+						st.GPMObs[i].PowerW = -1e9
+					}
+				},
+				OnEpoch: func(e engine.Epoch) {
+					for i := range e.AllocW {
+						e.AllocW[i] = -1e9
+					}
+					for i := range e.IslandPowerW {
+						e.IslandPowerW[i] = -1e9
+					}
+					for i := range e.IslandBIPS {
+						e.IslandBIPS[i] = -1e9
+					}
+				},
+			})
+		}
+		if _, _, err := sc.Run(goldenSeed, extra...); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return g, &buf
+	}
+
+	clean, cleanTel := run(false)
+	dirty, dirtyTel := run(true)
+	if err := clean.Trace().Diff(dirty.Trace()); err != nil {
+		t.Errorf("scribbling observer changed the golden trace: %v", err)
+	}
+	if !bytes.Equal(cleanTel.Bytes(), dirtyTel.Bytes()) {
+		t.Errorf("scribbling observer changed the recorded telemetry:\n%s\n---\n%s",
+			cleanTel.String(), dirtyTel.String())
+	}
+}

@@ -90,13 +90,29 @@ type CPM struct {
 
 	faults *faultState
 
-	stepHook func(StepResult)
+	stepHooks []func(StepResult)
 }
 
 // SetStepHook installs a callback invoked at the end of every Step with the
 // managed interval's outcome — the controller-layer attachment point for
-// observers. A nil hook detaches. Not safe to call concurrently with Step.
-func (c *CPM) SetStepHook(fn func(StepResult)) { c.stepHook = fn }
+// observers. Set replaces every previously installed hook; a nil hook
+// detaches them all. Not safe to call concurrently with Step.
+func (c *CPM) SetStepHook(fn func(StepResult)) {
+	c.stepHooks = c.stepHooks[:0]
+	if fn != nil {
+		c.stepHooks = append(c.stepHooks, fn)
+	}
+}
+
+// AddStepHook appends a hook without disturbing the ones already installed,
+// so independent observers can subscribe to the same controller. The
+// StepResult aliases scratch buffers; hooks must Clone what they keep. A
+// nil hook is ignored. Not safe to call concurrently with Step.
+func (c *CPM) AddStepHook(fn func(StepResult)) {
+	if fn != nil {
+		c.stepHooks = append(c.stepHooks, fn)
+	}
+}
 
 // New wires a CPM over the given chip.
 func New(cmp *sim.CMP, cfg Config) (*CPM, error) {
@@ -243,8 +259,8 @@ func (c *CPM) Step() StepResult {
 	c.haveMeas = true
 	c.interval++
 	res.Sim = r
-	if c.stepHook != nil {
-		c.stepHook(res)
+	for _, h := range c.stepHooks {
+		h(res)
 	}
 	return res
 }

@@ -48,6 +48,38 @@ func TestStepHookReceivesManagedResults(t *testing.T) {
 	}
 }
 
+// TestStepHookFanOut pins the Add/Set semantics: Add subscribes alongside
+// existing hooks, Set replaces them all, Set(nil) detaches all.
+func TestStepHookFanOut(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cmp, Config{BudgetW: 30, UseOraclePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b, s int
+	c.AddStepHook(func(StepResult) { a++ })
+	c.AddStepHook(func(StepResult) { b++ })
+	c.AddStepHook(nil) // ignored
+	c.Step()
+	if a != 1 || b != 1 {
+		t.Fatalf("added hooks fired %d/%d times, want 1/1", a, b)
+	}
+	c.SetStepHook(func(StepResult) { s++ })
+	c.Step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Fatalf("after Set: fired %d/%d/%d, want 1/1/1 (Set must replace)", a, b, s)
+	}
+	c.SetStepHook(nil)
+	c.Step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Error("Set(nil) left a hook attached")
+	}
+}
+
 func TestPICAccessor(t *testing.T) {
 	cfg := sim.DefaultConfig(workload.Mix1())
 	cmp, err := sim.New(cfg)

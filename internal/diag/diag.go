@@ -1,0 +1,112 @@
+// Package diag wires the shared diagnostics flags of the CLIs: -metrics
+// (telemetry export to a file or stdout), -pprof (a net/http/pprof
+// listener) and -trace (a runtime/trace capture). Both cpmsim and cpmsweep
+// bind the same flag set, so tooling works identically against either.
+package diag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime/trace"
+	"strings"
+
+	"github.com/cpm-sim/cpm/internal/metrics"
+)
+
+// Flags holds the parsed diagnostics flags.
+type Flags struct {
+	// MetricsPath is where telemetry is exported after the run: a file
+	// path ("-" for stdout), JSON when it ends in .json, Prometheus text
+	// format otherwise. Empty disables telemetry collection.
+	MetricsPath string
+	// PprofAddr is the listen address for the net/http/pprof server
+	// (e.g. "localhost:6060"); empty disables it.
+	PprofAddr string
+	// TracePath is the runtime/trace output file; empty disables tracing.
+	TracePath string
+}
+
+// AddFlags binds the diagnostics flags onto fs and returns the destination.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsPath, "metrics", "", "export run telemetry to this file after the run (\"-\" = stdout, .json = JSON, else Prometheus text)")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.TracePath, "trace", "", "write a runtime/trace capture to this file")
+	return f
+}
+
+// Registry returns the registry runs should record into, or nil when
+// -metrics was not given (callers skip attaching observers entirely, so the
+// flagless path stays untouched).
+func (f *Flags) Registry() *metrics.Registry {
+	if f == nil || f.MetricsPath == "" {
+		return nil
+	}
+	return metrics.NewRegistry()
+}
+
+// Start brings up the requested diagnostics: the pprof listener (on a
+// goroutine, for the life of the process) and the runtime/trace capture.
+// The returned stop function ends the trace and must be called before the
+// process exits; it is safe to call when no trace was requested.
+func (f *Flags) Start(logw io.Writer) (stop func(), err error) {
+	if f == nil {
+		return func() {}, nil
+	}
+	if f.PprofAddr != "" {
+		ln := f.PprofAddr
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(logw, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(logw, "pprof listening on http://%s/debug/pprof/\n", ln)
+	}
+	if f.TracePath == "" {
+		return func() {}, nil
+	}
+	tf, err := os.Create(f.TracePath)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Start(tf); err != nil {
+		tf.Close()
+		return nil, err
+	}
+	return func() {
+		trace.Stop()
+		if err := tf.Close(); err != nil {
+			fmt.Fprintf(logw, "closing trace: %v\n", err)
+		}
+	}, nil
+}
+
+// WriteMetrics exports the registry to MetricsPath: stdout for "-", JSON
+// for .json paths, Prometheus text format otherwise. No-op when -metrics
+// was not given or the registry is nil.
+func (f *Flags) WriteMetrics(reg *metrics.Registry, stdout io.Writer) error {
+	if f == nil || f.MetricsPath == "" || reg == nil {
+		return nil
+	}
+	write := reg.WritePrometheus
+	if strings.HasSuffix(f.MetricsPath, ".json") {
+		write = reg.WriteJSON
+	}
+	if f.MetricsPath == "-" {
+		return write(stdout)
+	}
+	file, err := os.Create(f.MetricsPath)
+	if err != nil {
+		return err
+	}
+	if err := write(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

@@ -1,0 +1,150 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/metrics"
+)
+
+// testRegistry builds a registry with one finite gauge and one NaN gauge —
+// the shape the export-boundary sanitization has to survive.
+func testRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	g := reg.GaugeVec("cpm_test_gauge", "A test gauge.", "run")
+	g.With("a").Set(1.5)
+	g.With("b").Set(math.NaN())
+	return reg
+}
+
+func TestAddFlagsBinds(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "m.json", "-pprof", "localhost:0", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.MetricsPath != "m.json" || f.PprofAddr != "localhost:0" || f.TracePath != "t.out" {
+		t.Errorf("flags not bound: %+v", f)
+	}
+}
+
+func TestRegistryGatedOnMetricsFlag(t *testing.T) {
+	if reg := (&Flags{}).Registry(); reg != nil {
+		t.Error("empty MetricsPath should yield a nil registry")
+	}
+	if reg := (&Flags{MetricsPath: "-"}).Registry(); reg == nil {
+		t.Error("MetricsPath set but Registry() == nil")
+	}
+}
+
+func TestNilFlagsAreSafe(t *testing.T) {
+	var f *Flags
+	if reg := f.Registry(); reg != nil {
+		t.Error("nil Flags should yield a nil registry")
+	}
+	stop, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := f.WriteMetrics(testRegistry(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMetricsStdout(t *testing.T) {
+	var out bytes.Buffer
+	f := &Flags{MetricsPath: "-"}
+	if err := f.WriteMetrics(testRegistry(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cpm_test_gauge") {
+		t.Errorf("stdout export missing gauge:\n%s", out.String())
+	}
+	if _, err := metrics.ParsePrometheus(bytes.NewReader(out.Bytes())); err != nil {
+		t.Errorf("stdout export is not Prometheus text format: %v", err)
+	}
+}
+
+func TestWriteMetricsSelectsFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+
+	promPath := filepath.Join(dir, "telemetry.prom")
+	f := &Flags{MetricsPath: promPath}
+	if err := f.WriteMetrics(testRegistry(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metrics.ParsePrometheus(bytes.NewReader(raw)); err != nil {
+		t.Errorf(".prom export is not Prometheus text format: %v\n%s", err, raw)
+	}
+	if !bytes.Contains(raw, []byte("NaN")) {
+		t.Errorf("Prometheus text should carry the NaN literal:\n%s", raw)
+	}
+
+	jsonPath := filepath.Join(dir, "telemetry.json")
+	f = &Flags{MetricsPath: jsonPath}
+	if err := f.WriteMetrics(testRegistry(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Errorf(".json export is not valid JSON: %v\n%s", err, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"value": null`)) {
+		t.Errorf("NaN gauge should encode as null in JSON:\n%s", raw)
+	}
+}
+
+func TestWriteMetricsNoOpWithoutFlag(t *testing.T) {
+	var out bytes.Buffer
+	f := &Flags{}
+	if err := f.WriteMetrics(testRegistry(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("no -metrics flag but output written:\n%s", out.String())
+	}
+	// A nil registry (flag given but no runs recorded) is also a no-op.
+	f = &Flags{MetricsPath: "-"}
+	if err := f.WriteMetrics(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("nil registry but output written:\n%s", out.String())
+	}
+}
+
+func TestStartTraceCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	f := &Flags{TracePath: path}
+	stop, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = i * i
+	}
+	stop()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("trace capture is empty")
+	}
+}

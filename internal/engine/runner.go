@@ -31,7 +31,7 @@ type CPMRunner struct {
 // NewCPMRunner wraps a two-tier controller.
 func NewCPMRunner(ctl *core.CPM) *CPMRunner {
 	r := &CPMRunner{ctl: ctl}
-	ctl.Manager().SetProvisionHook(func(_ float64, obs []gpm.IslandObs, _ []float64) {
+	ctl.Manager().AddProvisionHook(func(_ float64, obs []gpm.IslandObs, _ []float64) {
 		r.obs = append(r.obs[:0], obs...)
 	})
 	return r

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/workload"
@@ -34,6 +35,11 @@ type Options struct {
 	// report. Fault-injection runs keep every check except budget
 	// conservation, which the injected fault deliberately breaks.
 	Check bool
+	// Metrics, when non-nil, attaches a metrics.Observer to every run the
+	// harness executes, aggregating its telemetry into the registry. Runs
+	// are labelled by kind and budget ("cpm-24.00W", "maxbips-24.00W",
+	// "unmanaged"), so repeated runs under the same label accumulate.
+	Metrics *metrics.Registry
 }
 
 func (o Options) seed() uint64 {

@@ -50,7 +50,7 @@ func runExt1(o Options) (Result, error) {
 	for _, floor := range []float64{0.85, 0.90, 0.95} {
 		policy := &gpm.EnergyAware{FloorBIPS: floor * cal.UnmanagedBIPS}
 		sum, err := runCPM(cfg, cal, cpmParams{
-			budgetW: cal.BudgetW(1.0), policy: policy, warmEpochs: 8, measEpochs: meas, check: o.Check,
+			budgetW: cal.BudgetW(1.0), policy: policy, warmEpochs: 8, measEpochs: meas, opts: o,
 		})
 		if err != nil {
 			return Result{}, err
@@ -104,7 +104,7 @@ func runExt2(o Options) (Result, error) {
 	metrics := map[string]float64{}
 	for i, cse := range cases {
 		sum, err := runCPM(cfg, cal, cpmParams{
-			budgetW: budget, warmEpochs: 7, measEpochs: meas, faults: cse.plan, check: o.Check,
+			budgetW: budget, warmEpochs: 7, measEpochs: meas, faults: cse.plan, opts: o,
 		})
 		if err != nil {
 			return Result{}, err
@@ -135,13 +135,13 @@ func runExt3(o Options) (Result, error) {
 	}
 	budget := cal.BudgetW(0.8)
 	meas := o.epochs(16)
-	base, err := runUnmanagedWindow(cfg, 6, meas, 20, o.Check)
+	base, err := runUnmanagedWindow(cfg, 6, meas, 20, o)
 	if err != nil {
 		return Result{}, err
 	}
 	run := func(exponent float64) (float64, float64, error) {
 		sum, err := runCPM(cfg, cal, cpmParams{
-			budgetW: budget, warmEpochs: 6, measEpochs: meas, check: o.Check,
+			budgetW: budget, warmEpochs: 6, measEpochs: meas, opts: o,
 			policy: &gpm.PerformanceAware{PowerExponent: exponent},
 		})
 		if err != nil {

@@ -60,12 +60,12 @@ func runFig18(o Options) (Result, error) {
 	const budgetFrac = 0.5
 	budget := cal.BudgetW(budgetFrac)
 
-	base, err := runUnmanagedWindow(cfg, 6, meas, 20, o.Check)
+	base, err := runUnmanagedWindow(cfg, 6, meas, 20, o)
 	if err != nil {
 		return Result{}, err
 	}
 	perf, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, policy: &gpm.PerformanceAware{}, warmEpochs: 6, measEpochs: meas, check: o.Check,
+		budgetW: budget, policy: &gpm.PerformanceAware{}, warmEpochs: 6, measEpochs: meas, opts: o,
 	})
 	if err != nil {
 		return Result{}, err
@@ -75,7 +75,7 @@ func runFig18(o Options) (Result, error) {
 		return Result{}, err
 	}
 	therm, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, policy: thermalPolicy, warmEpochs: 6, measEpochs: meas, check: o.Check,
+		budgetW: budget, policy: thermalPolicy, warmEpochs: 6, measEpochs: meas, opts: o,
 	})
 	if err != nil {
 		return Result{}, err
@@ -142,14 +142,14 @@ func runFig19(o Options) (Result, error) {
 	budget := cal.BudgetW(budgetFrac)
 
 	perf, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, policy: &gpm.PerformanceAware{}, warmEpochs: 6, measEpochs: meas, check: o.Check,
+		budgetW: budget, policy: &gpm.PerformanceAware{}, warmEpochs: 6, measEpochs: meas, opts: o,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	va, err := runCPM(cfg, cal, cpmParams{
 		budgetW: budget, policy: &gpm.VariationAware{StepFrac: 0.08, HoldIntervals: 1, MinShareFrac: 0.7},
-		warmEpochs: 6, measEpochs: meas, check: o.Check,
+		warmEpochs: 6, measEpochs: meas, opts: o,
 	})
 	if err != nil {
 		return Result{}, err

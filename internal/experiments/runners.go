@@ -8,6 +8,8 @@ import (
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/metrics"
+	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
 )
 
@@ -27,9 +29,19 @@ type cpmParams struct {
 	faults      *core.FaultPlan
 	// observers watch the run as it executes (engine.Observer fan-out).
 	observers []engine.Observer
-	// check attaches the standard invariant suite and fails the run on any
-	// violation (Options.Check threaded through by the harnesses).
-	check bool
+	// opts carries the harness Options through to the run: Check attaches
+	// the standard invariant suite and fails the run on any violation;
+	// Metrics attaches a telemetry observer writing into the registry.
+	opts Options
+}
+
+// metricsObserver builds the telemetry observer for a run, or nil when the
+// harness was not given a registry.
+func metricsObserver(reg *metrics.Registry, label string, cmp *sim.CMP, pics []*pic.Controller) engine.Observer {
+	if reg == nil {
+		return nil
+	}
+	return metrics.NewObserver(reg, metrics.ObserverOptions{Label: label, Chip: cmp, PICs: pics})
 }
 
 // runCPM executes a CPM-managed run and summarises its measurement window.
@@ -53,9 +65,9 @@ func runCPM(cfg sim.Config, cal core.Calibration, p cpmParams) (runSummary, erro
 	if err != nil {
 		return runSummary{}, err
 	}
-	obs := p.observers
+	obs := append([]engine.Observer(nil), p.observers...)
 	var suite *check.Suite
-	if p.check {
+	if p.opts.Check {
 		ccfg := check.ForChip(cmp, p.budgetW)
 		if p.faults != nil {
 			// The injected fault deliberately breaks provisioning; every
@@ -63,7 +75,10 @@ func runCPM(cfg sim.Config, cal core.Calibration, p cpmParams) (runSummary, erro
 			ccfg.BudgetW = 0
 		}
 		suite = check.ForCPMWithConfig(c, ccfg)
-		obs = append(append([]engine.Observer(nil), obs...), suite)
+		obs = append(obs, suite)
+	}
+	if m := metricsObserver(p.opts.Metrics, fmt.Sprintf("cpm-%.2fW", p.budgetW), cmp, picsOf(cmp, c)); m != nil {
+		obs = append(obs, m)
 	}
 	s, err := engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
 		WarmEpochs:    p.warmEpochs,
@@ -91,7 +106,7 @@ func runCPM(cfg sim.Config, cal core.Calibration, p cpmParams) (runSummary, erro
 // predictions come from a workload-blind static characterization table; the
 // adaptive mode predicts from last-epoch per-island observations (the
 // original Isci et al. formulation) and is kept for ablations.
-func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpochs int, static, checked bool) (runSummary, error) {
+func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpochs int, static bool, o Options) (runSummary, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
 		return runSummary{}, err
@@ -115,7 +130,7 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 	}
 	var obs []engine.Observer
 	var suite *check.Suite
-	if checked {
+	if o.Check {
 		// MaxBIPS plans open-loop from predictions; realized power
 		// overshooting the budget is the paper's result for it, not a bug,
 		// so its budget tolerance is widened to the reported ~20%.
@@ -124,6 +139,9 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 		ccfg.IslandTolFrac = 0.25
 		suite = check.All(ccfg)
 		obs = append(obs, suite)
+	}
+	if m := metricsObserver(o.Metrics, fmt.Sprintf("maxbips-%.2fW", budgetW), cmp, nil); m != nil {
+		obs = append(obs, m)
 	}
 	s, err := engine.NewSession(r, engine.SessionConfig{
 		WarmEpochs:    warmEpochs,
@@ -147,7 +165,7 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 // runUnmanagedWindow measures the no-power-management baseline over exactly
 // the same interval window as a managed run (same seed, same phases), so
 // instruction counts are directly comparable.
-func runUnmanagedWindow(cfg sim.Config, warmEpochs, measEpochs, gpmPeriod int, checked bool) (runSummary, error) {
+func runUnmanagedWindow(cfg sim.Config, warmEpochs, measEpochs, gpmPeriod int, o Options) (runSummary, error) {
 	cfg.InitialLevel = -1
 	cmp, err := sim.New(cfg)
 	if err != nil {
@@ -155,9 +173,12 @@ func runUnmanagedWindow(cfg sim.Config, warmEpochs, measEpochs, gpmPeriod int, c
 	}
 	var obs []engine.Observer
 	var suite *check.Suite
-	if checked {
+	if o.Check {
 		suite = check.All(check.ForChip(cmp, 0))
 		obs = append(obs, suite)
+	}
+	if m := metricsObserver(o.Metrics, "unmanaged", cmp, nil); m != nil {
+		obs = append(obs, m)
 	}
 	s, err := engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
 		WarmEpochs:    warmEpochs,
@@ -175,6 +196,15 @@ func runUnmanagedWindow(cfg sim.Config, warmEpochs, measEpochs, gpmPeriod int, c
 		}
 	}
 	return sum, nil
+}
+
+// picsOf collects the managed chip's per-island controllers for telemetry.
+func picsOf(cmp *sim.CMP, c *core.CPM) []*pic.Controller {
+	out := make([]*pic.Controller, cmp.NumIslands())
+	for i := range out {
+		out[i] = c.PIC(i)
+	}
+	return out
 }
 
 // degradation returns the throughput loss of run vs baseline as a fraction.

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
+
+	"github.com/cpm-sim/cpm/internal/metrics"
 )
 
 // TestDegradationGuardsBaseline pins the wrapper's behaviour on degenerate
@@ -27,5 +31,37 @@ func TestDegradationGuardsBaseline(t *testing.T) {
 		if math.Abs(got-c.want) > 1e-12 {
 			t.Errorf("%s: degradation = %v, want %v", c.name, got, c.want)
 		}
+	}
+}
+
+// TestOptionsMetricsRecordsTelemetry runs one experiment with a registry in
+// Options and checks the runner plumbing attached the telemetry observer:
+// the registry ends up with labelled families and a round-trippable export.
+func TestOptionsMetricsRecordsTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	reg := metrics.NewRegistry()
+	d, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(Options{Quick: true, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	if !strings.Contains(out, "cpm_intervals_total") {
+		t.Errorf("no telemetry recorded:\n%s", out)
+	}
+	// runCPM labels its runs by the absolute budget, e.g. cpm-24.00W.
+	if !strings.Contains(out, `run="cpm-`) {
+		t.Errorf("cpm run label missing:\n%s", out)
+	}
+	if _, err := metrics.ParsePrometheus(strings.NewReader(out)); err != nil {
+		t.Errorf("experiment telemetry does not round-trip: %v", err)
 	}
 }

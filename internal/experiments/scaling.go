@@ -50,15 +50,15 @@ func runFig13(o Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		base, err := runUnmanagedWindow(cfg, 6, meas, 20, o.Check)
+		base, err := runUnmanagedWindow(cfg, 6, meas, 20, o)
 		if err != nil {
 			return Result{}, err
 		}
-		ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(budgetFrac), warmEpochs: 6, measEpochs: meas, check: o.Check})
+		ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(budgetFrac), warmEpochs: 6, measEpochs: meas, opts: o})
 		if err != nil {
 			return Result{}, err
 		}
-		mb, err := runMaxBIPS(cfg, cal.BudgetW(budgetFrac), 20, 6, meas, true, o.Check)
+		mb, err := runMaxBIPS(cfg, cal.BudgetW(budgetFrac), 20, 6, meas, true, o)
 		if err != nil {
 			return Result{}, err
 		}
@@ -99,16 +99,16 @@ func runFig15(o Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		base, err := runUnmanagedWindow(cfg, 6, meas, 20, o.Check)
+		base, err := runUnmanagedWindow(cfg, 6, meas, 20, o)
 		if err != nil {
 			return Result{}, err
 		}
 		for _, frac := range budgets {
-			ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(frac), warmEpochs: 6, measEpochs: meas, check: o.Check})
+			ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(frac), warmEpochs: 6, measEpochs: meas, opts: o})
 			if err != nil {
 				return Result{}, err
 			}
-			mb, err := runMaxBIPS(cfg, cal.BudgetW(frac), 20, 6, meas, true, o.Check)
+			mb, err := runMaxBIPS(cfg, cal.BudgetW(frac), 20, 6, meas, true, o)
 			if err != nil {
 				return Result{}, err
 			}
@@ -149,11 +149,11 @@ func runFig16(o Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			base, err := runUnmanagedWindow(cfg, 6, meas, 20, o.Check)
+			base, err := runUnmanagedWindow(cfg, 6, meas, 20, o)
 			if err != nil {
 				return Result{}, err
 			}
-			ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(frac), warmEpochs: 6, measEpochs: meas, check: o.Check})
+			ours, err := runCPM(cfg, cal, cpmParams{budgetW: cal.BudgetW(frac), warmEpochs: 6, measEpochs: meas, opts: o})
 			if err != nil {
 				return Result{}, err
 			}
@@ -198,13 +198,13 @@ func runFig17(o Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			base, err := runUnmanagedWindow(cfg, 6, meas, period, o.Check)
+			base, err := runUnmanagedWindow(cfg, 6, meas, period, o)
 			if err != nil {
 				return Result{}, err
 			}
 			ours, err := runCPM(cfg, cal, cpmParams{
 				budgetW: cal.BudgetW(budgetFrac), gpmPeriod: period,
-				warmEpochs: 6, measEpochs: meas, check: o.Check,
+				warmEpochs: 6, measEpochs: meas, opts: o,
 			})
 			if err != nil {
 				return Result{}, err

@@ -171,14 +171,18 @@ func runFig6(o Options) (Result, error) {
 	var b strings.Builder
 	b.WriteString(trace.Table([]string{"Benchmark", "Linear fit (island power fraction)", "R^2"}, rows))
 	fmt.Fprintf(&b, "\nAverage R^2 = %.3f (paper: 0.96).\n", avg)
+	// stats.Min of an empty slice is +Inf (and Mean NaN); omit the metrics
+	// rather than hand non-finite values to downstream encoders.
+	m := map[string]float64{}
+	if len(r2s) > 0 {
+		m["avg_r2"] = avg
+		m["min_r2"] = stats.Min(r2s)
+	}
 	return Result{
-		ID:    "fig6",
-		Title: "Figure 6",
-		Text:  b.String(),
-		Sets:  sets,
-		Metrics: map[string]float64{
-			"avg_r2": avg,
-			"min_r2": stats.Min(r2s),
-		},
+		ID:      "fig6",
+		Title:   "Figure 6",
+		Text:    b.String(),
+		Sets:    sets,
+		Metrics: m,
 	}, nil
 }

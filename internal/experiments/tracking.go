@@ -53,7 +53,7 @@ func runFig7(o Options) (Result, error) {
 		}
 	}}
 	if _, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), check: o.Check,
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), opts: o,
 		observers: []engine.Observer{obs},
 	}); err != nil {
 		return Result{}, err
@@ -71,15 +71,19 @@ func runFig7(o Options) (Result, error) {
 	fmt.Fprintf(&b, "Budget: 80%% of required chip power (%.1f W). Per-island provisions (%% of required power):\n\n", budget)
 	b.WriteString(set.Chart(70, 14))
 	fmt.Fprintf(&b, "\nProvision range across islands and epochs: %.1f%% – %.1f%% (paper: ~13%%–25%%).\n", lo, hi)
+	// An empty recording leaves lo/hi at ±Inf; omit the metrics rather than
+	// hand non-finite values to downstream encoders.
+	m := map[string]float64{}
+	if !math.IsInf(lo, 0) && !math.IsInf(hi, 0) {
+		m["min_share_pct"] = lo
+		m["max_share_pct"] = hi
+	}
 	return Result{
-		ID:    "fig7",
-		Title: "Figure 7",
-		Text:  b.String(),
-		Sets:  map[string]*trace.Set{"fig7": set},
-		Metrics: map[string]float64{
-			"min_share_pct": lo,
-			"max_share_pct": hi,
-		},
+		ID:      "fig7",
+		Title:   "Figure 7",
+		Text:    b.String(),
+		Sets:    map[string]*trace.Set{"fig7": set},
+		Metrics: m,
 	}, nil
 }
 
@@ -90,7 +94,7 @@ func runFig8(o Options) (Result, error) {
 	}
 	budget := cal.BudgetW(0.8)
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), check: o.Check,
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(20), opts: o,
 	})
 	if err != nil {
 		return Result{}, err
@@ -137,7 +141,7 @@ func runFig9(o Options) (Result, error) {
 	}
 	budget := cal.BudgetW(0.8)
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 8, measEpochs: o.epochs(12), keepSteps: true, check: o.Check,
+		budgetW: budget, warmEpochs: 8, measEpochs: o.epochs(12), keepSteps: true, opts: o,
 	})
 	if err != nil {
 		return Result{}, err
@@ -259,7 +263,7 @@ func runFig10(o Options) (Result, error) {
 		}
 	}}
 	sum, err := runCPM(cfg, cal, cpmParams{
-		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40), check: o.Check,
+		budgetW: budget, warmEpochs: 6, measEpochs: o.epochs(40), opts: o,
 		observers: []engine.Observer{obs},
 	})
 	if err != nil {

@@ -34,3 +34,30 @@ func TestProvisionHookSeesClippedAllocation(t *testing.T) {
 		t.Error("detached hook still fired")
 	}
 }
+
+// TestProvisionHookFanOut pins the Add/Set semantics: Add subscribes
+// alongside existing hooks, Set replaces them all, Set(nil) detaches all.
+func TestProvisionHookFanOut(t *testing.T) {
+	m, err := NewManager(EqualShare{}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b, c int
+	m.AddProvisionHook(func(float64, []IslandObs, []float64) { a++ })
+	m.AddProvisionHook(func(float64, []IslandObs, []float64) { b++ })
+	m.AddProvisionHook(nil) // ignored
+	m.Provision(obs4())
+	if a != 1 || b != 1 {
+		t.Fatalf("added hooks fired %d/%d times, want 1/1", a, b)
+	}
+	m.SetProvisionHook(func(float64, []IslandObs, []float64) { c++ })
+	m.Provision(obs4())
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatalf("after Set: fired %d/%d/%d, want 1/1/1 (Set must replace)", a, b, c)
+	}
+	m.SetProvisionHook(nil)
+	m.Provision(obs4())
+	if a != 1 || b != 1 || c != 1 {
+		t.Error("Set(nil) left a hook attached")
+	}
+}

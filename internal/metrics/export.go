@@ -1,0 +1,424 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP / # TYPE header per family followed by
+// one sample line per series, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Output is deterministic (see Gather).
+//
+// Non-finite values are legal in this format ("NaN", "+Inf", "-Inf") and
+// are emitted as-is; only the JSON exporter needs to sanitize them.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			switch fam.Kind {
+			case KindHistogram:
+				for _, b := range s.Buckets {
+					writeSample(bw, fam.Name+"_bucket", s.Labels, Label{Key: "le", Value: formatValue(b.UpperBound)}, float64(b.CumulativeCount))
+				}
+				writeSample(bw, fam.Name+"_sum", s.Labels, Label{}, s.Sum)
+				writeSample(bw, fam.Name+"_count", s.Labels, Label{}, float64(s.Count))
+			default:
+				writeSample(bw, fam.Name, s.Labels, Label{}, s.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line. extra, when non-zero, is appended
+// after the series labels (the histogram "le" label).
+func writeSample(w io.Writer, name string, labels []Label, extra Label, value float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extra.Key != "" {
+		io.WriteString(w, "{")
+		first := true
+		for _, l := range labels {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "%s=%q", l.Key, escapeLabelValue(l.Value))
+		}
+		if extra.Key != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", extra.Key, escapeLabelValue(extra.Value))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatValue(value))
+	io.WriteString(w, "\n")
+}
+
+// formatValue renders a float the way the exposition format expects:
+// shortest round-trippable decimal, with the canonical spellings for the
+// non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash and newline for label values; %q adds
+// the surrounding quotes and quote escaping.
+func escapeLabelValue(s string) string {
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Float is a float64 whose JSON encoding is safe at the export boundary:
+// NaN and ±Inf — which encoding/json rejects with an error, dropping the
+// whole report — marshal to null instead. Unmarshalling accepts null back
+// as NaN, so a round trip preserves "no defined value".
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// jsonBucket is one cumulative histogram bucket in the JSON export. The
+// upper bound is a string so "+Inf" survives the encoding.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// jsonSample is one series in the JSON export.
+type jsonSample struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *Float            `json:"value,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+	Sum     *Float            `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// jsonFamily is one family in the JSON export.
+type jsonFamily struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help,omitempty"`
+	Metrics []jsonSample `json:"metrics"`
+}
+
+// jsonExport is the top-level JSON document.
+type jsonExport struct {
+	Families []jsonFamily `json:"families"`
+}
+
+// WriteJSON renders the registry as an indented JSON document. Non-finite
+// values are encoded as null (see Float), so the output always survives
+// encoding/json — including the NaN miss rate of a zero-access interval and
+// the ±Inf of an empty min/max.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := jsonExport{Families: []jsonFamily{}}
+	for _, fam := range r.Gather() {
+		jf := jsonFamily{
+			Name:    fam.Name,
+			Type:    fam.Kind.String(),
+			Help:    fam.Help,
+			Metrics: []jsonSample{},
+		}
+		for _, s := range fam.Samples {
+			js := jsonSample{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			if fam.Kind == KindHistogram {
+				js.Buckets = make([]jsonBucket, len(s.Buckets))
+				for i, b := range s.Buckets {
+					js.Buckets[i] = jsonBucket{LE: formatValue(b.UpperBound), Count: b.CumulativeCount}
+				}
+				sum := Float(s.Sum)
+				count := s.Count
+				js.Sum, js.Count = &sum, &count
+			} else {
+				v := Float(s.Value)
+				js.Value = &v
+			}
+			jf.Metrics = append(jf.Metrics, js)
+		}
+		doc.Families = append(doc.Families, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ParsedSample is one sample line of a parsed exposition document.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one family of a parsed exposition document.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParsePrometheus parses a Prometheus text-format document back into
+// families — the round-trip half of the exporter's format test. It enforces
+// the structural rules a scraper relies on: legal metric and label names,
+// parseable values, a TYPE line preceding each family's samples, histogram
+// buckets cumulative with a +Inf bucket matching _count.
+func ParsePrometheus(r io.Reader) ([]ParsedFamily, error) {
+	var order []string
+	byName := map[string]*ParsedFamily{}
+	cur := ""
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				if !validName(name) {
+					return nil, fmt.Errorf("metrics: line %d: invalid metric name %q", line, name)
+				}
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("metrics: line %d: duplicate TYPE for %q", line, name)
+				}
+				byName[name] = &ParsedFamily{Name: name, Type: typ}
+				order = append(order, name)
+				cur = name
+			}
+			continue
+		}
+		s, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+		}
+		base := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(s.Name, suffix); t != s.Name {
+				if f, ok := byName[t]; ok && f.Type == "histogram" {
+					base = t
+					break
+				}
+			}
+		}
+		fam, ok := byName[base]
+		if !ok || base != cur {
+			return nil, fmt.Errorf("metrics: sample %q outside its family's TYPE block", s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	fams := make([]ParsedFamily, 0, len(order))
+	for _, name := range order {
+		f := *byName[name]
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		fams = append(fams, f)
+	}
+	return fams, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value`.
+func parseSampleLine(text string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", text)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		body, tail := rest[1:end], rest[end+1:]
+		for body != "" {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label in %q", text)
+			}
+			key := body[:eq]
+			if !validLabelKey(key) && key != "le" {
+				return s, fmt.Errorf("invalid label key %q", key)
+			}
+			val, n, err := scanQuoted(body[eq+1:])
+			if err != nil {
+				return s, err
+			}
+			s.Labels[key] = val
+			body = body[eq+1+n:]
+			body = strings.TrimPrefix(body, ",")
+		}
+		rest = tail
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// scanQuoted reads a leading double-quoted, backslash-escaped string and
+// returns its unescaped value plus the number of input bytes consumed.
+func scanQuoted(s string) (string, int, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", 0, fmt.Errorf("label value not quoted in %q", s)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", s)
+}
+
+// checkHistogram enforces the cumulative-bucket contract for one parsed
+// histogram family.
+func checkHistogram(f ParsedFamily) error {
+	type series struct {
+		buckets []ParsedSample
+		count   *float64
+	}
+	byLabels := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('\xff')
+			b.WriteString(labels[k])
+			b.WriteByte('\xff')
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		key := keyOf(s.Labels)
+		sr := byLabels[key]
+		if sr == nil {
+			sr = &series{}
+			byLabels[key] = sr
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			sr.buckets = append(sr.buckets, s)
+		case f.Name + "_count":
+			v := s.Value
+			sr.count = &v
+		}
+	}
+	for _, sr := range byLabels {
+		var prev float64
+		var hasInf bool
+		var last float64
+		for _, b := range sr.buckets {
+			le, err := strconv.ParseFloat(b.Labels["le"], 64)
+			if err != nil {
+				return fmt.Errorf("metrics: histogram %s has bad le %q", f.Name, b.Labels["le"])
+			}
+			if b.Value < prev {
+				return fmt.Errorf("metrics: histogram %s buckets not cumulative", f.Name)
+			}
+			prev = b.Value
+			last = b.Value
+			if math.IsInf(le, 1) {
+				hasInf = true
+			}
+		}
+		if len(sr.buckets) > 0 && !hasInf {
+			return fmt.Errorf("metrics: histogram %s missing +Inf bucket", f.Name)
+		}
+		if sr.count != nil && len(sr.buckets) > 0 && *sr.count != last {
+			return fmt.Errorf("metrics: histogram %s count %v != +Inf bucket %v", f.Name, *sr.count, last)
+		}
+	}
+	return nil
+}

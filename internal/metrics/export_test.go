@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry with every instrument kind, label
+// shapes, values needing escaping, and the non-finite values that the
+// export boundary must survive.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.CounterVec("cpm_events_total", "Counted events.", "run").With("cpm-0.80").Add(12)
+	g := r.GaugeVec("cpm_miss_rate", "Miss rate; NaN when idle.", "run", "level")
+	g.With("cpm-0.80", "l1i").Set(0.25)
+	g.With("cpm-0.80", "l2").Set(math.NaN())
+	r.GaugeVec("cpm_min_power", "Min power; +Inf when empty.", "run").With("cpm-0.80").Set(math.Inf(1))
+	r.GaugeVec("cpm_plain", `Help with \ backslash and
+newline.`).With().Set(-3.5)
+	h := r.HistogramVec("cpm_err", "Tracking error.", []float64{0.01, 0.1, 1}, "run").With(`we"ird`)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusRoundTrip is the exposition-format round-trip test: render,
+// re-parse, and compare the parsed families against the registry snapshot.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := buildRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing our own exposition output: %v\n%s", err, buf.String())
+	}
+	want := r.Gather()
+	if len(fams) != len(want) {
+		t.Fatalf("parsed %d families, registry has %d", len(fams), len(want))
+	}
+	for i, f := range fams {
+		if f.Name != want[i].Name {
+			t.Errorf("family %d = %q, want %q (order must be deterministic)", i, f.Name, want[i].Name)
+		}
+		if f.Type != want[i].Kind.String() {
+			t.Errorf("family %q type = %q, want %q", f.Name, f.Type, want[i].Kind)
+		}
+	}
+	// Spot-check values, including the non-finite ones and escaping.
+	find := func(name string, labels map[string]string) float64 {
+		t.Helper()
+		for _, f := range fams {
+			for _, s := range f.Samples {
+				if s.Name != name {
+					continue
+				}
+				ok := true
+				for k, v := range labels {
+					if s.Labels[k] != v {
+						ok = false
+						break
+					}
+				}
+				if ok && len(s.Labels) == len(labels) {
+					return s.Value
+				}
+			}
+		}
+		t.Fatalf("sample %s%v not found", name, labels)
+		return 0
+	}
+	if v := find("cpm_events_total", map[string]string{"run": "cpm-0.80"}); v != 12 {
+		t.Errorf("counter round-tripped to %v", v)
+	}
+	if v := find("cpm_miss_rate", map[string]string{"run": "cpm-0.80", "level": "l2"}); !math.IsNaN(v) {
+		t.Errorf("NaN gauge round-tripped to %v", v)
+	}
+	if v := find("cpm_min_power", map[string]string{"run": "cpm-0.80"}); !math.IsInf(v, 1) {
+		t.Errorf("+Inf gauge round-tripped to %v", v)
+	}
+	if v := find("cpm_err_count", map[string]string{"run": `we"ird`}); v != 4 {
+		t.Errorf("histogram count with escaped label = %v, want 4", v)
+	}
+	if v := find("cpm_err_bucket", map[string]string{"run": `we"ird`, "le": "0.1"}); v != 2 {
+		t.Errorf("cumulative bucket le=0.1 = %v, want 2", v)
+	}
+}
+
+// TestPrometheusDeterministic pins byte-identical output for identical
+// registries — the determinism contract telemetry diffing relies on.
+func TestPrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRegistry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identical registries rendered differently:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestJSONSurvivesNonFinite is the export-boundary regression test: a
+// registry holding NaN and ±Inf must produce JSON that encoding/json
+// accepts, with the non-finite values encoded as null.
+func TestJSONSurvivesNonFinite(t *testing.T) {
+	r := buildRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with NaN/Inf present: %v", err)
+	}
+	var doc struct {
+		Families []struct {
+			Name    string `json:"name"`
+			Metrics []struct {
+				Labels map[string]string `json:"labels"`
+				Value  *float64          `json:"value"`
+			} `json:"metrics"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("encoding/json rejected the export: %v\n%s", err, buf.String())
+	}
+	var sawNull, sawFinite bool
+	for _, f := range doc.Families {
+		if f.Name != "cpm_miss_rate" {
+			continue
+		}
+		for _, m := range f.Metrics {
+			switch m.Labels["level"] {
+			case "l2":
+				if m.Value != nil {
+					t.Errorf("NaN exported as %v, want null", *m.Value)
+				}
+				sawNull = true
+			case "l1i":
+				if m.Value == nil || *m.Value != 0.25 {
+					t.Errorf("finite value mangled: %v", m.Value)
+				}
+				sawFinite = true
+			}
+		}
+	}
+	if !sawNull || !sawFinite {
+		t.Fatalf("miss-rate series missing from export:\n%s", buf.String())
+	}
+	// json.Unmarshal succeeding above already proves no bare NaN/Inf literal
+	// was emitted (they are invalid JSON); the histogram's "+Inf" bucket
+	// bound survives as a quoted string by design.
+	if !strings.Contains(buf.String(), `"le": "+Inf"`) {
+		t.Errorf("histogram +Inf bucket bound missing:\n%s", buf.String())
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	cases := []float64{1.5, 0, -2, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range cases {
+		b, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", b, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			if !math.IsNaN(float64(back)) {
+				t.Errorf("%v -> %s -> %v, want NaN back", v, b, back)
+			}
+		} else if float64(back) != v {
+			t.Errorf("%v -> %s -> %v", v, b, back)
+		}
+	}
+}
+
+// TestParseRejectsMalformed pins the validator half of the round trip: the
+// parser must reject structurally broken expositions.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":  "foo 1\n",
+		"bad name":            "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":           "# TYPE foo counter\nfoo x\n",
+		"unterminated labels": "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\n",
+		"count != Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 5\n",
+		"duplicate TYPE":      "# TYPE foo counter\nfoo 1\n# TYPE foo counter\nfoo 2\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, doc)
+		}
+	}
+}

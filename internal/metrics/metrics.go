@@ -1,0 +1,491 @@
+// Package metrics is the simulator's telemetry layer: a small, deterministic
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus-text and JSON exporters, plus an engine.Observer that surfaces
+// the health of the two-tier GPM/PIC control loop — tracking error,
+// integrator state, allocation vs. measured power, DVFS residency, cache
+// behaviour and thermal headroom.
+//
+// The design goals, in order:
+//
+//  1. Zero allocations on the hot path. Instrument handles (Counter, Gauge,
+//     Histogram) are created once at setup through their Vec; updates are
+//     plain atomic operations on pre-allocated structs. The interval loop's
+//     0 allocs/interval contract (internal/sim TestStepSteadyStateAllocs)
+//     holds with the observer attached.
+//  2. Determinism. Export output depends only on the recorded values:
+//     families are emitted in name order and series in label order, so two
+//     runs of the same scenario produce byte-identical telemetry.
+//  3. Race-safe scraping. All instrument state is atomic and registry
+//     bookkeeping is mutex-guarded, so an exporter may run concurrently
+//     with updates (e.g. scraping during a pooled sweep).
+//
+// The registry intentionally implements a subset of the Prometheus data
+// model rather than importing a client library: the simulator's telemetry is
+// file/stdout-oriented and the repo carries no external dependencies.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the instrument types.
+type Kind int
+
+// Instrument kinds, in Prometheus terminology.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label-key schema and a set of
+// children (one per label-value combination).
+type family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+	buckets   []float64 // histogram upper bounds, strictly increasing
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// child is one labelled series. Exactly one of the instrument fields is
+// used, selected by the family kind; fusing them into one struct keeps the
+// Vec lookup monomorphic.
+type child struct {
+	labelValues []string
+	counter     Counter
+	gauge       Gauge
+	hist        Histogram
+}
+
+// validName reports whether s is a legal Prometheus metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s is a legal Prometheus label name.
+func validLabelKey(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the family registered under name, creating it on first use.
+// Re-registration with a different schema is a programming error and panics:
+// silently returning a mismatched family would corrupt the export.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labelKeys []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, k := range labelKeys {
+		if !validLabelKey(k) {
+			panic(fmt.Sprintf("metrics: invalid label key %q on metric %q", k, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelKeys, labelKeys) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("metrics: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:      name,
+		help:      help,
+		kind:      kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		buckets:   append([]float64(nil), buckets...),
+		children:  map[string]*child{},
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor returns the series for the given label values, creating it on
+// first use. Creation allocates; callers hold the returned handle and use it
+// on the hot path, where updates are allocation-free.
+func (f *family) childFor(labelValues []string) *child {
+	if len(labelValues) != len(f.labelKeys) {
+		panic(fmt.Sprintf("metrics: metric %q wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), labelValues...)}
+	if f.kind == KindHistogram {
+		c.hist.init(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// CounterVec registers (or finds) a counter family with the given label
+// schema. Use With to obtain series handles at setup time.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{fam: r.lookup(name, help, KindCounter, nil, labelKeys)}
+}
+
+// GaugeVec registers (or finds) a gauge family with the given label schema.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{fam: r.lookup(name, help, KindGauge, nil, labelKeys)}
+}
+
+// HistogramVec registers (or finds) a histogram family with the given bucket
+// upper bounds (strictly increasing; an implicit +Inf bucket is appended)
+// and label schema.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram %q bucket bounds not strictly increasing", name))
+		}
+	}
+	return &HistogramVec{fam: r.lookup(name, help, KindHistogram, buckets, labelKeys)}
+}
+
+// CounterVec hands out Counter series of one family.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values, creating it on first
+// use. Call at setup time, not on the hot path.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &v.fam.childFor(labelValues).counter
+}
+
+// GaugeVec hands out Gauge series of one family.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values, creating it on first
+// use. Call at setup time, not on the hot path.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &v.fam.childFor(labelValues).gauge
+}
+
+// HistogramVec hands out Histogram series of one family.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use. Call at setup time, not on the hot path.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &v.fam.childFor(labelValues).hist
+}
+
+// Counter is a monotonically non-decreasing value. All methods are atomic
+// and allocation-free.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v. Negative, NaN and -Inf deltas would break monotonicity and
+// are ignored.
+func (c *Counter) Add(v float64) {
+	if !(v > 0) {
+		return
+	}
+	addFloatBits(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an arbitrary instantaneous value. All methods are atomic and
+// allocation-free. Non-finite values are stored as-is; the JSON exporter
+// sanitizes them at the boundary (Prometheus text represents them natively).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v to the current value.
+func (g *Gauge) Add(v float64) { addFloatBits(&g.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloatBits atomically adds v to a float64 stored as bits, via CAS.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Observe is atomic and
+// allocation-free. Bucket counts are stored per-bucket (not cumulative) and
+// cumulated at export, so the hot path is a single increment.
+type Histogram struct {
+	upper  []float64       // finite upper bounds; the +Inf bucket is counts[len(upper)]
+	counts []atomic.Uint64 // len(upper)+1
+	sum    atomic.Uint64   // float64 bits
+}
+
+func (h *Histogram) init(buckets []float64) {
+	h.upper = buckets // family-owned, immutable after registration
+	h.counts = make([]atomic.Uint64, len(buckets)+1)
+}
+
+// Observe records v. NaN observations carry no bucket information and are
+// dropped; ±Inf land in the outermost buckets.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// LinearBuckets returns count upper bounds starting at start, width apart —
+// a convenience for histogram registration.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count <= 0 || width <= 0 {
+		panic("metrics: LinearBuckets needs positive count and width")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count upper bounds starting at start, each
+// factor times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if count <= 0 || start <= 0 || factor <= 1 {
+		panic("metrics: ExponentialBuckets needs positive start, factor > 1, positive count")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Label is one key/value pair of a series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound; the final bucket is
+	// +Inf.
+	UpperBound float64
+	// CumulativeCount counts observations ≤ UpperBound.
+	CumulativeCount uint64
+}
+
+// Sample is one series' snapshot.
+type Sample struct {
+	// Labels are the series' label pairs in family key order.
+	Labels []Label
+	// Value is the counter or gauge value (unused for histograms).
+	Value float64
+	// Buckets, Sum and Count describe a histogram (nil otherwise).
+	Buckets []BucketCount
+	Sum     float64
+	Count   uint64
+}
+
+// Family is one metric family's snapshot.
+type Family struct {
+	Name      string
+	Help      string
+	Kind      Kind
+	LabelKeys []string
+	Samples   []Sample
+}
+
+// Gather snapshots the registry into a deterministic structure: families
+// sorted by name, samples sorted by label values. Safe to call concurrently
+// with updates; each instrument is read atomically (a histogram's buckets,
+// sum and count are read individually, so a scrape racing an Observe may see
+// a sum slightly ahead of the buckets — the usual Prometheus semantics).
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.snapshot())
+	}
+	return out
+}
+
+func (f *family) snapshot() Family {
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return lessStrings(children[i].labelValues, children[j].labelValues)
+	})
+
+	fam := Family{
+		Name:      f.name,
+		Help:      f.help,
+		Kind:      f.kind,
+		LabelKeys: f.labelKeys,
+		Samples:   make([]Sample, 0, len(children)),
+	}
+	for _, c := range children {
+		s := Sample{Labels: make([]Label, len(f.labelKeys))}
+		for i, k := range f.labelKeys {
+			s.Labels[i] = Label{Key: k, Value: c.labelValues[i]}
+		}
+		switch f.kind {
+		case KindCounter:
+			s.Value = c.counter.Value()
+		case KindGauge:
+			s.Value = c.gauge.Value()
+		case KindHistogram:
+			s.Buckets = make([]BucketCount, len(f.buckets)+1)
+			var cum uint64
+			for i := range c.hist.counts {
+				cum += c.hist.counts[i].Load()
+				ub := math.Inf(1)
+				if i < len(f.buckets) {
+					ub = f.buckets[i]
+				}
+				s.Buckets[i] = BucketCount{UpperBound: ub, CumulativeCount: cum}
+			}
+			s.Sum = c.hist.Sum()
+			s.Count = cum
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	return fam
+}
+
+func lessStrings(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

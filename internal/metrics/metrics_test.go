@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("c_total", "help", "run").With("a")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1)           // ignored: counters are monotone
+	c.Add(math.NaN())   // ignored
+	c.Add(math.Inf(-1)) // ignored
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter value = %v, want 3.5", got)
+	}
+	// The same (name, labels) resolves to the same series.
+	if again := r.CounterVec("c_total", "help", "run").With("a"); again.Value() != 3.5 {
+		t.Errorf("re-looked-up counter = %v, want 3.5", again.Value())
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeVec("g", "help").With()
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge value = %v, want 2.5", got)
+	}
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Value()) {
+		t.Errorf("gauge did not hold NaN")
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("h", "help", []float64{1, 2, 4}).With()
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped: carries no bucket information
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %v, want 106", got)
+	}
+	fam := r.Gather()[0]
+	b := fam.Samples[0].Buckets
+	wantCum := []uint64{2, 3, 4, 5} // le=1:2, le=2:3, le=4:4, +Inf:5
+	for i, w := range wantCum {
+		if b[i].CumulativeCount != w {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b[i].CumulativeCount, w)
+		}
+	}
+	if !math.IsInf(b[len(b)-1].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", b[len(b)-1].UpperBound)
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m", "help", "run")
+	for name, f := range map[string]func(){
+		"kind":    func() { r.GaugeVec("m", "help", "run") },
+		"labels":  func() { r.CounterVec("m", "help", "island") },
+		"badName": func() { r.CounterVec("9bad", "help") },
+		"badKey":  func() { r.CounterVec("ok", "help", "9bad") },
+		"arity":   func() { r.CounterVec("m", "help", "run").With("a", "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGatherDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in one order, populate in another.
+		r.GaugeVec("zz", "z", "run").With("b").Set(2)
+		r.CounterVec("aa_total", "a", "run", "island").With("x", "1").Inc()
+		r.CounterVec("aa_total", "a", "run", "island").With("x", "0").Inc()
+		r.GaugeVec("zz", "z", "run").With("a").Set(1)
+		return r
+	}
+	a, b := build().Gather(), build().Gather()
+	if len(a) != 2 || a[0].Name != "aa_total" || a[1].Name != "zz" {
+		t.Fatalf("families not name-sorted: %+v", a)
+	}
+	if a[0].Samples[0].Labels[1].Value != "0" || a[0].Samples[1].Labels[1].Value != "1" {
+		t.Errorf("samples not label-sorted: %+v", a[0].Samples)
+	}
+	if a[1].Samples[0].Labels[0].Value != "a" {
+		t.Errorf("zz samples not label-sorted: %+v", a[1].Samples)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Samples) != len(b[i].Samples) {
+			t.Fatalf("two identical builds gathered differently")
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if len(lin) != 3 || lin[0] != 1 || lin[2] != 5 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[3] != 8 {
+		t.Errorf("ExponentialBuckets = %v", exp)
+	}
+}
+
+// TestConcurrentUpdatesAndScrape hammers one registry from writer
+// goroutines while scraping both export formats — the package-level
+// race-detector target (the sweep-level one lives in cmd/cpmsweep).
+func TestConcurrentUpdatesAndScrape(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("events_total", "help", "worker")
+	hv := r.HistogramVec("lat", "help", []float64{1, 10, 100}, "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := cv.With(string(rune('a' + w)))
+			h := hv.With(string(rune('a' + w)))
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(discard{}); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if err := r.WriteJSON(discard{}); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total float64
+	for w := 0; w < 4; w++ {
+		total += cv.With(string(rune('a' + w))).Value()
+	}
+	if total != 8000 {
+		t.Errorf("lost updates: total = %v, want 8000", total)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/pic"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// newManaged builds a managed chip in the oracle-power ablation, which
+// needs no calibration — the controller behaviour differs from the paper
+// configuration but every telemetry path is exercised identically.
+func newManaged(t testing.TB, gpmPeriod int) (*sim.CMP, *core.CPM) {
+	t.Helper()
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 7
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.New(cmp, core.Config{BudgetW: 30, GPMPeriod: gpmPeriod, UseOraclePower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp, ctl
+}
+
+func picsOf(cmp *sim.CMP, ctl *core.CPM) []*pic.Controller {
+	out := make([]*pic.Controller, cmp.NumIslands())
+	for i := range out {
+		out[i] = ctl.PIC(i)
+	}
+	return out
+}
+
+// TestObserverEndToEnd runs a full session with the observer attached and
+// cross-checks the recorded telemetry against ground truth from the chip.
+func TestObserverEndToEnd(t *testing.T) {
+	const warm, meas, period = 1, 3, 10
+	cmp, ctl := newManaged(t, period)
+	reg := NewRegistry()
+	obs := NewObserver(reg, ObserverOptions{Label: "test", Chip: cmp, PICs: picsOf(cmp, ctl)})
+	s, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
+		WarmEpochs: warm, MeasureEpochs: meas, Period: period, BudgetW: 30, Label: "test",
+	}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Run()
+
+	total := float64((warm + meas) * period)
+	if got := reg.CounterVec("cpm_intervals_total", "Simulated PIC intervals, warmup included.", "run").With("test").Value(); got != total {
+		t.Errorf("cpm_intervals_total = %v, want %v", got, total)
+	}
+	if got := reg.CounterVec("cpm_epochs_total", "Measured GPM epochs.", "run").With("test").Value(); got != meas {
+		t.Errorf("cpm_epochs_total = %v, want %v", got, meas)
+	}
+
+	// Residency across levels must sum to the interval count, per island.
+	fams := reg.Gather()
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	res, ok := byName["cpm_island_level_residency_intervals_total"]
+	if !ok {
+		t.Fatal("no residency family recorded")
+	}
+	perIsland := map[string]float64{}
+	for _, s := range res.Samples {
+		perIsland[s.Labels[1].Value] += s.Value
+	}
+	for isl, n := range perIsland {
+		if n != total {
+			t.Errorf("island %s residency sums to %v, want %v", isl, n, total)
+		}
+	}
+
+	// Cache counters must reconcile with the chip's cumulative stats.
+	cs := cmp.CacheStats()
+	wantHits := float64(cs.L1I.Hits + cs.L1D.Hits + cs.L2.Hits)
+	var gotHits float64
+	for _, s := range byName["cpm_cache_hits_total"].Samples {
+		gotHits += s.Value
+	}
+	if gotHits != wantHits {
+		t.Errorf("cpm_cache_hits_total sums to %v, chip reports %v", gotHits, wantHits)
+	}
+
+	// Peak temperature matches the summary.
+	if got := reg.GaugeVec("cpm_max_temp_celsius", "Peak die temperature seen so far in the run.", "run").With("test").Value(); got < sum.MaxTempC {
+		t.Errorf("cpm_max_temp_celsius = %v < summary max %v", got, sum.MaxTempC)
+	}
+
+	// PIC telemetry was recorded: the tracking-error histogram saw one
+	// observation per island per post-warmup interval.
+	hist := reg.HistogramVec("cpm_pic_tracking_error_frac",
+		"Per-invocation PIC tracking error |target − estimate| in island-max-power fractions.",
+		ExponentialBuckets(0.005, 2, 8), "run").With("test")
+	wantObs := uint64(((warm+meas)*period - 1) * cmp.NumIslands())
+	if got := hist.Count(); got != wantObs {
+		t.Errorf("tracking-error observations = %d, want %d", got, wantObs)
+	}
+
+	// Both exports are well-formed.
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(&prom); err != nil {
+		t.Errorf("telemetry fails the exposition round trip: %v", err)
+	}
+	var jbuf bytes.Buffer
+	if err := reg.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var anyDoc any
+	if err := json.Unmarshal(jbuf.Bytes(), &anyDoc); err != nil {
+		t.Errorf("telemetry JSON rejected by encoding/json: %v", err)
+	}
+}
+
+// TestObserverStepAllocs pins the tentpole's zero-allocation contract: one
+// managed interval with the full metrics observer attached (chip cache
+// polling, PIC hooks, residency counters) must not allocate in steady
+// state. The GPM period is pushed beyond the metered window because the
+// provisioning step itself allocates its observation slice by design.
+func TestObserverStepAllocs(t *testing.T) {
+	cmp, ctl := newManaged(t, 1<<20)
+	reg := NewRegistry()
+	obs := NewObserver(reg, ObserverOptions{Label: "alloc", Chip: cmp, PICs: picsOf(cmp, ctl)})
+	r := engine.NewCPMRunner(ctl)
+	obs.RunStart(engine.RunInfo{Label: "alloc", Islands: cmp.NumIslands(), Cores: cmp.NumCores(), BudgetW: 30})
+	for k := 0; k < 5; k++ {
+		obs.ObserveStep(r.Step())
+	}
+	if n := testing.AllocsPerRun(20, func() { obs.ObserveStep(r.Step()) }); n != 0 {
+		t.Errorf("metered interval allocates %v times with metrics attached, want 0", n)
+	}
+}
+
+// TestObserverWithoutChip covers the degraded mode used by scenario-level
+// telemetry: no chip, no PICs — engine-level series only, island series
+// sized from RunInfo at RunStart.
+func TestObserverWithoutChip(t *testing.T) {
+	cmp, ctl := newManaged(t, 10)
+	reg := NewRegistry()
+	obs := NewObserver(reg, ObserverOptions{Label: "bare"})
+	s, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
+		WarmEpochs: 1, MeasureEpochs: 2, Period: 10, BudgetW: 30,
+	}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	_ = cmp
+	if got := reg.CounterVec("cpm_intervals_total", "Simulated PIC intervals, warmup included.", "run").With("bare").Value(); got != 30 {
+		t.Errorf("cpm_intervals_total = %v, want 30", got)
+	}
+	for _, f := range reg.Gather() {
+		switch f.Name {
+		case "cpm_cache_hits_total", "cpm_island_level_residency_intervals_total":
+			t.Errorf("chip-dependent family %q present without a chip", f.Name)
+		case "cpm_island_level":
+			if len(f.Samples) != cmp.NumIslands() {
+				t.Errorf("island series sized %d, want %d", len(f.Samples), cmp.NumIslands())
+			}
+		}
+	}
+}

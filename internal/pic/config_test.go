@@ -1,0 +1,172 @@
+package pic
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/power"
+)
+
+// TestConfigDefaulting pins the explicit-vs-unset semantics of Config's
+// ambiguous zero values: a zero-literal Config keeps the historical
+// defaulting, while a DefaultConfig-derived one is taken literally even
+// where a field was overwritten back to zero.
+func TestConfigDefaulting(t *testing.T) {
+	table := power.PentiumM()
+	cases := []struct {
+		name         string
+		cfg          Config
+		wantGains    control.Gains
+		wantAlpha    float64
+		wantDeadband float64
+	}{
+		{
+			name:         "zero literal gets legacy defaults",
+			cfg:          Config{},
+			wantGains:    control.PaperGains,
+			wantAlpha:    1,
+			wantDeadband: DefaultDeadbandFrac,
+		},
+		{
+			name:         "DefaultConfig untouched matches legacy",
+			cfg:          DefaultConfig(),
+			wantGains:    control.PaperGains,
+			wantAlpha:    1,
+			wantDeadband: DefaultDeadbandFrac,
+		},
+		{
+			name: "explicit zero gains are honoured",
+			cfg: func() Config {
+				c := DefaultConfig()
+				c.Gains = control.Gains{}
+				return c
+			}(),
+			wantGains:    control.Gains{},
+			wantAlpha:    1,
+			wantDeadband: DefaultDeadbandFrac,
+		},
+		{
+			name: "explicit zero deadband disables it",
+			cfg: func() Config {
+				c := DefaultConfig()
+				c.DeadbandFrac = 0
+				return c
+			}(),
+			wantGains:    control.PaperGains,
+			wantAlpha:    1,
+			wantDeadband: 0,
+		},
+		{
+			name:         "literal zero deadband still silently defaulted",
+			cfg:          Config{Gains: control.PaperGains, SmoothAlpha: 0.5},
+			wantGains:    control.PaperGains,
+			wantAlpha:    0.5,
+			wantDeadband: DefaultDeadbandFrac,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Table = table
+			tc.cfg.IslandMaxW = 24
+			tc.cfg.UseOraclePower = true
+			c, err := New(tc.cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.cfg.Gains != tc.wantGains {
+				t.Errorf("gains = %+v, want %+v", c.cfg.Gains, tc.wantGains)
+			}
+			if c.cfg.SmoothAlpha != tc.wantAlpha {
+				t.Errorf("smooth alpha = %v, want %v", c.cfg.SmoothAlpha, tc.wantAlpha)
+			}
+			if c.cfg.DeadbandFrac != tc.wantDeadband {
+				t.Errorf("deadband = %v, want %v", c.cfg.DeadbandFrac, tc.wantDeadband)
+			}
+		})
+	}
+}
+
+// TestExplicitZeroGainsFreezeActuator checks the behavioural consequence of
+// an honoured all-zero gain set: the controller never moves, which the
+// legacy path made impossible to request.
+func TestExplicitZeroGainsFreezeActuator(t *testing.T) {
+	plant := defaultPlant()
+	cfg := DefaultConfig()
+	cfg.Gains = control.Gains{}
+	cfg.DeadbandFrac = 0 // isolate the gains: no hold path either
+	cfg.Table = plant.table
+	cfg.IslandMaxW = plant.maxW
+	cfg.UseOraclePower = true
+	c, err := New(cfg, plant.level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTargetWatts(0.3 * plant.maxW) // far from the operating point
+	start := plant.level
+	for k := 0; k < 50; k++ {
+		util, pw := plant.observe()
+		plant.apply(c.Invoke(util, pw))
+	}
+	if plant.level != start {
+		t.Errorf("zero-gain controller moved the island from level %d to %d", start, plant.level)
+	}
+}
+
+// TestExplicitZeroDeadbandAllowsLimitCycle checks DeadbandFrac == 0 from
+// DefaultConfig behaves like a negative value: for a target between two
+// levels the loop dithers, where the default band would hold.
+func TestExplicitZeroDeadbandAllowsLimitCycle(t *testing.T) {
+	run := func(deadband float64) int {
+		plant := defaultPlant()
+		cfg := DefaultConfig()
+		cfg.DeadbandFrac = deadband
+		cfg.Table = plant.table
+		cfg.IslandMaxW = plant.maxW
+		cfg.UseOraclePower = true
+		c, err := New(cfg, plant.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A mid-gap target: representable by no single level exactly.
+		c.SetTargetWatts(0.53 * plant.maxW)
+		transitions := 0
+		prev := plant.level
+		for k := 0; k < 200; k++ {
+			util, pw := plant.observe()
+			plant.apply(c.Invoke(util, pw))
+			if k >= 100 && plant.level != prev {
+				transitions++
+			}
+			prev = plant.level
+		}
+		return transitions
+	}
+	if got := run(DefaultDeadbandFrac); got != 0 {
+		t.Errorf("default deadband: %d settled-state transitions, want 0", got)
+	}
+	if got := run(0); got == 0 {
+		t.Errorf("explicit zero deadband: settled loop never dithered, deadband still active")
+	}
+}
+
+// TestNegativeSmoothAlphaRejected pins the new validation added alongside
+// the explicit-config path. On the legacy literal path a non-positive
+// SmoothAlpha keeps meaning "unset" (defaulted to 1, preserving existing
+// callers); only an explicit negative is an error.
+func TestNegativeSmoothAlphaRejected(t *testing.T) {
+	cfg := Config{Table: power.PentiumM(), IslandMaxW: 24, SmoothAlpha: -0.5}
+	c, err := New(cfg, 0)
+	if err != nil {
+		t.Fatalf("legacy negative SmoothAlpha must default, got error: %v", err)
+	}
+	if c.cfg.SmoothAlpha != 1 {
+		t.Errorf("legacy negative SmoothAlpha = %v, want defaulted 1", c.cfg.SmoothAlpha)
+	}
+	ecfg := DefaultConfig()
+	ecfg.Table = power.PentiumM()
+	ecfg.IslandMaxW = 24
+	ecfg.SmoothAlpha = -0.5
+	if _, err := New(ecfg, 0); err == nil {
+		t.Error("negative SmoothAlpha accepted on the explicit path")
+	}
+}

@@ -54,3 +54,32 @@ func TestInvokeHookFiresOnBothPaths(t *testing.T) {
 		t.Error("detached hook still fired")
 	}
 }
+
+// TestInvokeHookFanOut pins the Add/Set semantics: Add subscribes alongside
+// existing hooks, Set replaces them all, Set(nil) detaches all.
+func TestInvokeHookFanOut(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	step := func() {
+		util, powW := plant.observe()
+		plant.apply(c.Invoke(util, powW))
+	}
+	var a, b, s int
+	c.AddInvokeHook(func(float64, float64, int) { a++ })
+	c.AddInvokeHook(func(float64, float64, int) { b++ })
+	c.AddInvokeHook(nil) // ignored
+	step()
+	if a != 1 || b != 1 {
+		t.Fatalf("added hooks fired %d/%d times, want 1/1", a, b)
+	}
+	c.SetInvokeHook(func(float64, float64, int) { s++ })
+	step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Fatalf("after Set: fired %d/%d/%d, want 1/1/1 (Set must replace)", a, b, s)
+	}
+	c.SetInvokeHook(nil)
+	step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Error("Set(nil) left a hook attached")
+	}
+}

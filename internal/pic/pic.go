@@ -62,6 +62,32 @@ type Config struct {
 	// budget changes, which a hold window wider than the level quantum
 	// would cause. Negative disables the deadband.
 	DeadbandFrac float64
+
+	// explicit marks a Config that came from DefaultConfig: New takes its
+	// fields literally instead of applying the legacy zero-value defaulting,
+	// so all-zero Gains and DeadbandFrac == 0 are honoured as written. A
+	// zero-literal Config keeps the historical defaulting behaviour.
+	explicit bool
+}
+
+// DefaultDeadbandFrac is the deadband New applies on the legacy zero-value
+// Config path — about half the power gap between adjacent DVFS levels.
+const DefaultDeadbandFrac = 0.045
+
+// DefaultConfig returns a Config pre-filled with the package defaults
+// (PaperGains, no smoothing, DefaultDeadbandFrac) and marked explicit:
+// every field a caller then overwrites — including zero values such as
+// all-zero Gains (no control action) or DeadbandFrac 0 (deadband disabled,
+// like any negative value) — is taken literally by New. This resolves the
+// zero-value ambiguity of literal Configs, where those settings were
+// silently replaced by the defaults and could not be requested at all.
+func DefaultConfig() Config {
+	return Config{
+		Gains:        control.PaperGains,
+		SmoothAlpha:  1,
+		DeadbandFrac: DefaultDeadbandFrac,
+		explicit:     true,
+	}
 }
 
 // Controller is one island's PIC. Not safe for concurrent use.
@@ -78,15 +104,29 @@ type Controller struct {
 	// the level the incoming measurement was taken at.
 	lastLevel int
 
-	invokeHook func(targetFrac, estFrac float64, level int)
+	invokeHooks []func(targetFrac, estFrac float64, level int)
 }
 
 // SetInvokeHook installs a callback invoked after every Invoke with the
 // island's target fraction, the (smoothed) feedback power estimate, and the
 // chosen DVFS level — the pic-layer attachment point for fine-grained
-// tracking observers. A nil hook detaches.
+// tracking observers. Set replaces every previously installed hook; a nil
+// hook detaches them all. Not safe to call concurrently with Invoke.
 func (c *Controller) SetInvokeHook(fn func(targetFrac, estFrac float64, level int)) {
-	c.invokeHook = fn
+	c.invokeHooks = c.invokeHooks[:0]
+	if fn != nil {
+		c.invokeHooks = append(c.invokeHooks, fn)
+	}
+}
+
+// AddInvokeHook appends a hook without disturbing the ones already
+// installed, so independent observers (telemetry, tests) can subscribe to
+// the same controller. A nil hook is ignored. Not safe to call concurrently
+// with Invoke.
+func (c *Controller) AddInvokeHook(fn func(targetFrac, estFrac float64, level int)) {
+	if fn != nil {
+		c.invokeHooks = append(c.invokeHooks, fn)
+	}
 }
 
 // New builds a controller starting from the given initial DVFS level.
@@ -97,17 +137,24 @@ func New(cfg Config, initialLevel int) (*Controller, error) {
 	if cfg.IslandMaxW <= 0 {
 		return nil, errors.New("pic: non-positive island max power")
 	}
-	if cfg.Gains == (control.Gains{}) {
-		cfg.Gains = control.PaperGains
+	if !cfg.explicit {
+		// Legacy zero-value defaulting for literal Configs. Configs from
+		// DefaultConfig skip this: their fields are explicit requests.
+		if cfg.Gains == (control.Gains{}) {
+			cfg.Gains = control.PaperGains
+		}
+		if cfg.SmoothAlpha <= 0 {
+			cfg.SmoothAlpha = 1
+		}
+		if cfg.DeadbandFrac == 0 {
+			cfg.DeadbandFrac = DefaultDeadbandFrac
+		}
 	}
-	if cfg.SmoothAlpha <= 0 {
-		cfg.SmoothAlpha = 1
+	if cfg.SmoothAlpha < 0 {
+		return nil, errors.New("pic: negative SmoothAlpha")
 	}
 	if cfg.SmoothAlpha > 1 {
 		cfg.SmoothAlpha = 1
-	}
-	if cfg.DeadbandFrac == 0 {
-		cfg.DeadbandFrac = 0.045
 	}
 	pid := control.NewPID(cfg.Gains.KP, cfg.Gains.KI, cfg.Gains.KD)
 	// Bound the integral accumulator: the tracking error is at most 1 in
@@ -143,8 +190,8 @@ func (c *Controller) TargetFrac() float64 { return c.targetFrac }
 // apply for the next interval.
 func (c *Controller) Invoke(meanUtil, oraclePowerW float64) int {
 	lvl := c.invoke(meanUtil, oraclePowerW)
-	if c.invokeHook != nil {
-		c.invokeHook(c.targetFrac, c.ema, lvl)
+	for _, h := range c.invokeHooks {
+		h(c.targetFrac, c.ema, lvl)
 	}
 	return lvl
 }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+func checkConsistent(t *testing.T, name string, s cache.Stats) {
+	t.Helper()
+	if s.Accesses == 0 {
+		t.Errorf("%s: no accesses recorded after stepping", name)
+	}
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("%s: hits %d + misses %d != accesses %d", name, s.Hits, s.Misses, s.Accesses)
+	}
+}
+
+// TestCacheStatsAggregation checks the chip-level cache accessor: zero
+// before any step, internally consistent and monotone after stepping.
+func TestCacheStatsAggregation(t *testing.T) {
+	cfg := DefaultConfig(workload.Mix1())
+	cfg.Seed = 11
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.CacheStats(); s != (CacheStats{}) {
+		t.Errorf("fresh chip reports nonzero cache stats: %+v", s)
+	}
+	for k := 0; k < 5; k++ {
+		c.Step()
+	}
+	first := c.CacheStats()
+	checkConsistent(t, "l1i", first.L1I)
+	checkConsistent(t, "l1d", first.L1D)
+	checkConsistent(t, "l2", first.L2)
+	for k := 0; k < 5; k++ {
+		c.Step()
+	}
+	second := c.CacheStats()
+	if second.L1D.Accesses < first.L1D.Accesses || second.L2.Accesses < first.L2.Accesses {
+		t.Errorf("cumulative stats went backwards: %+v then %+v", first, second)
+	}
+}
+
+// TestCacheStatsSharedL2Dedupe checks a shared L2 is counted once per
+// island: every core of an island sees the same banked L2, so summing all
+// cores would overcount its traffic by the cores-per-island factor.
+func TestCacheStatsSharedL2Dedupe(t *testing.T) {
+	cfg := DefaultConfig(workload.Mix1())
+	cfg.Seed = 11
+	cfg.SharedL2 = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		c.Step()
+	}
+	got := c.CacheStats()
+	checkConsistent(t, "shared l2", got.L2)
+
+	// Ground truth: one core's view per island.
+	var want cache.Stats
+	var overcounted cache.Stats
+	for _, st := range c.islands {
+		for j, core := range st.cores {
+			cs, ok := core.(cacheStatser)
+			if !ok {
+				continue
+			}
+			_, _, l2 := cs.CacheStats()
+			addCacheStats(&overcounted, l2)
+			if j == 0 {
+				addCacheStats(&want, l2)
+			}
+		}
+	}
+	if got.L2 != want {
+		t.Errorf("shared L2 stats = %+v, want once-per-island %+v", got.L2, want)
+	}
+	if got.L2 == overcounted {
+		t.Errorf("shared L2 stats equal the per-core overcount %+v — dedupe not applied", overcounted)
+	}
+}

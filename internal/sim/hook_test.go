@@ -37,3 +37,31 @@ func TestStepHookReceivesEveryResult(t *testing.T) {
 		t.Error("detached hook still fired")
 	}
 }
+
+// TestStepHookFanOut pins the Add/Set semantics: Add subscribes alongside
+// existing hooks, Set replaces them all, Set(nil) detaches all.
+func TestStepHookFanOut(t *testing.T) {
+	cfg := DefaultConfig(workload.Mix1())
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b, s int
+	c.AddStepHook(func(Result) { a++ })
+	c.AddStepHook(func(Result) { b++ })
+	c.AddStepHook(nil) // ignored
+	c.Step()
+	if a != 1 || b != 1 {
+		t.Fatalf("added hooks fired %d/%d times, want 1/1", a, b)
+	}
+	c.SetStepHook(func(Result) { s++ })
+	c.Step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Fatalf("after Set: fired %d/%d/%d, want 1/1/1 (Set must replace)", a, b, s)
+	}
+	c.SetStepHook(nil)
+	c.Step()
+	if a != 1 || b != 1 || s != 1 {
+		t.Error("Set(nil) left a hook attached")
+	}
+}

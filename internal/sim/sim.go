@@ -189,14 +189,30 @@ type CMP struct {
 	interval   int
 	totalInstr float64
 
-	stepHook func(Result)
+	stepHooks []func(Result)
 }
 
 // SetStepHook installs a callback invoked at the end of every Step with the
 // interval's observation — the sim-layer attachment point for observers
-// when the chip is driven directly rather than through a controller. A nil
-// hook detaches. Not safe to call concurrently with Step.
-func (c *CMP) SetStepHook(fn func(Result)) { c.stepHook = fn }
+// when the chip is driven directly rather than through a controller. Set
+// replaces every previously installed hook; a nil hook detaches them all.
+// Not safe to call concurrently with Step.
+func (c *CMP) SetStepHook(fn func(Result)) {
+	c.stepHooks = c.stepHooks[:0]
+	if fn != nil {
+		c.stepHooks = append(c.stepHooks, fn)
+	}
+}
+
+// AddStepHook appends a hook without disturbing the ones already installed,
+// so independent observers can subscribe to the same chip. The Result's
+// Islands slice is live scratch; hooks must copy what they keep. A nil hook
+// is ignored. Not safe to call concurrently with Step.
+func (c *CMP) AddStepHook(fn func(Result)) {
+	if fn != nil {
+		c.stepHooks = append(c.stepHooks, fn)
+	}
+}
 
 // New builds a CMP from cfg.
 func New(cfg Config) (*CMP, error) {
@@ -433,6 +449,52 @@ func (c *CMP) Thermals() *thermal.Model { return c.thermals }
 // TotalInstructions returns cumulative instructions across all cores.
 func (c *CMP) TotalInstructions() float64 { return c.totalInstr }
 
+// CacheStats aggregates cumulative cache counters across the chip, one
+// Stats per hierarchy level.
+type CacheStats struct {
+	L1I cache.Stats
+	L1D cache.Stats
+	L2  cache.Stats
+}
+
+// cacheStatser is the optional per-core capability CacheStats aggregates;
+// live uarch.Cores implement it, trace-replaying cores (which simulate no
+// caches) do not.
+type cacheStatser interface {
+	CacheStats() (l1i, l1d, l2 cache.Stats)
+}
+
+// CacheStats returns the chip's cumulative cache counters, summed over
+// cores. With a shared per-island L2, the shared cache's counters are
+// counted once per island, not once per core. Replay cores contribute
+// nothing (they re-execute recorded cache behaviour without caches).
+// Allocation-free; safe to call between Steps.
+func (c *CMP) CacheStats() CacheStats {
+	var out CacheStats
+	for _, st := range c.islands {
+		for j, core := range st.cores {
+			cs, ok := core.(cacheStatser)
+			if !ok {
+				continue
+			}
+			l1i, l1d, l2 := cs.CacheStats()
+			addCacheStats(&out.L1I, l1i)
+			addCacheStats(&out.L1D, l1d)
+			if !c.cfg.SharedL2 || j == 0 {
+				addCacheStats(&out.L2, l2)
+			}
+		}
+	}
+	return out
+}
+
+func addCacheStats(dst *cache.Stats, s cache.Stats) {
+	dst.Accesses += s.Accesses
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.Evictions += s.Evictions
+}
+
 // Step advances the chip by one interval and returns its observation. The
 // returned Result's Islands slice is valid until the next Step (see
 // Result.Clone).
@@ -478,8 +540,8 @@ func (c *CMP) Step() Result {
 	}
 	res.MaxTempC = c.thermals.MaxTemp()
 	c.interval++
-	if c.stepHook != nil {
-		c.stepHook(res)
+	for _, h := range c.stepHooks {
+		h(res)
 	}
 	return res
 }

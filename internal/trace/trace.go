@@ -115,7 +115,10 @@ func (t *Set) WriteCSV(w io.Writer) error {
 	for i := 0; i < n; i++ {
 		row := []string{fmt.Sprint(i)}
 		for _, s := range t.series {
-			if i < s.Len() {
+			// Non-finite samples (a NaN miss rate on an idle interval, a
+			// ±Inf min/max over an empty window) become empty cells, like
+			// missing ones: CSV has no portable encoding for them.
+			if i < s.Len() && !math.IsNaN(s.Samples[i]) && !math.IsInf(s.Samples[i], 0) {
 				row = append(row, fmt.Sprintf("%g", s.Samples[i]))
 			} else {
 				row = append(row, "")

@@ -56,6 +56,27 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVNonFinite pins the export-boundary sanitization: NaN and ±Inf
+// samples (an idle interval's miss rate, a min/max over an empty window)
+// become empty cells, since CSV has no portable encoding for them.
+func TestWriteCSVNonFinite(t *testing.T) {
+	set := NewSet("interval")
+	s := set.Get("rate")
+	s.Append(0.5)
+	s.Append(math.NaN())
+	s.Append(math.Inf(1))
+	s.Append(math.Inf(-1))
+	var b strings.Builder
+	if err := set.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "interval,rate\n0,0.5\n1,\n2,\n3,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
 func TestChartRendersAllSeries(t *testing.T) {
 	set := NewSet("k")
 	for i := 0; i < 10; i++ {

@@ -185,6 +185,14 @@ func (c *Core) Profile() workload.Profile { return c.prof }
 // TotalInstructions returns the cumulative instruction count.
 func (c *Core) TotalInstructions() float64 { return c.totalInstructions }
 
+// CacheStats returns the cumulative access counters of the core's cache
+// hierarchy. For a shared L2 the third result is the shared cache's
+// counters, common to every core of the island; the caller is responsible
+// for not double-counting them.
+func (c *Core) CacheStats() (l1i, l1d, l2 cache.Stats) {
+	return c.hier.L1I.Stats(), c.hier.L1D.Stats(), c.hier.L2.Stats()
+}
+
 // TraceRecord captures the frequency-independent workload state of one
 // core-interval: everything RunInterval derived from the phase machine and
 // the sampled cache simulation, but nothing that depends on the operating
