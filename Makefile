@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR3.json
@@ -41,6 +41,16 @@ fuzz:
 	$(GO) test ./internal/workload -fuzz FuzzParseMix -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/workload -fuzz FuzzStreamAddrs -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/control -fuzz FuzzRoots -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
+
+# Checkpoint/restore gate: codec round-trips, every layer's snapshot tests,
+# the six-scenario resume-equivalence proof (snapshot mid-run, restore into a
+# fresh process-equivalent chip, finish bit-identically against the pinned
+# goldens), plus a short decoder fuzz smoke.
+snapshot-check:
+	$(GO) test ./internal/snapshot ./internal/pic ./internal/gpm
+	$(GO) test ./internal/check -run 'TestGoldenSnapshotResumeEquivalence|TestSessionSnapshotRejections|TestFNV64a' -v
+	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime 10s
 
 # Coverage for the control-critical packages; ci.yml enforces the floor.
 cover:

@@ -8,6 +8,8 @@
 //	cpmsim run all              # run everything (Tables I-III, Figures 5-19)
 //	cpmsim tables               # shorthand for the three tables
 //	cpmsim scenario cpm-default # replay a canonical golden scenario
+//	cpmsim checkpoint cpm-default        # snapshot a scenario mid-run
+//	cpmsim -resume f.ckpt scenario NAME  # continue it bit-identically
 //
 // Flags:
 //
@@ -22,6 +24,10 @@
 //	              .json = JSON, anything else Prometheus text format)
 //	-pprof ADDR   serve net/http/pprof on ADDR for the life of the process
 //	-trace F      write a runtime/trace capture to F
+//	-resume F     (scenario) restore the run from checkpoint F and finish it
+//	-o F          (checkpoint) output path (default <scenario>.ckpt)
+//	-at N         (checkpoint) snapshot after N intervals (default: end of
+//	              warmup)
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/experiments"
 	"github.com/cpm-sim/cpm/internal/metrics"
+	"github.com/cpm-sim/cpm/internal/snapshot"
 	"github.com/cpm-sim/cpm/internal/trace"
 )
 
@@ -48,6 +55,9 @@ type cliConfig struct {
 	cmd     string
 	ids     []string
 	diag    *diag.Flags
+	resume  string // scenario: checkpoint file to restore before running
+	ckptOut string // checkpoint: output path
+	ckptAt  int    // checkpoint: intervals to run before snapshotting
 }
 
 // parseCLI parses and validates argv (without the program name). It is the
@@ -61,9 +71,12 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
 	csvDir := fs.String("csv", "", "directory to write CSV series into")
 	workers := fs.Int("workers", 1, "concurrent experiments (0 = GOMAXPROCS)")
+	resume := fs.String("resume", "", "scenario: checkpoint file to restore before running")
+	ckptOut := fs.String("o", "", "checkpoint: output path (default <scenario>.ckpt)")
+	ckptAt := fs.Int("at", 0, "checkpoint: intervals to run before snapshotting (default: end of warmup)")
 	dflags := diag.AddFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cpmsim [flags] list | tables | run <id>...|all | scenario <name>...|all\n\n")
+		fmt.Fprintf(stderr, "usage: cpmsim [flags] list | tables | run <id>...|all | scenario <name>...|all | checkpoint <name>\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -86,6 +99,9 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 		workers: *workers,
 		cmd:     args[0],
 		diag:    dflags,
+		resume:  *resume,
+		ckptOut: *ckptOut,
+		ckptAt:  *ckptAt,
 	}
 	switch args[0] {
 	case "list":
@@ -119,6 +135,23 @@ func parseCLI(argv []string, stderr io.Writer) (cliConfig, error) {
 				}
 			}
 		}
+		if c.resume != "" && len(c.ids) != 1 {
+			return cliConfig{}, fmt.Errorf("cpmsim scenario: -resume takes exactly one scenario name")
+		}
+	case "checkpoint":
+		c.ids = args[1:]
+		if len(c.ids) != 1 {
+			return cliConfig{}, fmt.Errorf("cpmsim checkpoint: need exactly one scenario name (see check.Canonical)")
+		}
+		if _, err := scenarioByName(c.ids[0]); err != nil {
+			return cliConfig{}, err
+		}
+		if c.ckptAt < 0 {
+			return cliConfig{}, fmt.Errorf("cpmsim checkpoint: -at must be >= 0, got %d", c.ckptAt)
+		}
+		if c.ckptOut == "" {
+			c.ckptOut = c.ids[0] + ".ckpt"
+		}
 	default:
 		fs.Usage()
 		return cliConfig{}, fmt.Errorf("cpmsim: unknown command %q", args[0])
@@ -145,6 +178,12 @@ func main() {
 		return
 	case "scenario":
 		if err := runScenarios(c, os.Stdout); err != nil {
+			stopTrace()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "checkpoint":
+		if err := runCheckpoint(c, os.Stdout); err != nil {
 			stopTrace()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -190,15 +229,95 @@ func runScenarios(c cliConfig, out io.Writer) error {
 		if c.opts.Metrics != nil {
 			extra = append(extra, metrics.NewObserver(c.opts.Metrics, metrics.ObserverOptions{Label: sc.Name}))
 		}
-		sum, suite, err := sc.Run(c.opts.Seed, extra...)
+		sess, suite, err := sc.Build(c.opts.Seed, extra...)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
+		resumed := ""
+		if c.resume != "" {
+			if err := restoreSession(sess, c.resume, name, c.opts.Seed); err != nil {
+				return err
+			}
+			resumed = " (resumed)"
+		}
+		sum := sess.Run()
 		if err := suite.Err(); err != nil {
 			return fmt.Errorf("scenario %s violated invariants:\n%w", name, err)
 		}
-		fmt.Fprintf(out, "scenario %-16s mean power %7.2f W, %6.3f BIPS, peak %5.1f C\n",
-			name, sum.MeanPowerW, sum.MeanBIPS, sum.MaxTempC)
+		fmt.Fprintf(out, "scenario %-16s mean power %7.2f W, %6.3f BIPS, peak %5.1f C%s\n",
+			name, sum.MeanPowerW, sum.MeanBIPS, sum.MaxTempC, resumed)
+	}
+	return nil
+}
+
+// checkpointKind tags cpmsim session checkpoints; the fingerprint binds a
+// file to its (scenario, seed) so a resume into the wrong stack fails at
+// the header, before any state is decoded.
+const checkpointKind = "cpmsim-session"
+
+func checkpointFingerprint(name string, seed uint64) string {
+	return fmt.Sprintf("%s/seed=%d", name, seed)
+}
+
+// runCheckpoint builds a canonical scenario, advances it -at intervals
+// (defaulting to the end of warmup) and writes the full-state snapshot.
+func runCheckpoint(c cliConfig, out io.Writer) error {
+	name := c.ids[0]
+	sc, err := scenarioByName(name)
+	if err != nil {
+		return err
+	}
+	sess, _, err := sc.Build(c.opts.Seed)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", name, err)
+	}
+	info := sess.Info()
+	total := info.WarmIntervals + info.MeasureIntervals
+	at := c.ckptAt
+	if at == 0 {
+		at = info.WarmIntervals
+	}
+	if at <= 0 || at >= total {
+		return fmt.Errorf("cpmsim checkpoint: -at %d outside the run's (0, %d) interval range", at, total)
+	}
+	if got := sess.RunIntervals(at); got != at {
+		return fmt.Errorf("cpmsim checkpoint: ran %d of %d intervals", got, at)
+	}
+	e := snapshot.NewEncoder()
+	e.Header(snapshot.Header{Kind: checkpointKind, Fingerprint: checkpointFingerprint(name, c.opts.Seed)})
+	if err := sess.Snapshot(e); err != nil {
+		return err
+	}
+	if err := os.WriteFile(c.ckptOut, e.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "checkpoint %s at interval %d/%d -> %s (%d bytes)\n", name, at, total, c.ckptOut, e.Len())
+	return nil
+}
+
+// restoreSession loads a checkpoint file into a freshly built session,
+// validating the header against the scenario and seed being resumed.
+func restoreSession(sess *engine.Session, path, name string, seed uint64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	h, err := d.Header()
+	if err != nil {
+		return fmt.Errorf("cpmsim: reading %s: %w", path, err)
+	}
+	if h.Kind != checkpointKind {
+		return fmt.Errorf("cpmsim: %s holds a %q snapshot, want %q", path, h.Kind, checkpointKind)
+	}
+	if want := checkpointFingerprint(name, seed); h.Fingerprint != want {
+		return fmt.Errorf("cpmsim: checkpoint %s was taken for %s, resuming %s", path, h.Fingerprint, want)
+	}
+	if err := sess.Restore(d); err != nil {
+		return fmt.Errorf("cpmsim: restoring %s: %w", path, err)
+	}
+	if rem := d.Remaining(); rem != 0 {
+		return fmt.Errorf("cpmsim: %d trailing bytes in %s", rem, path)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
 	"github.com/cpm-sim/cpm/internal/thermal"
 	"github.com/cpm-sim/cpm/internal/workload"
 )
@@ -49,6 +50,7 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	epochs := fs.Int("epochs", 16, "measured GPM epochs")
 	workers := fs.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
 	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
+	warmstart := fs.Bool("warmstart", false, "warm the chip once unmanaged, snapshot it, and fork every budget point from the snapshot (skips per-point warm-up; trajectories differ slightly from the default per-point managed warm-up)")
 	dflags := diag.AddFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return sweepOptions{}, err
@@ -77,16 +79,17 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 		return sweepOptions{}, err
 	}
 	return sweepOptions{
-		Mix:      mix,
-		Policy:   *policy,
-		Fracs:    fracs,
-		Seed:     *seed,
-		Warm:     *warm,
-		Epochs:   *epochs,
-		Workers:  *workers,
-		Parallel: true,
-		Check:    *checked,
-		Diag:     dflags,
+		Mix:       mix,
+		Policy:    *policy,
+		Fracs:     fracs,
+		Seed:      *seed,
+		Warm:      *warm,
+		Epochs:    *epochs,
+		Workers:   *workers,
+		Parallel:  true,
+		Check:     *checked,
+		WarmStart: *warmstart,
+		Diag:      dflags,
 	}, nil
 }
 
@@ -121,6 +124,13 @@ type sweepOptions struct {
 	// Check attaches the invariant suite to every run; a violation fails
 	// the sweep.
 	Check bool
+	// WarmStart warms one unmanaged chip per chip configuration, snapshots
+	// it, and forks every budget point from the snapshot with a zero
+	// warm-up window — the warm-up cost is paid once instead of once per
+	// (budget, controller) pair. Off by default: the forked warm-up is
+	// unmanaged, so the measured trajectories (and CSV) differ slightly
+	// from the default per-point managed warm-up.
+	WarmStart bool
 	// Diag holds the shared diagnostics flags (-metrics, -pprof, -trace).
 	Diag *diag.Flags
 	// Metrics, when non-nil, attaches a telemetry observer to every run.
@@ -150,12 +160,30 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 	fmt.Fprintf(logw, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
 		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
 
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check, o.Metrics)
+	var warmManaged, warmBase []byte
+	if o.WarmStart {
+		// One warm chip per chip configuration: the unmanaged baseline
+		// runs at the top level (InitialLevel -1), the managed points at
+		// the default initial level. Every budget point forks from the
+		// matching snapshot instead of re-running its own warm-up.
+		if warmManaged, err = warmChipSnapshot(cfg, o.Warm); err != nil {
+			return err
+		}
+		bcfg := cfg
+		bcfg.InitialLevel = -1
+		if warmBase, err = warmChipSnapshot(bcfg, o.Warm); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "warm-started: %d warm epochs simulated once, forked across %d budget points\n",
+			o.Warm, len(o.Fracs))
+	}
+
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check, o.Metrics, warmBase)
 	if err != nil {
 		return err
 	}
 
-	rows, err := sweepRows(cfg, cal, base, o)
+	rows, err := sweepRows(cfg, cal, base, o, warmManaged)
 	if err != nil {
 		return err
 	}
@@ -170,7 +198,7 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 
 // sweepRows measures every budget point on an engine.Pool, returning rows
 // in budget order regardless of worker count.
-func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o sweepOptions) ([]sweepRow, error) {
+func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o sweepOptions, warmState []byte) ([]sweepRow, error) {
 	return engine.Map(engine.Pool{Workers: o.Workers}, len(o.Fracs), func(i int) (sweepRow, error) {
 		frac := o.Fracs[i]
 		budget := cal.BudgetW(frac)
@@ -180,11 +208,11 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 		if err != nil {
 			return sweepRow{}, err
 		}
-		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check, o.Metrics, frac)
+		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check, o.Metrics, frac, warmState)
 		if err != nil {
 			return sweepRow{}, err
 		}
-		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs, o.Check, o.Metrics, frac)
+		mb, err := measureMaxBIPS(cfg, budget, o.Warm, o.Epochs, o.Check, o.Metrics, frac, warmState)
 		if err != nil {
 			return sweepRow{}, err
 		}
@@ -196,9 +224,44 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 	})
 }
 
-func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry) (engine.Summary, error) {
-	cfg.InitialLevel = -1
+// warmChipSnapshot steps a fresh unmanaged chip through the warm-up window
+// and returns its full-state snapshot, to be forked by every budget point.
+func warmChipSnapshot(cfg sim.Config, warmEpochs int) ([]byte, error) {
 	cmp, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < warmEpochs*20; k++ {
+		cmp.Step()
+	}
+	e := snapshot.NewEncoder()
+	if err := cmp.Snapshot(e); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// forkWarmChip builds a fresh chip and, when a warm snapshot is given,
+// restores the shared warm state into it and zeroes the remaining warm-up.
+// The snapshot bytes are only read, so concurrent budget points can fork
+// from the same buffer.
+func forkWarmChip(cfg sim.Config, warmState []byte, warm int) (*sim.CMP, int, error) {
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if warmState == nil {
+		return cmp, warm, nil
+	}
+	if err := cmp.Restore(snapshot.NewDecoder(warmState)); err != nil {
+		return nil, 0, fmt.Errorf("cpmsweep: forking warm chip: %w", err)
+	}
+	return cmp, 0, nil
+}
+
+func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry, warmState []byte) (engine.Summary, error) {
+	cfg.InitialLevel = -1
+	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
 		return engine.Summary{}, err
 	}
@@ -226,8 +289,8 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metri
 	return sum, nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool, reg *metrics.Registry, frac float64) (engine.Summary, error) {
-	cmp, err := sim.New(cfg)
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
 		return engine.Summary{}, err
 	}
@@ -265,8 +328,8 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 	return sum, nil
 }
 
-func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64) (engine.Summary, error) {
-	cmp, err := sim.New(cfg)
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
 		return engine.Summary{}, err
 	}

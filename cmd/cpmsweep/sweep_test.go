@@ -45,6 +45,37 @@ func TestSweepOutputIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestWarmStartSweepDeterministic pins the forked warm-up path: every
+// budget point restores the same warm snapshot, so the CSV must still be
+// byte-identical across worker counts, and the checked suite must stay
+// clean on the forked chips.
+func TestWarmStartSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-start sweep in -short mode")
+	}
+	warmOpts := func(workers int) sweepOptions {
+		o := testOptions(workers)
+		o.Fracs = []float64{0.7, 0.8, 0.9}
+		o.WarmStart = true
+		o.Check = true
+		return o
+	}
+	var serial, pooled bytes.Buffer
+	if err := sweep(warmOpts(1), &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep(warmOpts(8), &pooled, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), pooled.Bytes()) {
+		t.Fatalf("warm-started workers=8 output differs from workers=1:\n--- serial ---\n%s--- pooled ---\n%s",
+			serial.String(), pooled.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty warm-started sweep output")
+	}
+}
+
 func TestParseBudgets(t *testing.T) {
 	got, err := parseBudgets(" 0.5, 0.8 ,0.95")
 	if err != nil || len(got) != 3 || got[0] != 0.5 || got[2] != 0.95 {
@@ -58,12 +89,12 @@ func TestParseBudgets(t *testing.T) {
 }
 
 func TestParseSweepCLIValid(t *testing.T) {
-	o, err := parseSweepCLI([]string{"-mix", "mix3", "-policy", "equal", "-budgets", "0.7,0.8", "-warm", "2", "-epochs", "4", "-check"}, io.Discard)
+	o, err := parseSweepCLI([]string{"-mix", "mix3", "-policy", "equal", "-budgets", "0.7,0.8", "-warm", "2", "-epochs", "4", "-check", "-warmstart"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Mix.Name != "Mix-3" || o.Policy != "equal" || len(o.Fracs) != 2 ||
-		o.Warm != 2 || o.Epochs != 4 || !o.Check || !o.Parallel {
+		o.Warm != 2 || o.Epochs != 4 || !o.Check || !o.Parallel || !o.WarmStart {
 		t.Errorf("options not threaded: %+v", o)
 	}
 }
@@ -165,7 +196,7 @@ func BenchmarkPoolSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, false, nil)
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, false, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -175,7 +206,7 @@ func BenchmarkPoolSweep(b *testing.B) {
 		o.Workers = workers
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sweepRows(cfg, cal, base, o); err != nil {
+			if _, err := sweepRows(cfg, cal, base, o, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

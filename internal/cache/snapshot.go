@@ -1,0 +1,212 @@
+package cache
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// L2 kind bytes written by Hierarchy.Snapshot so a restore can verify the
+// target hierarchy has the same L2 wiring as the snapshotted one.
+const (
+	l2KindCache      uint8 = 1
+	l2KindBanked     uint8 = 2
+	l2KindPrefetcher uint8 = 3
+)
+
+// Snapshot appends the cache's complete dynamic state: packed tag array,
+// per-set LRU order words, SWAR signatures, prefetch bit-words, per-set
+// fill counts, the prefetch-liveness flag and the cumulative counters.
+// Geometry (sets, associativity, block size) is construction-time
+// configuration; Restore validates shape against it rather than trusting
+// the bytes.
+func (c *Cache) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagCache)
+	e.U64s(c.tags)
+	e.U64s(c.order) // nil for wide caches: encodes as length 0
+	e.U64s(c.sigs)
+	e.U64s(c.pref)
+	e.I32s(c.size)
+	e.Bool(c.prefLive)
+	e.U64(c.stats.Accesses)
+	e.U64(c.stats.Hits)
+	e.U64(c.stats.Misses)
+	e.U64(c.stats.Evictions)
+}
+
+// Restore reads state written by Snapshot into a cache of identical
+// geometry, rejecting length mismatches.
+func (c *Cache) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagCache)
+	tags := d.U64s()
+	order := d.U64s()
+	sigs := d.U64s()
+	pref := d.U64s()
+	size := d.I32s()
+	prefLive := d.Bool()
+	var st Stats
+	st.Accesses = d.U64()
+	st.Hits = d.U64()
+	st.Misses = d.U64()
+	st.Evictions = d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(tags) != len(c.tags) || len(order) != len(c.order) ||
+		len(sigs) != len(c.sigs) || len(pref) != len(c.pref) || len(size) != len(c.size) {
+		return snapshot.ShapeErrorf(
+			"cache arrays (%d/%d/%d/%d/%d) do not match target geometry (%d/%d/%d/%d/%d)",
+			len(tags), len(order), len(sigs), len(pref), len(size),
+			len(c.tags), len(c.order), len(c.sigs), len(c.pref), len(c.size))
+	}
+	for s, n := range size {
+		if n < 0 || int(n) > c.assoc {
+			return snapshot.ShapeErrorf("set %d fill count %d outside [0, %d]", s, n, c.assoc)
+		}
+	}
+	copy(c.tags, tags)
+	copy(c.order, order)
+	copy(c.sigs, sigs)
+	copy(c.pref, pref)
+	copy(c.size, size)
+	c.prefLive = prefLive
+	c.stats = st
+	return nil
+}
+
+// Snapshot appends every bank's state.
+func (b *Banked) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagBanked)
+	e.Int(len(b.banks))
+	for _, bank := range b.banks {
+		bank.Snapshot(e)
+	}
+}
+
+// Restore reads state written by Snapshot into a Banked of the same bank
+// count and per-bank geometry.
+func (b *Banked) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagBanked)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(b.banks) {
+		return snapshot.ShapeErrorf("%d banks in snapshot, target has %d", n, len(b.banks))
+	}
+	for _, bank := range b.banks {
+		if err := bank.Restore(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot appends the prefetcher's stream-detection table and counters
+// along with the wrapped cache's state.
+func (p *StreamPrefetcher) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagPrefetcher)
+	p.inner.Snapshot(e)
+	e.U64s(p.streams)
+	e.Int(p.nextSlot)
+	e.U64(p.issued)
+	e.U64(p.useful)
+}
+
+// Restore reads state written by Snapshot.
+func (p *StreamPrefetcher) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagPrefetcher)
+	if err := p.inner.Restore(d); err != nil {
+		return err
+	}
+	streams := d.U64s()
+	nextSlot := d.Int()
+	issued := d.U64()
+	useful := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(streams) != len(p.streams) {
+		return snapshot.ShapeErrorf("%d prefetch streams in snapshot, target has %d", len(streams), len(p.streams))
+	}
+	if nextSlot < 0 || (len(p.streams) > 0 && nextSlot >= len(p.streams)) {
+		return snapshot.ShapeErrorf("prefetch slot cursor %d outside table of %d", nextSlot, len(p.streams))
+	}
+	copy(p.streams, streams)
+	p.nextSlot = nextSlot
+	p.issued = issued
+	p.useful = useful
+	return nil
+}
+
+// Snapshot appends the hierarchy's L1 state and, when includeL2 is true,
+// its L2 state prefixed with a kind byte identifying the L2 wiring.
+// Callers with a shared per-island L2 pass includeL2 false for every core
+// and snapshot the shared cache once at the island level instead, so the
+// shared state is captured exactly once.
+func (h *Hierarchy) Snapshot(e *snapshot.Encoder, includeL2 bool) {
+	e.Tag(snapshot.TagHierarchy)
+	h.L1I.Snapshot(e)
+	h.L1D.Snapshot(e)
+	e.Bool(includeL2)
+	if !includeL2 {
+		return
+	}
+	switch l2 := h.L2.(type) {
+	case *Cache:
+		e.U8(l2KindCache)
+		l2.Snapshot(e)
+	case *Banked:
+		e.U8(l2KindBanked)
+		l2.Snapshot(e)
+	case *StreamPrefetcher:
+		e.U8(l2KindPrefetcher)
+		l2.Snapshot(e)
+	default:
+		// Unknown Level2 implementations cannot be captured; encode an
+		// invalid kind so Restore fails loudly instead of silently
+		// dropping state.
+		e.U8(0)
+	}
+}
+
+// Restore reads state written by Snapshot, verifying the L2 wiring kind
+// matches the target hierarchy.
+func (h *Hierarchy) Restore(d *snapshot.Decoder, includeL2 bool) error {
+	d.Tag(snapshot.TagHierarchy)
+	if err := h.L1I.Restore(d); err != nil {
+		return err
+	}
+	if err := h.L1D.Restore(d); err != nil {
+		return err
+	}
+	had := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if had != includeL2 {
+		return snapshot.ShapeErrorf("snapshot L2 presence %v, restore expects %v", had, includeL2)
+	}
+	if !includeL2 {
+		return nil
+	}
+	kind := d.U8()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch l2 := h.L2.(type) {
+	case *Cache:
+		if kind != l2KindCache {
+			return snapshot.ShapeErrorf("snapshot L2 kind %d, target is a private cache", kind)
+		}
+		return l2.Restore(d)
+	case *Banked:
+		if kind != l2KindBanked {
+			return snapshot.ShapeErrorf("snapshot L2 kind %d, target is a banked cache", kind)
+		}
+		return l2.Restore(d)
+	case *StreamPrefetcher:
+		if kind != l2KindPrefetcher {
+			return snapshot.ShapeErrorf("snapshot L2 kind %d, target is a prefetching cache", kind)
+		}
+		return l2.Restore(d)
+	default:
+		return snapshot.ShapeErrorf("target hierarchy has an unsnapshotable L2 implementation")
+	}
+}

@@ -150,6 +150,17 @@ func (s *Suite) RunEnd(sum *engine.Summary) {
 	}
 }
 
+// RunResumed implements engine.ResumeAware, forwarding to every member
+// check that cares (e.g. Accounting, whose whole-window reconciliation
+// cannot hold when the suite only observed the run's tail).
+func (s *Suite) RunResumed(completedIntervals int) {
+	for _, c := range s.checks {
+		if ra, ok := c.(engine.ResumeAware); ok {
+			ra.RunResumed(completedIntervals)
+		}
+	}
+}
+
 // Violations returns every member check's findings, in check order.
 func (s *Suite) Violations() []Violation {
 	var out []Violation

@@ -1,7 +1,6 @@
 package check
 
 import (
-	"hash/fnv"
 	"math"
 
 	"github.com/cpm-sim/cpm/internal/engine"
@@ -16,22 +15,39 @@ import (
 // with 0 to use it purely as a recorder (Sum64 after the run).
 type Determinism struct {
 	recorder
-	h      hash64
+	h      fnv64a
 	expect uint64
 }
 
-// hash64 is the subset of hash.Hash64 the check uses (kept small so the
-// digest algorithm is explicit: FNV-1a over little-endian float64 bits).
-type hash64 interface {
-	Write(p []byte) (int, error)
-	Sum64() uint64
+// fnv64a is FNV-1a 64 with its running value exposed: byte-for-byte the
+// same digest as hash/fnv's New64a, but the whole hash state IS the one
+// word, which is what lets a mid-run Determinism be checkpointed and
+// resumed exactly (stdlib hashes hide their state). Equivalence with the
+// stdlib is pinned by a test.
+type fnv64a struct{ sum uint64 }
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func (h *fnv64a) Write(p []byte) (int, error) {
+	s := h.sum
+	for _, b := range p {
+		s ^= uint64(b)
+		s *= fnvPrime64
+	}
+	h.sum = s
+	return len(p), nil
 }
+
+func (h *fnv64a) Sum64() uint64 { return h.sum }
 
 // NewDeterminism builds the check; expect of 0 records without comparing.
 func NewDeterminism(expect uint64) *Determinism {
 	return &Determinism{
 		recorder: recorder{name: "determinism"},
-		h:        fnv.New64a(),
+		h:        fnv64a{sum: fnvOffset64},
 		expect:   expect,
 	}
 }

@@ -272,6 +272,12 @@ type Accounting struct {
 	sumPowerW  float64
 	sumInstr   float64
 	epochCount int
+
+	// resumed marks a run restored from a mid-run snapshot: the check only
+	// observes the tail, so whole-window reconciliation and the epoch
+	// origin cannot hold and are stood down (per-step checks stay strict).
+	resumed     bool
+	resumeEpoch bool // next observed epoch index is accepted as the origin
 }
 
 // NewAccounting builds the check; maxChipW of 0 skips the chip-power-frac
@@ -285,6 +291,12 @@ func (c *Accounting) RunStart(info engine.RunInfo) {
 	c.intervalSec = info.IntervalSec
 	c.havePrev = false
 	c.measSteps, c.sumPowerW, c.sumInstr, c.epochCount = 0, 0, 0, 0
+	c.resumed, c.resumeEpoch = false, false
+}
+
+// RunResumed implements engine.ResumeAware.
+func (c *Accounting) RunResumed(int) {
+	c.resumed, c.resumeEpoch = true, true
 }
 
 // relTol is the relative slack for float re-aggregation checks: the
@@ -362,6 +374,10 @@ func (c *Accounting) ObserveStep(st engine.Step) {
 
 // ObserveEpoch implements engine.Observer.
 func (c *Accounting) ObserveEpoch(e engine.Epoch) {
+	if c.resumeEpoch {
+		c.epochCount = e.Index
+		c.resumeEpoch = false
+	}
 	if e.Index != c.epochCount {
 		c.report(Violation{
 			Interval: -1, Epoch: e.Index, Island: -1,
@@ -382,7 +398,7 @@ func (c *Accounting) ObserveEpoch(e engine.Epoch) {
 // RunEnd implements engine.Observer: the summary must agree with the
 // check's own re-aggregation of the measured steps.
 func (c *Accounting) RunEnd(sum *engine.Summary) {
-	if sum == nil || c.measSteps == 0 {
+	if sum == nil || c.measSteps == 0 || c.resumed {
 		return
 	}
 	if !closeRel(sum.MeanPowerW, c.sumPowerW/float64(c.measSteps), relTol) {

@@ -132,6 +132,20 @@ func (s Scenario) calibrate(cfg sim.Config) (core.Calibration, error) {
 // any extra observers (e.g. a Golden recorder), returning the summary and
 // the suite for violation inspection.
 func (s Scenario) Run(seed uint64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+	sess, suite, err := s.Build(seed, extra...)
+	if err != nil {
+		return engine.Summary{}, nil, err
+	}
+	return sess.Run(), suite, nil
+}
+
+// Build constructs the scenario's full stack — chip, controller or
+// baseline, invariant suite, session — without running it. Construction is
+// deterministic in (scenario, seed): two Builds produce process-equivalent
+// stacks, which is what lets a snapshot taken mid-run in one stack be
+// restored into a fresh one (checkpoint/resume, warm-started sweeps) and
+// continue bit-identically.
+func (s Scenario) Build(seed uint64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
 	mix := s.Mix()
 	cfg := sim.DefaultConfig(mix)
 	cfg.Seed = seed
@@ -139,25 +153,25 @@ func (s Scenario) Run(seed uint64, extra ...engine.Observer) (engine.Summary, *S
 	cfg.Variation = s.Variation
 	cal, err := s.calibrate(cfg)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	budget := cal.BudgetW(s.BudgetFrac)
 
 	if s.MaxBIPS {
-		return s.runMaxBIPS(cfg, budget, extra...)
+		return s.buildMaxBIPS(cfg, budget, extra...)
 	}
-	return s.runCPM(cfg, cal, budget, extra...)
+	return s.buildCPM(cfg, cal, budget, extra...)
 }
 
-func (s Scenario) runCPM(cfg sim.Config, cal core.Calibration, budget float64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+func (s Scenario) buildCPM(cfg sim.Config, cal core.Calibration, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	var policy gpm.Policy
 	if s.Policy != nil {
 		if policy, err = s.Policy(); err != nil {
-			return engine.Summary{}, nil, err
+			return nil, nil, err
 		}
 	}
 	gains := control.PaperGains
@@ -177,7 +191,7 @@ func (s Scenario) runCPM(cfg sim.Config, cal core.Calibration, budget float64, e
 		Faults:      s.Faults,
 	})
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	suite := ForCPM(ctl, budget)
 	sess, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
@@ -188,26 +202,26 @@ func (s Scenario) runCPM(cfg sim.Config, cal core.Calibration, budget float64, e
 		Label:         s.Name,
 	}, append([]engine.Observer{suite}, extra...)...)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
-	return sess.Run(), suite, nil
+	return sess, suite, nil
 }
 
-func (s Scenario) runMaxBIPS(cfg sim.Config, budget float64, extra ...engine.Observer) (engine.Summary, *Suite, error) {
+func (s Scenario) buildMaxBIPS(cfg sim.Config, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
 	cmp, err := sim.New(cfg)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	planner, err := maxbips.New(cmp.Table())
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
 	// MaxBIPS plans open-loop from static predictions; realized power
 	// overshooting the budget is the paper's headline result for it, not a
@@ -225,7 +239,7 @@ func (s Scenario) runMaxBIPS(cfg sim.Config, budget float64, extra ...engine.Obs
 		Label:         s.Name,
 	}, append([]engine.Observer{suite}, extra...)...)
 	if err != nil {
-		return engine.Summary{}, nil, err
+		return nil, nil, err
 	}
-	return sess.Run(), suite, nil
+	return sess, suite, nil
 }

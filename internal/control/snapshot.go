@@ -1,0 +1,23 @@
+package control
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the controller's dynamic state (integral accumulator,
+// previous error, freeze flag). Gains and clamps are construction-time
+// configuration and are not captured; a snapshot restores only into a PID
+// built with the same design.
+func (c *PID) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagPID)
+	e.F64(c.integral)
+	e.F64(c.prevErr)
+	e.Bool(c.Frozen)
+}
+
+// Restore reads state written by Snapshot.
+func (c *PID) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagPID)
+	c.integral = d.F64()
+	c.prevErr = d.F64()
+	c.Frozen = d.Bool()
+	return d.Err()
+}

@@ -1,0 +1,102 @@
+package core
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the complete dynamic state of the managed chip: the chip
+// itself, every per-island PIC, the GPM (budget and policy history), the
+// controller's allocation and measurement latches, the epoch accumulators,
+// and the fault-injection RNG position. Configuration (gains, transducers,
+// periods) is construction-time and not captured; restore requires a CPM
+// built with an equivalent Config.
+func (c *CPM) Snapshot(e *snapshot.Encoder) error {
+	e.Tag(snapshot.TagCPM)
+	if err := c.cmp.Snapshot(e); err != nil {
+		return err
+	}
+	e.Int(len(c.pic))
+	for _, p := range c.pic {
+		p.Snapshot(e)
+	}
+	c.mgr.Snapshot(e)
+	e.F64s(c.alloc)
+	e.Bool(c.haveMeas)
+	e.F64s(c.lastUtil)
+	e.F64s(c.lastPowW)
+	e.F64s(c.accPow)
+	e.F64s(c.accBIPS)
+	e.Int(c.accN)
+	e.Int(c.interval)
+	e.Bool(c.faults != nil)
+	if c.faults != nil {
+		e.U64(c.faults.rng.State())
+	}
+	return nil
+}
+
+// Restore reads state written by Snapshot into a CPM constructed with an
+// equivalent chip and Config. On error the receiver may be partially
+// written and must be discarded.
+func (c *CPM) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagCPM)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := c.cmp.Restore(d); err != nil {
+		return err
+	}
+	nPIC := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nPIC != len(c.pic) {
+		return snapshot.ShapeErrorf("snapshot has %d PICs, controller has %d", nPIC, len(c.pic))
+	}
+	for _, p := range c.pic {
+		if err := p.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := c.mgr.Restore(d); err != nil {
+		return err
+	}
+	alloc := d.F64s()
+	haveMeas := d.Bool()
+	lastUtil := d.F64s()
+	lastPowW := d.F64s()
+	accPow := d.F64s()
+	accBIPS := d.F64s()
+	accN := d.Int()
+	interval := d.Int()
+	hadFaults := d.Bool()
+	var faultRNG uint64
+	if hadFaults {
+		faultRNG = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n := len(c.alloc)
+	for _, s := range [][]float64{alloc, lastUtil, lastPowW, accPow, accBIPS} {
+		if len(s) != n {
+			return snapshot.ShapeErrorf("snapshot island arrays sized %d, controller has %d islands", len(s), n)
+		}
+	}
+	if accN < 0 || interval < 0 {
+		return snapshot.ShapeErrorf("negative counters accN=%d interval=%d", accN, interval)
+	}
+	if hadFaults != (c.faults != nil) {
+		return snapshot.ShapeErrorf("snapshot fault-plan presence %v, controller %v", hadFaults, c.faults != nil)
+	}
+	c.alloc = alloc
+	c.haveMeas = haveMeas
+	copy(c.lastUtil, lastUtil)
+	copy(c.lastPowW, lastPowW)
+	copy(c.accPow, accPow)
+	copy(c.accBIPS, accBIPS)
+	c.accN = accN
+	c.interval = interval
+	if c.faults != nil {
+		c.faults.rng.SetState(faultRNG)
+	}
+	return nil
+}

@@ -58,12 +58,35 @@ type Summary struct {
 	Steps []Step
 }
 
+// runProgress is the mutable mid-run state of a Session: the interval
+// cursor, the summary under construction (means still held as raw sums
+// until finish divides them), and the per-epoch accumulators. Holding it in
+// one struct is what makes a session checkpointable between intervals.
+type runProgress struct {
+	finished bool
+	k        int // intervals completed (warmup + measurement combined)
+
+	warm, meas int // interval totals
+	n          int // islands
+
+	sum Summary
+
+	epochPow, epochInstr, epochBIPSAcc float64
+	epochIslPow, epochIslBIPS          []float64
+	managed                            bool
+	// lastAlloc snapshots the provision before observers see the step:
+	// Step.AllocW shares its backing array with the runner, so an observer
+	// that writes into it must not be able to corrupt the epoch aggregates.
+	lastAlloc []float64
+}
+
 // Session drives a Runner through warmup and measurement, aggregating the
 // measurement window into a Summary and fanning events out to observers.
 type Session struct {
 	runner Runner
 	cfg    SessionConfig
 	obs    []Observer
+	prog   *runProgress
 }
 
 // NewSession validates the configuration and binds runner and observers.
@@ -83,125 +106,171 @@ func NewSession(r Runner, cfg SessionConfig, obs ...Observer) (*Session, error) 
 	return &Session{runner: r, cfg: cfg, obs: obs}, nil
 }
 
-// Run executes the session: warmup epochs, then the measurement window,
-// then the summary. It may be called once per Session (Runners are
-// single-use).
-func (s *Session) Run() Summary {
+// Info describes the run the session performs.
+func (s *Session) Info() RunInfo {
 	cmp := s.runner.Chip()
-	period := s.cfg.Period
-	warm := s.cfg.WarmEpochs * period
-	meas := s.cfg.MeasureEpochs * period
-
-	info := RunInfo{
+	return RunInfo{
 		Label:            s.cfg.Label,
 		Islands:          cmp.NumIslands(),
 		Cores:            cmp.NumCores(),
-		Period:           period,
-		WarmIntervals:    warm,
-		MeasureIntervals: meas,
+		Period:           s.cfg.Period,
+		WarmIntervals:    s.cfg.WarmEpochs * s.cfg.Period,
+		MeasureIntervals: s.cfg.MeasureEpochs * s.cfg.Period,
 		BudgetW:          s.cfg.BudgetW,
 		IntervalSec:      cmp.IntervalSec(),
 	}
+}
+
+// start initializes progress and announces the run to observers.
+func (s *Session) start() {
+	n := s.runner.Chip().NumIslands()
+	s.prog = &runProgress{
+		warm: s.cfg.WarmEpochs * s.cfg.Period,
+		meas: s.cfg.MeasureEpochs * s.cfg.Period,
+		n:    n,
+		sum: Summary{
+			IslandPower: make([][]float64, n),
+			IslandBIPS:  make([][]float64, n),
+		},
+		epochIslPow:  make([]float64, n),
+		epochIslBIPS: make([]float64, n),
+	}
+	info := s.Info()
 	for _, o := range s.obs {
 		o.RunStart(info)
 	}
+}
 
-	for k := 0; k < warm; k++ {
+// stepOne advances the session a single interval — a warmup interval when
+// the cursor is still inside the warmup window, a measured one otherwise.
+func (s *Session) stepOne() {
+	p := s.prog
+	if p.k < p.warm {
 		st := s.runner.Step()
 		for _, o := range s.obs {
 			o.ObserveStep(st)
 		}
+		p.k++
+		return
 	}
 
-	n := cmp.NumIslands()
-	sum := Summary{
-		IslandPower: make([][]float64, n),
-		IslandBIPS:  make([][]float64, n),
+	k := p.k - p.warm // measured interval index
+	n := p.n
+	period := s.cfg.Period
+	sum := &p.sum
+
+	st := s.runner.Step()
+	st.Measured = true
+	if s.cfg.KeepSteps {
+		sum.Steps = append(sum.Steps, st.Clone())
 	}
-	epochPow := 0.0
-	epochInstr := 0.0
-	epochBIPSAcc := 0.0
-	epochIslPow := make([]float64, n)
-	epochIslBIPS := make([]float64, n)
-	managed := false
-	// lastAlloc snapshots the provision before observers see the step:
-	// Step.AllocW shares its backing array with the runner, so an observer
-	// that writes into it must not be able to corrupt the epoch aggregates.
-	var lastAlloc []float64
-	for k := 0; k < meas; k++ {
-		st := s.runner.Step()
-		st.Measured = true
-		if s.cfg.KeepSteps {
-			sum.Steps = append(sum.Steps, st.Clone())
-		}
-		if st.AllocW != nil {
-			managed = true
-			lastAlloc = append(lastAlloc[:0], st.AllocW...)
-			if st.GPMInvoked {
-				sum.AllocTrace = append(sum.AllocTrace, append([]float64(nil), st.AllocW...))
-			}
-		}
-		sum.MeanPowerW += st.Sim.ChipPowerW
-		sum.MeanBIPS += st.Sim.TotalBIPS
-		if st.Sim.MaxTempC > sum.MaxTempC {
-			sum.MaxTempC = st.Sim.MaxTempC
-		}
-		epochPow += st.Sim.ChipPowerW
-		epochBIPSAcc += st.Sim.TotalBIPS
-		for i, ir := range st.Sim.Islands {
-			sum.Instructions += ir.Instructions
-			epochInstr += ir.Instructions
-			epochIslPow[i] += ir.PowerW
-			epochIslBIPS[i] += ir.BIPS
-		}
-		for _, o := range s.obs {
-			o.ObserveStep(st)
-		}
-		if (k+1)%period == 0 {
-			p := float64(period)
-			mean := epochPow / p
-			sum.Epochs = append(sum.Epochs, mean)
-			sum.EpochInstr = append(sum.EpochInstr, epochInstr)
-			if s.cfg.BudgetW > 0 {
-				if over := (mean - s.cfg.BudgetW) / s.cfg.BudgetW; over > sum.WorstEpochOver {
-					sum.WorstEpochOver = over
-				}
-			}
-			ev := Epoch{
-				Index:        len(sum.Epochs) - 1,
-				MeanPowerW:   mean,
-				MeanBIPS:     epochBIPSAcc / p,
-				Instructions: epochInstr,
-				BudgetW:      s.cfg.BudgetW,
-				IslandPowerW: make([]float64, n),
-				IslandBIPS:   make([]float64, n),
-			}
-			if managed && lastAlloc != nil {
-				ev.AllocW = append([]float64(nil), lastAlloc...)
-				if sum.IslandAlloc == nil {
-					sum.IslandAlloc = make([][]float64, n)
-				}
-			}
-			for i := 0; i < n; i++ {
-				ev.IslandPowerW[i] = epochIslPow[i] / p
-				ev.IslandBIPS[i] = epochIslBIPS[i] / p
-				if ev.AllocW != nil {
-					sum.IslandAlloc[i] = append(sum.IslandAlloc[i], lastAlloc[i])
-				}
-				sum.IslandPower[i] = append(sum.IslandPower[i], epochIslPow[i]/p)
-				sum.IslandBIPS[i] = append(sum.IslandBIPS[i], epochIslBIPS[i]/p)
-				epochIslPow[i], epochIslBIPS[i] = 0, 0
-			}
-			epochPow, epochInstr, epochBIPSAcc = 0, 0, 0
-			for _, o := range s.obs {
-				o.ObserveEpoch(ev)
-			}
+	if st.AllocW != nil {
+		p.managed = true
+		p.lastAlloc = append(p.lastAlloc[:0], st.AllocW...)
+		if st.GPMInvoked {
+			sum.AllocTrace = append(sum.AllocTrace, append([]float64(nil), st.AllocW...))
 		}
 	}
-	sum.MeanPowerW /= float64(meas)
-	sum.MeanBIPS /= float64(meas)
+	sum.MeanPowerW += st.Sim.ChipPowerW
+	sum.MeanBIPS += st.Sim.TotalBIPS
+	if st.Sim.MaxTempC > sum.MaxTempC {
+		sum.MaxTempC = st.Sim.MaxTempC
+	}
+	p.epochPow += st.Sim.ChipPowerW
+	p.epochBIPSAcc += st.Sim.TotalBIPS
+	for i, ir := range st.Sim.Islands {
+		sum.Instructions += ir.Instructions
+		p.epochInstr += ir.Instructions
+		p.epochIslPow[i] += ir.PowerW
+		p.epochIslBIPS[i] += ir.BIPS
+	}
 	for _, o := range s.obs {
-		o.RunEnd(&sum)
+		o.ObserveStep(st)
 	}
-	return sum
+	if (k+1)%period == 0 {
+		pf := float64(period)
+		mean := p.epochPow / pf
+		sum.Epochs = append(sum.Epochs, mean)
+		sum.EpochInstr = append(sum.EpochInstr, p.epochInstr)
+		if s.cfg.BudgetW > 0 {
+			if over := (mean - s.cfg.BudgetW) / s.cfg.BudgetW; over > sum.WorstEpochOver {
+				sum.WorstEpochOver = over
+			}
+		}
+		ev := Epoch{
+			Index:        len(sum.Epochs) - 1,
+			MeanPowerW:   mean,
+			MeanBIPS:     p.epochBIPSAcc / pf,
+			Instructions: p.epochInstr,
+			BudgetW:      s.cfg.BudgetW,
+			IslandPowerW: make([]float64, n),
+			IslandBIPS:   make([]float64, n),
+		}
+		if p.managed && p.lastAlloc != nil {
+			ev.AllocW = append([]float64(nil), p.lastAlloc...)
+			if sum.IslandAlloc == nil {
+				sum.IslandAlloc = make([][]float64, n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			ev.IslandPowerW[i] = p.epochIslPow[i] / pf
+			ev.IslandBIPS[i] = p.epochIslBIPS[i] / pf
+			if ev.AllocW != nil {
+				sum.IslandAlloc[i] = append(sum.IslandAlloc[i], p.lastAlloc[i])
+			}
+			sum.IslandPower[i] = append(sum.IslandPower[i], p.epochIslPow[i]/pf)
+			sum.IslandBIPS[i] = append(sum.IslandBIPS[i], p.epochIslBIPS[i]/pf)
+			p.epochIslPow[i], p.epochIslBIPS[i] = 0, 0
+		}
+		p.epochPow, p.epochInstr, p.epochBIPSAcc = 0, 0, 0
+		for _, o := range s.obs {
+			o.ObserveEpoch(ev)
+		}
+	}
+	p.k++
+}
+
+// finish converts the accumulated sums into means and announces the end of
+// the run.
+func (s *Session) finish() Summary {
+	p := s.prog
+	p.sum.MeanPowerW /= float64(p.meas)
+	p.sum.MeanBIPS /= float64(p.meas)
+	p.finished = true
+	for _, o := range s.obs {
+		o.RunEnd(&p.sum)
+	}
+	return p.sum
+}
+
+// RunIntervals advances the session by up to n intervals (starting it on
+// the first call) without finishing the run, and reports how many intervals
+// were actually stepped — fewer than n when the run's interval budget is
+// exhausted. Interleave with Snapshot to checkpoint a run mid-flight; call
+// Run to complete it.
+func (s *Session) RunIntervals(n int) int {
+	if s.prog == nil {
+		s.start()
+	}
+	total := s.prog.warm + s.prog.meas
+	done := 0
+	for done < n && s.prog.k < total {
+		s.stepOne()
+		done++
+	}
+	return done
+}
+
+// Run executes the session to completion: warmup epochs, then the
+// measurement window, then the summary. It may be called once per Session
+// (Runners are single-use); a session partially advanced by RunIntervals or
+// restored from a snapshot is continued, not restarted.
+func (s *Session) Run() Summary {
+	if s.prog == nil {
+		s.start()
+	}
+	for s.prog.k < s.prog.warm+s.prog.meas {
+		s.stepOne()
+	}
+	return s.finish()
 }

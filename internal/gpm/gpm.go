@@ -14,6 +14,7 @@ package gpm
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -98,9 +99,15 @@ func (m *Manager) AddProvisionHook(fn func(budgetW float64, obs []IslandObs, all
 }
 
 // NewManager builds a GPM with the given policy and chip budget in watts.
+// The budget must be positive and finite: a NaN or +Inf budget passes a
+// plain `<= 0` test and then poisons every provision the manager ever
+// makes, so non-finite values are rejected at this boundary.
 func NewManager(policy Policy, budgetW float64) (*Manager, error) {
 	if policy == nil {
 		return nil, errors.New("gpm: nil policy")
+	}
+	if math.IsNaN(budgetW) || math.IsInf(budgetW, 0) {
+		return nil, fmt.Errorf("gpm: non-finite budget %v", budgetW)
 	}
 	if budgetW <= 0 {
 		return nil, errors.New("gpm: non-positive budget")
@@ -112,7 +119,14 @@ func NewManager(policy Policy, budgetW float64) (*Manager, error) {
 func (m *Manager) BudgetW() float64 { return m.budgetW }
 
 // SetBudgetW updates the chip budget (budget-sweep experiments).
-func (m *Manager) SetBudgetW(w float64) { m.budgetW = w }
+// Non-finite budgets are ignored and the previous budget held, matching
+// the NewManager boundary check (see there for why).
+func (m *Manager) SetBudgetW(w float64) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return
+	}
+	m.budgetW = w
+}
 
 // Policy returns the active policy.
 func (m *Manager) Policy() Policy { return m.policy }

@@ -1,0 +1,225 @@
+package gpm
+
+import (
+	"sort"
+
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// StatefulPolicy is the optional capability a Policy implements when it
+// carries history across epochs. Stateless policies (EqualShare) simply
+// don't implement it; the Manager records which case it captured.
+type StatefulPolicy interface {
+	Policy
+	// SnapshotState appends the policy's cross-epoch state.
+	SnapshotState(e *snapshot.Encoder)
+	// RestoreState reads state written by SnapshotState.
+	RestoreState(d *snapshot.Decoder) error
+}
+
+// Snapshot appends the manager's dynamic state: the current budget and, if
+// the policy carries history, the policy's state (keyed by policy name so
+// a restore into a manager running a different policy fails loudly).
+func (m *Manager) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagGPM)
+	e.F64(m.budgetW)
+	e.String(m.policy.Name())
+	sp, ok := m.policy.(StatefulPolicy)
+	e.Bool(ok)
+	if ok {
+		e.Tag(snapshot.TagPolicy)
+		sp.SnapshotState(e)
+	}
+}
+
+// Restore reads state written by Snapshot. The manager must be running a
+// policy of the same name (and statefulness) as the captured one.
+func (m *Manager) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagGPM)
+	budget := d.F64()
+	name := d.String()
+	hadState := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if name != m.policy.Name() {
+		return snapshot.ShapeErrorf("snapshot ran policy %q, manager runs %q", name, m.policy.Name())
+	}
+	sp, ok := m.policy.(StatefulPolicy)
+	if hadState != ok {
+		return snapshot.ShapeErrorf("snapshot policy statefulness %v, target %v", hadState, ok)
+	}
+	m.budgetW = budget
+	if !ok {
+		return nil
+	}
+	d.Tag(snapshot.TagPolicy)
+	return sp.RestoreState(d)
+}
+
+// SnapshotState implements StatefulPolicy: the per-island (power,
+// prev-power, BIPS) history of Equations 4–6 and its primed flag.
+func (p *PerformanceAware) SnapshotState(e *snapshot.Encoder) {
+	e.Bool(p.havePrev)
+	e.Int(len(p.prev))
+	for _, h := range p.prev {
+		e.F64(h.power)
+		e.F64(h.prevPower)
+		e.F64(h.bips)
+	}
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *PerformanceAware) RestoreState(d *snapshot.Decoder) error {
+	havePrev := d.Bool()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > d.Remaining()/8 {
+		return snapshot.ShapeErrorf("performance-aware history length %d", n)
+	}
+	prev := make([]perfHistory, n)
+	for i := range prev {
+		prev[i] = perfHistory{power: d.F64(), prevPower: d.F64(), bips: d.F64()}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.havePrev = havePrev
+	p.prev = prev
+	return nil
+}
+
+// SnapshotState implements StatefulPolicy: per-island exploration state
+// (share fraction, direction, last EPI, hold counter, primed flag).
+func (p *VariationAware) SnapshotState(e *snapshot.Encoder) {
+	e.Int(len(p.st))
+	for _, s := range p.st {
+		e.F64(s.frac)
+		e.F64(s.dir)
+		e.F64(s.lastEPI) // may be +Inf; raw bits round-trip it
+		e.Int(s.hold)
+		e.Bool(s.primed)
+	}
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *VariationAware) RestoreState(d *snapshot.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > d.Remaining()/8 {
+		return snapshot.ShapeErrorf("variation-aware state length %d", n)
+	}
+	st := make([]varState, n)
+	for i := range st {
+		st[i] = varState{frac: d.F64(), dir: d.F64(), lastEPI: d.F64(), hold: d.Int(), primed: d.Bool()}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.st = st
+	return nil
+}
+
+// SnapshotState implements StatefulPolicy: the current budget-shrink
+// factor, plus the base policy's state when it has any. A nil Base means
+// Provision builds a throwaway PerformanceAware per call, which therefore
+// carries no cross-epoch state to capture.
+func (p *EnergyAware) SnapshotState(e *snapshot.Encoder) {
+	e.F64(p.shrink)
+	snapshotBase(e, p.Base)
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *EnergyAware) RestoreState(d *snapshot.Decoder) error {
+	shrink := d.F64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.shrink = shrink
+	return restoreBase(d, p.Base)
+}
+
+// SnapshotState implements StatefulPolicy: solo and adjacent-pair streak
+// counters (the pair map emitted in sorted key order for deterministic
+// bytes), plus the base policy's state.
+func (p *ThermalAware) SnapshotState(e *snapshot.Encoder) {
+	e.Ints(p.soloStreak)
+	keys := make([][2]int, 0, len(p.pairStreak))
+	for k := range p.pairStreak {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	e.Int(len(keys))
+	for _, k := range keys {
+		e.Int(k[0])
+		e.Int(k[1])
+		e.Int(p.pairStreak[k])
+	}
+	snapshotBase(e, p.Base)
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *ThermalAware) RestoreState(d *snapshot.Decoder) error {
+	solo := d.Ints()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > d.Remaining()/24 {
+		return snapshot.ShapeErrorf("thermal-aware pair-streak length %d", n)
+	}
+	pairs := make(map[[2]int]int, n)
+	for i := 0; i < n; i++ {
+		k := [2]int{d.Int(), d.Int()}
+		pairs[k] = d.Int()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.soloStreak = solo
+	p.pairStreak = pairs
+	return restoreBase(d, p.Base)
+}
+
+// snapshotBase captures a decorator's base-policy state: absent (nil or
+// stateless base) or present with the base's name for cross-checking.
+func snapshotBase(e *snapshot.Encoder, base Policy) {
+	sp, ok := base.(StatefulPolicy)
+	e.Bool(ok)
+	if ok {
+		e.String(sp.Name())
+		sp.SnapshotState(e)
+	}
+}
+
+// restoreBase reads what snapshotBase wrote.
+func restoreBase(d *snapshot.Decoder, base Policy) error {
+	had := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	sp, ok := base.(StatefulPolicy)
+	if had != ok {
+		return snapshot.ShapeErrorf("snapshot base-policy statefulness %v, target %v", had, ok)
+	}
+	if !ok {
+		return nil
+	}
+	name := d.String()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if name != sp.Name() {
+		return snapshot.ShapeErrorf("snapshot base policy %q, target %q", name, sp.Name())
+	}
+	return sp.RestoreState(d)
+}

@@ -1,0 +1,129 @@
+package gpm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/snapshot"
+	"github.com/cpm-sim/cpm/internal/thermal"
+)
+
+func TestManagerRejectsNonFiniteBudget(t *testing.T) {
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewManager(EqualShare{}, w); err == nil {
+			t.Errorf("NewManager(%v) should be rejected", w)
+		}
+	}
+	m, err := NewManager(EqualShare{}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m.SetBudgetW(w)
+		if got := m.BudgetW(); got != 80 {
+			t.Errorf("SetBudgetW(%v) changed budget to %v, want previous 80 held", w, got)
+		}
+	}
+	m.SetBudgetW(60)
+	if m.BudgetW() != 60 {
+		t.Errorf("finite SetBudgetW should apply, got %v", m.BudgetW())
+	}
+}
+
+// drive advances a manager through a few provisioning epochs so the
+// stateful policies accumulate history worth snapshotting.
+func drive(m *Manager, epochs int) {
+	obs := obs4()
+	for e := 0; e < epochs; e++ {
+		alloc := m.Provision(obs)
+		for i := range obs {
+			obs[i].AllocW = alloc[i]
+			obs[i].PowerW = alloc[i] * (0.8 + 0.05*float64(i) + 0.01*float64(e))
+			obs[i].BIPS = 1 + 0.5*float64(i) + 0.1*float64(e)
+		}
+	}
+}
+
+func managerSnapshotRoundTrip(t *testing.T, mk func() Policy) {
+	t.Helper()
+	src, err := NewManager(mk(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(src, 5)
+	src.SetBudgetW(72)
+
+	e := snapshot.NewEncoder()
+	src.Snapshot(e)
+
+	dst, err := NewManager(mk(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(snapshot.NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if dst.BudgetW() != 72 {
+		t.Fatalf("restored budget = %v, want 72", dst.BudgetW())
+	}
+
+	// The restored manager must provision identically to the original from
+	// here on: run both forward and compare allocations exactly.
+	srcObs, dstObs := obs4(), obs4()
+	for e := 0; e < 4; e++ {
+		sa := src.Provision(srcObs)
+		da := dst.Provision(dstObs)
+		for i := range sa {
+			if sa[i] != da[i] {
+				t.Fatalf("epoch %d island %d: restored alloc %v != original %v", e, i, da[i], sa[i])
+			}
+			srcObs[i].AllocW, dstObs[i].AllocW = sa[i], da[i]
+			srcObs[i].PowerW = sa[i] * 0.9
+			dstObs[i].PowerW = da[i] * 0.9
+		}
+	}
+}
+
+func TestManagerSnapshotRoundTrip(t *testing.T) {
+	fp, err := thermal.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func() Policy{
+		"equal-share": func() Policy { return EqualShare{} },
+		"performance": func() Policy { return &PerformanceAware{} },
+		"variation":   func() Policy { return &VariationAware{} },
+		"energy":      func() Policy { return &EnergyAware{Base: &PerformanceAware{}, FloorBIPS: 5} },
+		"thermal": func() Policy {
+			return &ThermalAware{
+				Base:                 &PerformanceAware{},
+				Floorplan:            fp,
+				AdjacentPairCap:      0.5,
+				ConsecutiveLimit:     2,
+				SoloCap:              0.3,
+				SoloConsecutiveLimit: 4,
+			}
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) { managerSnapshotRoundTrip(t, mk) })
+	}
+}
+
+func TestManagerRestoreRejectsPolicyMismatch(t *testing.T) {
+	src, err := NewManager(&PerformanceAware{}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(src, 3)
+	e := snapshot.NewEncoder()
+	src.Snapshot(e)
+
+	dst, err := NewManager(EqualShare{}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(snapshot.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("restoring a performance-aware snapshot into an equal-share manager should fail")
+	}
+}

@@ -1,0 +1,34 @@
+package island
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the island's dynamic state: current DVFS level, the
+// cumulative transition count and the pending-overhead latch.
+func (i *Island) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagIsland)
+	e.Int(i.level)
+	e.Int(i.transitions)
+	e.Bool(i.pendingOverhead)
+}
+
+// Restore reads state written by Snapshot, validating the level against
+// the island's DVFS table.
+func (i *Island) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagIsland)
+	level := d.Int()
+	transitions := d.Int()
+	pending := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if level != i.table.ClampLevel(level) {
+		return snapshot.ShapeErrorf("island %d level %d outside the DVFS table", i.id, level)
+	}
+	if transitions < 0 {
+		return snapshot.ShapeErrorf("island %d negative transition count %d", i.id, transitions)
+	}
+	i.level = level
+	i.transitions = transitions
+	i.pendingOverhead = pending
+	return nil
+}

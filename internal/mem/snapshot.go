@@ -1,0 +1,17 @@
+package mem
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the memory system's dynamic state: the utilization of
+// the last observed interval (the delayed cross-island coupling input).
+func (s *System) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagMem)
+	e.F64(s.utilization)
+}
+
+// Restore reads state written by Snapshot.
+func (s *System) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagMem)
+	s.utilization = d.F64()
+	return d.Err()
+}

@@ -1,0 +1,17 @@
+package noc
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the mesh's dynamic state: the congestion utilization of
+// the last observed interval. Hop distances are configuration-derived.
+func (m *Mesh) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagNoC)
+	e.F64(m.utilization)
+}
+
+// Restore reads state written by Snapshot.
+func (m *Mesh) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagNoC)
+	m.utilization = d.F64()
+	return d.Err()
+}

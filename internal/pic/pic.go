@@ -21,6 +21,7 @@ package pic
 
 import (
 	"errors"
+	"math"
 
 	"github.com/cpm-sim/cpm/internal/control"
 	"github.com/cpm-sim/cpm/internal/power"
@@ -170,7 +171,15 @@ func New(cfg Config, initialLevel int) (*Controller, error) {
 // SetTargetWatts installs the GPM-provisioned power budget. The controller
 // state (integrator, frequency target) carries across budget changes, as a
 // budget update is a reference step, not a restart.
+//
+// Non-finite budgets are ignored and the previous target held: a NaN or
+// ±Inf target would otherwise poison the tracking error — and through it
+// the integrator and EMA — permanently, since every comparison against NaN
+// is false and no later finite budget can flush the accumulated state.
 func (c *Controller) SetTargetWatts(w float64) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return
+	}
 	f := w / c.cfg.IslandMaxW
 	if f < 0 {
 		f = 0
@@ -247,6 +256,12 @@ func (c *Controller) invoke(meanUtil, oraclePowerW float64) int {
 // quantized command by more than one step once the hold releases.
 func (c *Controller) clampToCapture() {
 	t := c.cfg.Table
+	if t.Levels() < 2 {
+		// A single-level table has one capture region covering the whole
+		// axis; the general half-width formula would divide by zero and
+		// clamp fNorm to ±Inf bounds, poisoning the frequency state.
+		return
+	}
 	f := t.NormFreq(t.Point(c.lastLevel).FreqMHz)
 	half := 0.5 / float64(t.Levels()-1)
 	if c.fNorm < f-half {
@@ -271,5 +286,20 @@ func (c *Controller) IntegratorBounds() (lo, hi float64) {
 	return c.pid.IntMin, c.pid.IntMax
 }
 
-// Reset clears the PID state, for experiments that restart an epoch.
-func (c *Controller) Reset() { c.pid.Reset() }
+// Reset returns the controller to its just-constructed condition at the
+// given initial DVFS level (clamped into the table), for experiments that
+// restart an epoch. Every piece of dynamic state is cleared: the PID's
+// integrator and derivative memory, the measurement EMA and its primed
+// flag, the continuous frequency state, the last applied level, and the
+// provisioned target. An earlier version cleared only the PID, so the
+// EMA, frequency state, level and target all leaked into the "restarted"
+// epoch; install hooks are observers, not state, and survive a Reset.
+func (c *Controller) Reset(initialLevel int) {
+	c.pid.Reset()
+	c.pid.Frozen = false
+	c.ema = 0
+	c.emaPrimed = false
+	c.targetFrac = 0
+	c.lastLevel = c.cfg.Table.ClampLevel(initialLevel)
+	c.fNorm = c.cfg.Table.NormFreq(c.cfg.Table.Point(c.lastLevel).FreqMHz)
+}

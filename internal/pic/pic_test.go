@@ -215,18 +215,136 @@ func TestResetClearsState(t *testing.T) {
 	c := newController(t, plant, false)
 	c.SetTargetWatts(0.55 * plant.maxW)
 	track(c, plant, 20)
-	c.Reset()
-	// After reset the controller behaves like a fresh one given identical
-	// inputs.
+	c.Reset(plant.level)
+	// After a full reset the controller is indistinguishable from a fresh
+	// one constructed at the same level: identical inputs produce identical
+	// outputs with no manual field alignment. (The old Reset cleared only
+	// the PID, so this test had to sync fNorm and the target by hand.)
 	fresh := newController(t, plant, false)
+	c.SetTargetWatts(0.55 * plant.maxW)
 	fresh.SetTargetWatts(0.55 * plant.maxW)
-	// Align the frequency state.
-	fresh.fNorm = c.fNorm
 	for k := 0; k < 10; k++ {
 		u, p := plant.observe()
-		if c.Invoke(u, p) != fresh.Invoke(u, p) {
-			t.Fatalf("post-reset divergence at invocation %d", k)
+		lc, lf := c.Invoke(u, p), fresh.Invoke(u, p)
+		if lc != lf {
+			t.Fatalf("post-reset divergence at invocation %d: reset chose %d, fresh chose %d", k, lc, lf)
 		}
+		plant.apply(lc)
+	}
+}
+
+// TestResetFullStateTable pins field by field what Reset clears. The old
+// implementation reset only the PID; each row below names a field that
+// leaked across the documented "restart an epoch" use and the value a
+// fresh controller would hold.
+func TestResetFullStateTable(t *testing.T) {
+	const resetLevel = 2
+	plant := defaultPlant()
+	freshNorm := plant.table.NormFreq(plant.table.Point(resetLevel).FreqMHz)
+	cases := []struct {
+		name string
+		get  func(*Controller) float64
+		want float64
+	}{
+		{"pid integrator", func(c *Controller) float64 { return c.Integrator() }, 0},
+		{"ema", func(c *Controller) float64 { return c.ema }, 0},
+		{"ema primed", func(c *Controller) float64 { return b2f(c.emaPrimed) }, 0},
+		{"target frac", func(c *Controller) float64 { return c.TargetFrac() }, 0},
+		{"last level", func(c *Controller) float64 { return float64(c.lastLevel) }, resetLevel},
+		{"freq norm", func(c *Controller) float64 { return c.FreqNorm() }, freshNorm},
+		{"pid frozen", func(c *Controller) float64 { return b2f(c.pid.Frozen) }, 0},
+	}
+	// Dirty a controller: converged loop state in every field.
+	p := *plant
+	c := newController(t, &p, false)
+	c.SetTargetWatts(0.55 * p.maxW)
+	track(c, &p, 20)
+	for _, tc := range cases {
+		if tc.name == "pid frozen" {
+			continue // may legitimately end a tracking run unfrozen
+		}
+		if got := tc.get(c); got == tc.want {
+			t.Logf("field %q already at its reset value before Reset (weak row)", tc.name)
+		}
+	}
+	c.Reset(resetLevel)
+	for _, tc := range cases {
+		if got := tc.get(c); got != tc.want {
+			t.Errorf("after Reset, %s = %v, want %v (field leaked)", tc.name, got, tc.want)
+		}
+	}
+	// Out-of-range initial levels clamp like New.
+	c.Reset(-5)
+	if c.lastLevel != 0 {
+		t.Errorf("Reset(-5) level = %d, want clamped to 0", c.lastLevel)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSingleLevelTable drives the degenerate one-point DVFS table through
+// New and Invoke: the old clampToCapture computed a ±Inf capture half-width
+// (0.5/(levels-1)) and poisoned fNorm the first time the deadband held.
+func TestSingleLevelTable(t *testing.T) {
+	tbl, err := power.NewDVFSTable([]power.OperatingPoint{{FreqMHz: 1000, VoltageV: 1.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Table:      tbl,
+		IslandMaxW: 10,
+		Transducer: sensor.LevelTransducer{Base: []float64{0.5}},
+	}, 0)
+	if err != nil {
+		t.Fatalf("New with single-level table: %v", err)
+	}
+	if math.IsNaN(c.FreqNorm()) || math.IsInf(c.FreqNorm(), 0) {
+		t.Fatalf("initial fNorm = %v, want finite", c.FreqNorm())
+	}
+	c.SetTargetWatts(5) // exactly the estimate: lands in the deadband hold
+	for k := 0; k < 30; k++ {
+		if lvl := c.Invoke(0.5, 5); lvl != 0 {
+			t.Fatalf("invocation %d chose level %d on a 1-level table", k, lvl)
+		}
+		if math.IsNaN(c.FreqNorm()) || math.IsInf(c.FreqNorm(), 0) {
+			t.Fatalf("invocation %d poisoned fNorm to %v", k, c.FreqNorm())
+		}
+	}
+	// Off-target budgets exercise the non-deadband path too.
+	c.SetTargetWatts(2)
+	for k := 0; k < 10; k++ {
+		if lvl := c.Invoke(0.5, 5); lvl != 0 {
+			t.Fatalf("level %d on a 1-level table", lvl)
+		}
+	}
+	if math.IsNaN(c.FreqNorm()) || math.IsInf(c.FreqNorm(), 0) {
+		t.Fatalf("fNorm = %v after off-target tracking", c.FreqNorm())
+	}
+}
+
+// TestSetTargetWattsRejectsNonFinite: NaN/±Inf budgets must not poison the
+// target — the previous finite target is held.
+func TestSetTargetWattsRejectsNonFinite(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	c.SetTargetWatts(12)
+	want := c.TargetFrac()
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c.SetTargetWatts(w)
+		if got := c.TargetFrac(); got != want {
+			t.Errorf("SetTargetWatts(%v) changed target frac to %v, want held at %v", w, got, want)
+		}
+	}
+	// The controller keeps tracking the held target afterwards.
+	c.SetTargetWatts(math.NaN())
+	traj := track(c, plant, 40)
+	if final := traj[len(traj)-1]; math.IsNaN(final) {
+		t.Error("loop state went NaN after a NaN budget")
 	}
 }
 

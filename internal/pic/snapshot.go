@@ -1,0 +1,45 @@
+package pic
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the controller's complete dynamic state: the PID's
+// accumulator and derivative memory, the continuous frequency state, the
+// provisioned target, the measurement EMA with its primed flag, and the
+// last applied DVFS level. Configuration (gains, table, transducer) is
+// construction-time and not captured; invoke hooks are observers and are
+// re-attached by whoever rebuilds the stack.
+func (c *Controller) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagPIC)
+	c.pid.Snapshot(e)
+	e.F64(c.fNorm)
+	e.F64(c.targetFrac)
+	e.F64(c.ema)
+	e.Bool(c.emaPrimed)
+	e.Int(c.lastLevel)
+}
+
+// Restore reads state written by Snapshot, validating the level against
+// the controller's table.
+func (c *Controller) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagPIC)
+	if err := c.pid.Restore(d); err != nil {
+		return err
+	}
+	fNorm := d.F64()
+	targetFrac := d.F64()
+	ema := d.F64()
+	emaPrimed := d.Bool()
+	lastLevel := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if lastLevel != c.cfg.Table.ClampLevel(lastLevel) {
+		return snapshot.ShapeErrorf("pic level %d outside the DVFS table", lastLevel)
+	}
+	c.fNorm = fNorm
+	c.targetFrac = targetFrac
+	c.ema = ema
+	c.emaPrimed = emaPrimed
+	c.lastLevel = lastLevel
+	return nil
+}

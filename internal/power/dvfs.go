@@ -35,10 +35,13 @@ type DVFSTable struct {
 }
 
 // NewDVFSTable validates and builds a table. Points must be strictly
-// increasing in both frequency and voltage.
+// increasing in both frequency and voltage. A single-point table is legal
+// — an island with no DVFS capability, pinned at its one operating point —
+// and every consumer of the normalized frequency axis treats its zero
+// extent as the degenerate case (NormFreq returns 0).
 func NewDVFSTable(points []OperatingPoint) (*DVFSTable, error) {
-	if len(points) < 2 {
-		return nil, errors.New("power: DVFS table needs at least two operating points")
+	if len(points) == 0 {
+		return nil, errors.New("power: DVFS table needs at least one operating point")
 	}
 	sorted := append([]OperatingPoint(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqMHz < sorted[j].FreqMHz })
@@ -154,6 +157,12 @@ func (t *DVFSTable) FloorLevel(freqMHz float64) int {
 // operates on this normalized axis so its plant gain is dimensionless.
 func (t *DVFSTable) NormFreq(freqMHz float64) float64 {
 	lo, hi := t.Min().FreqMHz, t.Max().FreqMHz
+	if hi == lo {
+		// Single-point table: the normalized axis has zero extent. Define
+		// the sole operating point as 0 rather than returning 0/0 = NaN,
+		// which would poison every downstream frequency computation.
+		return 0
+	}
 	return (freqMHz - lo) / (hi - lo)
 }
 

@@ -25,8 +25,20 @@ func TestPentiumMTableShape(t *testing.T) {
 }
 
 func TestNewDVFSTableValidation(t *testing.T) {
-	if _, err := NewDVFSTable([]OperatingPoint{{600, 1.0}}); err == nil {
-		t.Error("single-point table should be rejected")
+	if _, err := NewDVFSTable(nil); err == nil {
+		t.Error("empty table should be rejected")
+	}
+	// A single-point table is a legal no-DVFS island; its normalized
+	// frequency axis has zero extent and must stay finite.
+	single, err := NewDVFSTable([]OperatingPoint{{600, 1.0}})
+	if err != nil {
+		t.Fatalf("single-point table rejected: %v", err)
+	}
+	if got := single.NormFreq(600); got != 0 {
+		t.Errorf("single-point NormFreq = %v, want 0", got)
+	}
+	if got := single.DenormFreq(0.5); got != 600 {
+		t.Errorf("single-point DenormFreq = %v, want 600", got)
 	}
 	if _, err := NewDVFSTable([]OperatingPoint{{600, 1.0}, {600, 1.1}}); err == nil {
 		t.Error("duplicate frequency should be rejected")

@@ -161,6 +161,10 @@ type islandState struct {
 	isl       *island.Island
 	cores     []coreModel
 	maxPowerW float64
+	// sharedL2 is the island's shared banked L2 when Config.SharedL2 is
+	// set (nil otherwise); retained so a snapshot captures the shared
+	// state exactly once per island instead of once per core.
+	sharedL2 *cache.Banked
 	// scratch for the parallel executor
 	res       IslandResult
 	memBlocks uint64
@@ -304,6 +308,7 @@ func New(cfg Config) (*CMP, error) {
 				return nil, err
 			}
 			sharedL2 = shared
+			st.sharedL2 = shared
 		}
 		for _, prof := range islandProfiles {
 			l1i, err := cache.New(cache.TableIL1())

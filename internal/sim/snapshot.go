@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/snapshot"
+	"github.com/cpm-sim/cpm/internal/uarch"
+)
+
+// Core kind bytes written per core so a restore verifies live vs replay
+// wiring matches the snapshot.
+const (
+	coreKindLive   uint8 = 1
+	coreKindReplay uint8 = 2
+)
+
+// Fingerprint summarizes the chip's structural identity — the part of the
+// configuration a snapshot must match to be restorable. It is embedded in
+// snapshot file headers by the CLIs.
+func (c *CMP) Fingerprint() string {
+	return fmt.Sprintf("mix=%s/seed=%d/cores=%d/islands=%d/sharedl2=%v/pref=%d/noc=%v",
+		c.cfg.Mix.Name, c.cfg.Seed, c.nCores, len(c.islands),
+		c.cfg.SharedL2, c.cfg.L2PrefetchDegree, c.mesh != nil)
+}
+
+// Snapshot appends the chip's complete dynamic state: interval counter,
+// cumulative instructions, memory and NoC congestion, thermal node
+// temperatures, the process-variation map, and per island its DVFS state,
+// shared L2 (once, when shared) and per-core generator/cache state.
+//
+// Chips recording traces cannot be snapshotted: the accumulated trace
+// records live outside the restore path and would silently be lost.
+func (c *CMP) Snapshot(e *snapshot.Encoder) error {
+	if c.recorded != nil {
+		return errors.New("sim: cannot snapshot a chip that is recording traces")
+	}
+	e.Tag(snapshot.TagChip)
+	// Structural echo, validated on restore before any state is touched.
+	e.Int(c.nCores)
+	e.Int(len(c.islands))
+	for _, st := range c.islands {
+		e.Int(len(st.cores))
+	}
+	e.Int(c.interval)
+	e.F64(c.totalInstr)
+	c.memsys.Snapshot(e)
+	e.Bool(c.mesh != nil)
+	if c.mesh != nil {
+		c.mesh.Snapshot(e)
+	}
+	c.thermals.Snapshot(e)
+	c.varmap.Snapshot(e)
+	for _, st := range c.islands {
+		st.isl.Snapshot(e)
+		e.Bool(st.sharedL2 != nil)
+		if st.sharedL2 != nil {
+			st.sharedL2.Snapshot(e)
+		}
+		for _, cm := range st.cores {
+			switch core := cm.(type) {
+			case *uarch.Core:
+				e.U8(coreKindLive)
+				core.Snapshot(e, st.sharedL2 == nil)
+			case *uarch.ReplayCore:
+				e.U8(coreKindReplay)
+				core.Snapshot(e)
+			default:
+				return errors.New("sim: unsnapshotable core model")
+			}
+		}
+	}
+	return nil
+}
+
+// Restore reads state written by Snapshot into a freshly constructed,
+// structurally identical chip. On any error the chip may be partially
+// written and must be discarded.
+func (c *CMP) Restore(d *snapshot.Decoder) error {
+	if c.recorded != nil {
+		return errors.New("sim: cannot restore into a chip that is recording traces")
+	}
+	d.Tag(snapshot.TagChip)
+	nCores := d.Int()
+	nIslands := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nCores != c.nCores || nIslands != len(c.islands) {
+		return snapshot.ShapeErrorf("snapshot chip is %d cores / %d islands, target is %d / %d",
+			nCores, nIslands, c.nCores, len(c.islands))
+	}
+	for i, st := range c.islands {
+		if n := d.Int(); d.Err() == nil && n != len(st.cores) {
+			return snapshot.ShapeErrorf("snapshot island %d has %d cores, target has %d", i, n, len(st.cores))
+		}
+	}
+	c.interval = d.Int()
+	c.totalInstr = d.F64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := c.memsys.Restore(d); err != nil {
+		return err
+	}
+	hadMesh := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if hadMesh != (c.mesh != nil) {
+		return snapshot.ShapeErrorf("snapshot NoC presence %v, target %v", hadMesh, c.mesh != nil)
+	}
+	if c.mesh != nil {
+		if err := c.mesh.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := c.thermals.Restore(d); err != nil {
+		return err
+	}
+	if err := c.varmap.Restore(d); err != nil {
+		return err
+	}
+	for i, st := range c.islands {
+		if err := st.isl.Restore(d); err != nil {
+			return err
+		}
+		hadShared := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if hadShared != (st.sharedL2 != nil) {
+			return snapshot.ShapeErrorf("island %d shared-L2 presence %v, target %v", i, hadShared, st.sharedL2 != nil)
+		}
+		if st.sharedL2 != nil {
+			if err := st.sharedL2.Restore(d); err != nil {
+				return err
+			}
+		}
+		for j, cm := range st.cores {
+			kind := d.U8()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			switch core := cm.(type) {
+			case *uarch.Core:
+				if kind != coreKindLive {
+					return snapshot.ShapeErrorf("island %d core %d kind %d, target is a live core", i, j, kind)
+				}
+				if err := core.Restore(d, st.sharedL2 == nil); err != nil {
+					return err
+				}
+			case *uarch.ReplayCore:
+				if kind != coreKindReplay {
+					return snapshot.ShapeErrorf("island %d core %d kind %d, target is a replay core", i, j, kind)
+				}
+				if err := core.Restore(d); err != nil {
+					return err
+				}
+			default:
+				return errors.New("sim: unsnapshotable core model")
+			}
+		}
+	}
+	return d.Err()
+}

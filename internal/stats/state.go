@@ -1,0 +1,11 @@
+package stats
+
+// State returns the generator's internal state word. Together with
+// SetState it makes the stream checkpointable: a generator restored with
+// SetState(State()) produces the identical continuation of draws. The
+// splitmix64 core keeps no auxiliary state (Norm discards its spare
+// deviate), so one word is the complete stream position.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator's state word (see State).
+func (r *Rand) SetState(s uint64) { r.state = s }

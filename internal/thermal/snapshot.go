@@ -1,0 +1,26 @@
+package thermal
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the RC network's node temperatures — the model's only
+// dynamic state (the scratch buffer Step ping-pongs through is overwritten
+// before every read).
+func (m *Model) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagThermal)
+	e.F64s(m.t)
+}
+
+// Restore reads state written by Snapshot into a model over the same
+// floorplan.
+func (m *Model) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagThermal)
+	t := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(t) != len(m.t) {
+		return snapshot.ShapeErrorf("%d thermal nodes in snapshot, target floorplan has %d", len(t), len(m.t))
+	}
+	copy(m.t, t)
+	return nil
+}

@@ -1,0 +1,27 @@
+package variation
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the per-core leakage multipliers. The map is static
+// configuration, but it feeds every leakage evaluation, so it is captured
+// and cross-checked rather than assumed: restoring a snapshot into a chip
+// with a different variation map silently diverges otherwise.
+func (m Map) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagVariation)
+	e.F64s(m.mult)
+}
+
+// Restore reads multipliers written by Snapshot into a map of the same
+// length.
+func (m *Map) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagVariation)
+	mult := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(mult) != len(m.mult) {
+		return snapshot.ShapeErrorf("%d variation multipliers in snapshot, target has %d", len(mult), len(m.mult))
+	}
+	copy(m.mult, mult)
+	return nil
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// Snapshot appends the phase generator's dynamic state: the RNG stream
+// position, the current phase multipliers and the remaining dwell.
+func (g *PhaseGen) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagPhaseGen)
+	e.U64(g.rng.State())
+	e.F64(g.cur.CPIMult)
+	e.F64(g.cur.MemMult)
+	e.F64(g.cur.ActMult)
+	e.Int(g.dwell)
+}
+
+// Restore reads state written by Snapshot.
+func (g *PhaseGen) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagPhaseGen)
+	g.rng.SetState(d.U64())
+	g.cur.CPIMult = d.F64()
+	g.cur.MemMult = d.F64()
+	g.cur.ActMult = d.F64()
+	g.dwell = d.Int()
+	return d.Err()
+}
+
+// Snapshot appends the address generator's dynamic state: the RNG stream
+// position, the sequential-walk cursors, and the phase multiplier the cold
+// divisor was last built for. The Lemire reciprocals themselves are not
+// serialized — they are a pure function of configuration plus coldMult and
+// are rebuilt on restore, which also keeps corrupt snapshot bytes from
+// smuggling in an inconsistent divisor.
+func (g *StreamGen) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagStreamGen)
+	e.U64(g.rng.State())
+	e.U64(g.seqPos)
+	e.U64(g.codePos)
+	e.F64(g.coldMult) // NaN (never built) round-trips via raw bits
+}
+
+// Restore reads state written by Snapshot, rebuilding the cold-span
+// divisor exactly as DataAddrs would for the restored multiplier.
+func (g *StreamGen) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagStreamGen)
+	rngState := d.U64()
+	seqPos := d.U64()
+	codePos := d.U64()
+	coldMult := d.F64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.rng.SetState(rngState)
+	g.seqPos = seqPos
+	g.codePos = codePos
+	g.coldMult = coldMult
+	if !math.IsNaN(coldMult) {
+		// Mirror the DataAddrs rebuild so the divisor is bit-identical to
+		// the one the snapshotted generator was using.
+		blocks := uint64(float64(g.profile.WorkingSetBytes)*minf(1, coldMult)) / blockBytes
+		if blocks == 0 {
+			blocks = 1
+		}
+		g.coldDiv = newDivisor(blocks)
+	}
+	return nil
+}
