@@ -1,10 +1,10 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR6.json
 
 all: vet build test
 
@@ -51,6 +51,22 @@ snapshot-check:
 	$(GO) test ./internal/snapshot ./internal/pic ./internal/gpm
 	$(GO) test ./internal/check -run 'TestGoldenSnapshotResumeEquivalence|TestSessionSnapshotRejections|TestFNV64a' -v
 	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime 10s
+
+# Farm equivalence gate (race-enabled): the batched shared-sampler path must
+# reproduce every pinned golden digest — single-chip farms, the six-scenario
+# shared-sampler farm, group splits, distinct-seed replicas, whole-fleet
+# snapshot/restore mid-run — plus the sweep-level farm-vs-scalar CSV
+# byte-identity and the fleet metrics observer.
+farm-check:
+	$(GO) test -race ./internal/check -run 'TestFarm'
+	$(GO) test -race ./internal/metrics -run 'TestFarmObserver'
+	$(GO) test -race ./cmd/cpmsweep -run 'TestSweepFarm'
+
+# Fleet throughput benchmark: chips/sec of the 64- and 1024-chip farms vs
+# the aggregate-scalar reference (informational; `make bench` pins the
+# numbers into $(BENCH_OUT)).
+fleet-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetFarm' -benchtime 20x .
 
 # Coverage for the control-critical packages; ci.yml enforces the floor.
 cover:

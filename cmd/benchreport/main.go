@@ -34,6 +34,17 @@ var suite = []struct {
 	{"stream_gen", "BenchmarkStreamGen", "./internal/workload"},
 	{"interval_kernel", "BenchmarkIntervalKernel", "./internal/sim"},
 	{"sim_step_8core", "BenchmarkSimStep8Sequential", "."},
+	{"fleet_round_64", "BenchmarkFleetFarm64", "."},
+	{"fleet_round_1024", "BenchmarkFleetFarm1024", "."},
+}
+
+// fleets maps the fleet-round keys to their chip counts; the report derives
+// per-chip and aggregate-throughput numbers from them against the scalar
+// single-chip step (sim_step_8core: N independent sessions compose
+// linearly, so the aggregate-scalar reference for N chips is N x that).
+var fleets = map[string]int{
+	"fleet_round_64":   64,
+	"fleet_round_1024": 1024,
 }
 
 // Entry is one benchmark's measurement.
@@ -47,14 +58,31 @@ type Entry struct {
 	Speedup         float64 `json:"speedup,omitempty"`
 }
 
+// FleetEntry is one fleet benchmark's derived throughput measurement.
+type FleetEntry struct {
+	Chips int `json:"chips"`
+	// RoundNsPerOp is one lockstep round of the whole fleet.
+	RoundNsPerOp float64 `json:"round_ns_per_op"`
+	// PerChipNsPerStep is the amortized per-chip interval cost.
+	PerChipNsPerStep float64 `json:"per_chip_ns_per_step"`
+	// ChipStepsPerSec is the fleet's aggregate throughput.
+	ChipStepsPerSec float64 `json:"chips_per_sec"`
+	// ScalarChipNsPerStep is the single-chip scalar step (sim_step_8core);
+	// AggregateSpeedup is (Chips x scalar) / round — the farm's advantage
+	// over running the same fleet as independent scalar sessions.
+	ScalarChipNsPerStep float64 `json:"scalar_chip_ns_per_step,omitempty"`
+	AggregateSpeedup    float64 `json:"aggregate_speedup,omitempty"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
-	GoVersion string           `json:"go_version"`
-	GOARCH    string           `json:"goarch"`
-	Count     int              `json:"count"`
-	Benchtime string           `json:"benchtime"`
-	Note      string           `json:"note,omitempty"`
-	Results   map[string]Entry `json:"results"`
+	GoVersion string                `json:"go_version"`
+	GOARCH    string                `json:"goarch"`
+	Count     int                   `json:"count"`
+	Benchtime string                `json:"benchtime"`
+	Note      string                `json:"note,omitempty"`
+	Results   map[string]Entry      `json:"results"`
+	Fleet     map[string]FleetEntry `json:"fleet,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
@@ -91,6 +119,7 @@ func main() {
 		rep.Results[b.key] = e
 		fmt.Printf("%-16s %10.2f ns/op  %d allocs/op\n", b.key, e.NsPerOp, e.AllocsPerOp)
 	}
+	deriveFleet(&rep)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -99,6 +128,36 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// deriveFleet folds the fleet-round measurements into per-chip and
+// aggregate-throughput entries, with the speedup over N independent scalar
+// sessions when the scalar step is in the report.
+func deriveFleet(rep *Report) {
+	scalar := rep.Results["sim_step_8core"].NsPerOp
+	for key, chips := range fleets {
+		e, ok := rep.Results[key]
+		if !ok {
+			continue
+		}
+		perChip := e.NsPerOp / float64(chips)
+		fe := FleetEntry{
+			Chips:            chips,
+			RoundNsPerOp:     e.NsPerOp,
+			PerChipNsPerStep: perChip,
+			ChipStepsPerSec:  1e9 / perChip,
+		}
+		if scalar > 0 {
+			fe.ScalarChipNsPerStep = scalar
+			fe.AggregateSpeedup = scalar / perChip
+		}
+		if rep.Fleet == nil {
+			rep.Fleet = map[string]FleetEntry{}
+		}
+		rep.Fleet[key] = fe
+		fmt.Printf("%-16s %d chips: %.0f chips/sec, %.0f ns/chip-step, %.1fx aggregate vs scalar\n",
+			key, chips, fe.ChipStepsPerSec, perChip, fe.AggregateSpeedup)
+	}
 }
 
 // run executes one benchmark count times and keeps the minimum ns/op (with

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/cpm-sim/cpm/internal/check"
+	"github.com/cpm-sim/cpm/internal/core"
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/farm"
+	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/metrics"
+	"github.com/cpm-sim/cpm/internal/pic"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// sweepFarm is the default route: every point of the sweep — the unmanaged
+// baseline plus a CPM and a MaxBIPS run per budget — becomes one chip of a
+// farm. All points share the sweep's workload identity (budget, controller
+// and initial DVFS level are compute-half state), so they collapse into one
+// sampler group and the sweep pays the sampling cost of a single run
+// instead of 1+2*len(budgets) runs. Chips are bit-identical to the scalar
+// route's, so the CSV is byte-identical at any -workers or -farm-size.
+func sweepFarm(cfg sim.Config, cal core.Calibration, o sweepOptions, logw io.Writer) ([]sweepRow, error) {
+	var warmManaged, warmBase, samplerState []byte
+	var err error
+	warmLeft := o.Warm
+	if o.WarmStart {
+		warmManaged, warmBase, samplerState, err = warmFarmTemplates(cfg, o.Warm)
+		if err != nil {
+			return nil, err
+		}
+		warmLeft = 0
+		fmt.Fprintf(logw, "warm-started: %d warm epochs simulated once, forked across %d budget points\n",
+			o.Warm, len(o.Fracs))
+	}
+
+	bcfg := cfg
+	bcfg.InitialLevel = -1
+
+	// Point layout: 0 is the unmanaged baseline, then (cpm, maxbips) per
+	// budget fraction. Suites and error contexts are indexed the same way.
+	nPoints := 1 + 2*len(o.Fracs)
+	specs := make([]farm.ChipSpec, 0, nPoints)
+	suites := make([]*check.Suite, nPoints)
+	errCtx := make([]string, nPoints)
+
+	specs = append(specs, farm.ChipSpec{
+		Config: bcfg,
+		Init:   restoreWarmTemplate(warmBase),
+		NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+			var obs []engine.Observer
+			if o.Check {
+				suites[0] = check.All(check.ForChip(cmp, 0))
+				obs = append(obs, suites[0])
+			}
+			if o.Metrics != nil {
+				obs = append(obs, metrics.NewObserver(o.Metrics, metrics.ObserverOptions{Label: "unmanaged", Chip: cmp}))
+			}
+			return engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+				WarmEpochs: warmLeft, MeasureEpochs: o.Epochs, Label: "unmanaged",
+			}, obs...)
+		},
+	})
+
+	for pi, frac := range o.Fracs {
+		frac := frac
+		budget := cal.BudgetW(frac)
+		idxCPM, idxMB := 1+2*pi, 2+2*pi
+		errCtx[idxCPM] = fmt.Sprintf("budget %.2f W", budget)
+		errCtx[idxMB] = fmt.Sprintf("maxbips budget %.2f W", budget)
+
+		specs = append(specs, farm.ChipSpec{
+			Config: cfg,
+			Init:   restoreWarmTemplate(warmManaged),
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				// Policies can be stateful (e.g. variation-aware), so each
+				// point builds its own instance.
+				pol, err := makePolicy(o.Policy)
+				if err != nil {
+					return nil, err
+				}
+				c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers})
+				if err != nil {
+					return nil, err
+				}
+				var obs []engine.Observer
+				if o.Check {
+					suites[idxCPM] = check.ForCPM(c, budget)
+					obs = append(obs, suites[idxCPM])
+				}
+				if o.Metrics != nil {
+					pics := make([]*pic.Controller, cmp.NumIslands())
+					for i := range pics {
+						pics[i] = c.PIC(i)
+					}
+					obs = append(obs, metrics.NewObserver(o.Metrics, metrics.ObserverOptions{
+						Label: fmt.Sprintf("cpm-%.2f", frac), Chip: cmp, PICs: pics,
+					}))
+				}
+				return engine.NewSession(engine.NewCPMRunner(c), engine.SessionConfig{
+					WarmEpochs: warmLeft, MeasureEpochs: o.Epochs, BudgetW: budget, Label: "cpm",
+				}, obs...)
+			},
+		})
+
+		specs = append(specs, farm.ChipSpec{
+			Config: cfg,
+			Init:   restoreWarmTemplate(warmManaged),
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				planner, err := maxbips.New(cmp.Table())
+				if err != nil {
+					return nil, err
+				}
+				if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
+					return nil, err
+				}
+				r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)
+				if err != nil {
+					return nil, err
+				}
+				var obs []engine.Observer
+				if o.Check {
+					// Open-loop MaxBIPS overshoots realized power by design;
+					// widen the budget tolerance to the paper's reported
+					// ~20% worst case.
+					ccfg := check.ForChip(cmp, budget)
+					ccfg.BudgetTolFrac = 0.25
+					ccfg.IslandTolFrac = 0.25
+					suites[idxMB] = check.All(ccfg)
+					obs = append(obs, suites[idxMB])
+				}
+				if o.Metrics != nil {
+					obs = append(obs, metrics.NewObserver(o.Metrics, metrics.ObserverOptions{
+						Label: fmt.Sprintf("maxbips-%.2f", frac), Chip: cmp,
+					}))
+				}
+				return engine.NewSession(r, engine.SessionConfig{
+					WarmEpochs: warmLeft, MeasureEpochs: o.Epochs, BudgetW: budget, Label: "maxbips",
+				}, obs...)
+			},
+		})
+	}
+
+	f, err := farm.New(specs, farm.Options{MaxGroup: o.FarmSize, SamplerState: samplerState})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(logw, "farm: %d points in %d sampler group(s)\n", f.NumChips(), f.NumGroups())
+
+	sums, err := f.Run(engine.Pool{Workers: o.Workers}, progressPrinter(logw))
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range suites {
+		if s == nil {
+			continue
+		}
+		if err := s.Err(); err != nil {
+			if errCtx[i] == "" {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%s: %w", errCtx[i], err)
+		}
+	}
+
+	base := sums[0]
+	rows := make([]sweepRow, len(o.Fracs))
+	for pi, frac := range o.Fracs {
+		ours, mb := sums[1+2*pi], sums[2+2*pi]
+		rows[pi] = sweepRow{
+			frac: frac, budgetW: cal.BudgetW(frac),
+			oursPowerW: ours.MeanPowerW, oursDegr: engine.Degradation(ours, base),
+			maxbipsPowerW: mb.MeanPowerW, maxbipsDegr: engine.Degradation(mb, base),
+		}
+	}
+	return rows, nil
+}
+
+// progressPrinter reports fleet progress and an ETA to the log writer as
+// points finish. Points-completed counts sessions, not warm templates, so
+// the totals are correct under -warmstart too. Stdout never sees it — the
+// CSV stays byte-identical with or without progress.
+func progressPrinter(logw io.Writer) func(done, total int) {
+	start := time.Now()
+	return func(done, total int) {
+		elapsed := time.Since(start)
+		if done <= 0 || done > total {
+			fmt.Fprintf(logw, "progress: %d/%d points\n", done, total)
+			return
+		}
+		eta := elapsed / time.Duration(done) * time.Duration(total-done)
+		fmt.Fprintf(logw, "progress: %d/%d points, elapsed %s, eta %s\n",
+			done, total, elapsed.Round(time.Second), eta.Round(time.Second))
+	}
+}
+
+// warmFarmTemplates warms the two template chips — managed-init for the
+// budget points, top-level-init for the unmanaged baseline — in lockstep
+// over ONE shared sampler, and snapshots both plus the sampler. Budget
+// points fork from the matching template and the farm's samplers resume
+// from the sampler state, cursors aligned with the templates' interval
+// counters.
+func warmFarmTemplates(cfg sim.Config, warmEpochs int) (managed, base, samplerState []byte, err error) {
+	sampler, err := sim.NewSampler(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cmpM, err := sim.NewWithRecords(cfg, sampler)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cmpM.SetCacheStatsSource(sampler.CacheStats)
+	bcfg := cfg
+	bcfg.InitialLevel = -1
+	cmpB, err := sim.NewWithRecords(bcfg, sampler)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cmpB.SetCacheStatsSource(sampler.CacheStats)
+
+	for k := 0; k < warmEpochs*20; k++ {
+		cmpM.Step()
+		cmpB.Step()
+	}
+
+	snapChip := func(c *sim.CMP) ([]byte, error) {
+		e := snapshot.NewEncoder()
+		if err := c.Snapshot(e); err != nil {
+			return nil, err
+		}
+		return e.Bytes(), nil
+	}
+	if managed, err = snapChip(cmpM); err != nil {
+		return nil, nil, nil, err
+	}
+	if base, err = snapChip(cmpB); err != nil {
+		return nil, nil, nil, err
+	}
+	e := snapshot.NewEncoder()
+	sampler.Snapshot(e)
+	return managed, base, e.Bytes(), nil
+}
+
+// restoreWarmTemplate adapts a warm-template snapshot into a ChipSpec.Init;
+// nil state (no -warmstart) means no Init. The bytes are only read, so
+// every point forks from the same buffer.
+func restoreWarmTemplate(state []byte) func(*sim.CMP) error {
+	if state == nil {
+		return nil
+	}
+	return func(cmp *sim.CMP) error {
+		if err := cmp.Restore(snapshot.NewDecoder(state)); err != nil {
+			return fmt.Errorf("cpmsweep: forking warm chip: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,9 +1,13 @@
 // Command cpmsweep runs managed-vs-baseline parameter sweeps and emits CSV,
 // the workhorse behind custom variants of Figures 11–17.
 //
-// Budget points are independent runs, so the sweep executes them on an
-// engine.Pool: -workers controls the concurrency and the output is
-// byte-identical at any worker count (results are emitted in budget order).
+// By default the sweep routes every point — the unmanaged baseline plus a
+// CPM and a MaxBIPS run per budget — through one internal/farm fleet: the
+// points share a workload identity, so they share one trace sampler and
+// each pays only its cheap frequency-dependent half. -scalar restores the
+// legacy independent-simulation path; both paths, any -workers and any
+// -farm-size produce byte-identical CSV (results are emitted in budget
+// order). Progress and ETA go to stderr; stdout carries only the CSV.
 //
 // Usage:
 //
@@ -51,6 +55,8 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	workers := fs.Int("workers", 0, "concurrent budget points (0 = GOMAXPROCS)")
 	checked := fs.Bool("check", false, "attach the invariant-checking suite to every run")
 	warmstart := fs.Bool("warmstart", false, "warm the chip once unmanaged, snapshot it, and fork every budget point from the snapshot (skips per-point warm-up; trajectories differ slightly from the default per-point managed warm-up)")
+	scalar := fs.Bool("scalar", false, "run every point as an independent full simulation instead of a shared-sampler farm (slower; identical CSV)")
+	farmSize := fs.Int("farm-size", 0, "max chips per farm sampler group; 0 = unlimited (one shared group per workload)")
 	dflags := diag.AddFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return sweepOptions{}, err
@@ -66,6 +72,9 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	}
 	if *workers < 0 {
 		return sweepOptions{}, fmt.Errorf("cpmsweep: -workers must be >= 0, got %d", *workers)
+	}
+	if *farmSize < 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -farm-size must be >= 0, got %d", *farmSize)
 	}
 	mix, err := workload.MixByName(*mixName)
 	if err != nil {
@@ -89,6 +98,8 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 		Parallel:  true,
 		Check:     *checked,
 		WarmStart: *warmstart,
+		Scalar:    *scalar,
+		FarmSize:  *farmSize,
 		Diag:      dflags,
 	}, nil
 }
@@ -131,6 +142,13 @@ type sweepOptions struct {
 	// unmanaged, so the measured trajectories (and CSV) differ slightly
 	// from the default per-point managed warm-up.
 	WarmStart bool
+	// Scalar disables the farm route: every point simulates independently
+	// (the pre-farm behaviour). The CSV is identical either way; the farm
+	// shares one trace sampler across all points of a sweep.
+	Scalar bool
+	// FarmSize caps the chips per farm sampler group (0 = unlimited).
+	// Grouping changes scheduling only, never the CSV.
+	FarmSize int
 	// Diag holds the shared diagnostics flags (-metrics, -pprof, -trace).
 	Diag *diag.Flags
 	// Metrics, when non-nil, attaches a telemetry observer to every run.
@@ -146,8 +164,9 @@ type sweepRow struct {
 	maxbipsPowerW, maxbipsDegr float64
 }
 
-// sweep calibrates once, measures the shared unmanaged baseline, then runs
-// every budget point on an engine.Pool and emits CSV in budget order.
+// sweep calibrates once, runs every point — the shared unmanaged baseline
+// plus a CPM and a MaxBIPS run per budget — through the farm route (or the
+// legacy scalar route under -scalar), and emits CSV in budget order.
 func sweep(o sweepOptions, out, logw io.Writer) error {
 	cfg := sim.DefaultConfig(o.Mix)
 	cfg.Seed = o.Seed
@@ -160,30 +179,12 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 	fmt.Fprintf(logw, "calibrated %s: unmanaged %.1f W, plant gain %.3f\n",
 		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
 
-	var warmManaged, warmBase []byte
-	if o.WarmStart {
-		// One warm chip per chip configuration: the unmanaged baseline
-		// runs at the top level (InitialLevel -1), the managed points at
-		// the default initial level. Every budget point forks from the
-		// matching snapshot instead of re-running its own warm-up.
-		if warmManaged, err = warmChipSnapshot(cfg, o.Warm); err != nil {
-			return err
-		}
-		bcfg := cfg
-		bcfg.InitialLevel = -1
-		if warmBase, err = warmChipSnapshot(bcfg, o.Warm); err != nil {
-			return err
-		}
-		fmt.Fprintf(logw, "warm-started: %d warm epochs simulated once, forked across %d budget points\n",
-			o.Warm, len(o.Fracs))
+	var rows []sweepRow
+	if o.Scalar {
+		rows, err = sweepScalar(cfg, cal, o, logw)
+	} else {
+		rows, err = sweepFarm(cfg, cal, o, logw)
 	}
-
-	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check, o.Metrics, warmBase)
-	if err != nil {
-		return err
-	}
-
-	rows, err := sweepRows(cfg, cal, base, o, warmManaged)
 	if err != nil {
 		return err
 	}
@@ -194,6 +195,35 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 			r.frac, r.budgetW, r.oursPowerW, r.oursDegr, r.maxbipsPowerW, r.maxbipsDegr)
 	}
 	return nil
+}
+
+// sweepScalar is the legacy route: every point is an independent full
+// simulation (own sampling), parallelized over the pool.
+func sweepScalar(cfg sim.Config, cal core.Calibration, o sweepOptions, logw io.Writer) ([]sweepRow, error) {
+	var warmManaged, warmBase []byte
+	var err error
+	if o.WarmStart {
+		// One warm chip per chip configuration: the unmanaged baseline
+		// runs at the top level (InitialLevel -1), the managed points at
+		// the default initial level. Every budget point forks from the
+		// matching snapshot instead of re-running its own warm-up.
+		if warmManaged, err = warmChipSnapshot(cfg, o.Warm); err != nil {
+			return nil, err
+		}
+		bcfg := cfg
+		bcfg.InitialLevel = -1
+		if warmBase, err = warmChipSnapshot(bcfg, o.Warm); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(logw, "warm-started: %d warm epochs simulated once, forked across %d budget points\n",
+			o.Warm, len(o.Fracs))
+	}
+
+	base, err := measureUnmanaged(cfg, o.Warm, o.Epochs, o.Check, o.Metrics, warmBase)
+	if err != nil {
+		return nil, err
+	}
+	return sweepRows(cfg, cal, base, o, warmManaged)
 }
 
 // sweepRows measures every budget point on an engine.Pool, returning rows

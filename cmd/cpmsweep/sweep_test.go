@@ -214,3 +214,67 @@ func BenchmarkPoolSweep(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { run(b, 1) })
 	b.Run("pooled", func(b *testing.B) { run(b, 0) })
 }
+
+// runSweep executes one sweep and returns the CSV bytes.
+func runSweep(t *testing.T, o sweepOptions) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := sweep(o, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty sweep output")
+	}
+	return out.Bytes()
+}
+
+// TestSweepFarmMatchesScalar is the sweep-level equivalence contract: the
+// farm route (one shared sampler across every point) must produce CSV
+// byte-identical to the legacy scalar route, at several farm sizes, with
+// the invariant suite attached to every point.
+func TestSweepFarmMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm-vs-scalar sweep in -short mode")
+	}
+	o := testOptions(1)
+	o.Fracs = []float64{0.7, 0.8, 0.9}
+	o.Check = true
+
+	so := o
+	so.Scalar = true
+	scalar := runSweep(t, so)
+
+	for _, size := range []int{0, 1, 3} {
+		fo := o
+		fo.FarmSize = size
+		fo.Workers = 2
+		if got := runSweep(t, fo); !bytes.Equal(got, scalar) {
+			t.Errorf("farm-size=%d CSV differs from scalar route:\n--- scalar ---\n%s--- farm ---\n%s",
+				size, scalar, got)
+		}
+	}
+}
+
+// TestSweepFarmWarmstartMatchesScalar pins the warm-started farm route:
+// thin warm templates over a shared sampler must fork into the same
+// trajectories as the scalar route's live warm chips.
+func TestSweepFarmWarmstartMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-started farm sweep in -short mode")
+	}
+	o := testOptions(1)
+	o.Fracs = []float64{0.7, 0.9}
+	o.WarmStart = true
+	o.Check = true
+
+	so := o
+	so.Scalar = true
+	scalar := runSweep(t, so)
+
+	fo := o
+	fo.Workers = 4
+	if got := runSweep(t, fo); !bytes.Equal(got, scalar) {
+		t.Errorf("warm-started farm CSV differs from scalar route:\n--- scalar ---\n%s--- farm ---\n%s",
+			scalar, got)
+	}
+}

@@ -1,0 +1,275 @@
+package check
+
+import (
+	"os"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/farm"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// farmSpecs builds one farm ChipSpec per scenario at the given seed,
+// wiring a Golden recorder and the invariant suite into each session. The
+// returned slices are parallel to scenarios.
+func farmSpecs(t *testing.T, scenarios []Scenario, seed uint64) ([]farm.ChipSpec, []*Golden, []*Suite) {
+	t.Helper()
+	specs := make([]farm.ChipSpec, len(scenarios))
+	goldens := make([]*Golden, len(scenarios))
+	suites := make([]*Suite, len(scenarios))
+	for i, sc := range scenarios {
+		sc := sc
+		i := i
+		goldens[i] = NewGolden(sc.Name)
+		specs[i] = farm.ChipSpec{
+			Config: sc.BuildConfig(seed),
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				sess, suite, err := sc.BuildOn(cmp, seed, goldens[i])
+				suites[i] = suite
+				return sess, err
+			},
+		}
+	}
+	return specs, goldens, suites
+}
+
+// loadRef fetches a scenario's pinned golden trace, skipping when absent.
+func loadRef(t *testing.T, name string) Trace {
+	t.Helper()
+	ref, err := LoadTrace(goldenPath(name))
+	if os.IsNotExist(err) {
+		t.Skipf("no golden trace at %s; run -update first", goldenPath(name))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// checkFarmTraces compares each scenario's farm-path trace against its
+// pinned golden and its suite against zero violations.
+func checkFarmTraces(t *testing.T, scenarios []Scenario, goldens []*Golden, suites []*Suite) {
+	t.Helper()
+	for i, sc := range scenarios {
+		if err := suites[i].Err(); err != nil {
+			t.Errorf("scenario %s violated invariants through the farm path:\n%v", sc.Name, err)
+		}
+		if err := goldens[i].Trace().Diff(loadRef(t, sc.Name)); err != nil {
+			t.Errorf("farm path diverged from the scalar golden: %v", err)
+		}
+	}
+}
+
+// TestFarmSingleChipGolden runs every canonical scenario as a 1-chip farm:
+// the record-driven chip must reproduce the scenario's pinned digests
+// exactly — the scalar/batched equivalence contract at fleet size one.
+func TestFarmSingleChipGolden(t *testing.T) {
+	for _, sc := range Canonical() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			scenarios := []Scenario{sc}
+			specs, goldens, suites := farmSpecs(t, scenarios, goldenSeed)
+			f, err := farm.New(specs, farm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.NumGroups() != 1 {
+				t.Fatalf("1-chip farm built %d groups", f.NumGroups())
+			}
+			if _, err := f.Run(engine.Pool{Workers: 1}, nil); err != nil {
+				t.Fatal(err)
+			}
+			checkFarmTraces(t, scenarios, goldens, suites)
+		})
+	}
+}
+
+// TestFarmSharedSamplerGolden runs all six canonical scenarios as ONE
+// farm. Five share the Mix-1/seed-1 workload key and must collapse into a
+// single sampler group — the sharing path that gives the farm its
+// throughput — while still reproducing, chip for chip, the exact digests
+// the scalar path pinned. This is the strongest equivalence statement:
+// heterogeneous controllers (CPM, MaxBIPS, thermal/variation policies,
+// fault injection) at different budgets all drawing records from one
+// shared sampling stream, bit-identical to six independent live chips.
+func TestFarmSharedSamplerGolden(t *testing.T) {
+	scenarios := Canonical()
+	specs, goldens, suites := farmSpecs(t, scenarios, goldenSeed)
+	f, err := farm.New(specs, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() >= f.NumChips() {
+		t.Fatalf("no sharing: %d chips built %d groups", f.NumChips(), f.NumGroups())
+	}
+	if _, err := f.Run(engine.Pool{Workers: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkFarmTraces(t, scenarios, goldens, suites)
+}
+
+// TestFarmGroupSplitInvariance pins that MaxGroup (the farm-size knob)
+// changes only scheduling, never results: the same six scenarios split
+// into singleton groups reproduce the same pinned digests.
+func TestFarmGroupSplitInvariance(t *testing.T) {
+	scenarios := Canonical()
+	specs, goldens, suites := farmSpecs(t, scenarios, goldenSeed)
+	f, err := farm.New(specs, farm.Options{MaxGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() < 3 {
+		t.Fatalf("MaxGroup=2 over 6 chips built only %d groups", f.NumGroups())
+	}
+	if _, err := f.Run(engine.Pool{Workers: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkFarmTraces(t, scenarios, goldens, suites)
+}
+
+// TestFarmReplicatedDistinctSeeds replicates one scenario across distinct
+// seeds in a single farm — distinct workload keys, so distinct samplers —
+// and demands each chip reproduce the digests of its own scalar run. The
+// seed-1 replica must additionally match the stored golden file.
+func TestFarmReplicatedDistinctSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated-seed replay skipped in -short mode")
+	}
+	sc := Canonical()[0] // cpm-default
+	seeds := []uint64{goldenSeed, 2, 3}
+
+	// Scalar references, one per seed.
+	refs := make([]Trace, len(seeds))
+	for i, seed := range seeds {
+		g := NewGolden(sc.Name)
+		if _, _, err := sc.Run(seed, g); err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = g.Trace()
+	}
+
+	specs := make([]farm.ChipSpec, len(seeds))
+	goldens := make([]*Golden, len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		i := i
+		goldens[i] = NewGolden(sc.Name)
+		specs[i] = farm.ChipSpec{
+			Config: sc.BuildConfig(seed),
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				sess, _, err := sc.BuildOn(cmp, seed, goldens[i])
+				return sess, err
+			},
+		}
+	}
+	f, err := farm.New(specs, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() != len(seeds) {
+		t.Fatalf("distinct seeds must not share samplers: %d chips, %d groups", len(seeds), f.NumGroups())
+	}
+	if _, err := f.Run(engine.Pool{Workers: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		if err := goldens[i].Trace().Diff(refs[i]); err != nil {
+			t.Errorf("seed %d: farm chip diverged from its scalar run: %v", seed, err)
+		}
+	}
+	if err := goldens[0].Trace().Diff(loadRef(t, sc.Name)); err != nil {
+		t.Errorf("seed-1 farm chip diverged from the stored golden: %v", err)
+	}
+}
+
+// TestFarmSnapshotRestoreMidRun checkpoints a whole shared-sampler fleet
+// mid-run — deliberately not at an epoch boundary — restores it into a
+// freshly built farm, finishes both, and demands every chip of both
+// fleets still reproduce its pinned digests. This is the
+// checkpointed-fleet-resume acceptance criterion.
+func TestFarmSnapshotRestoreMidRun(t *testing.T) {
+	scenarios := Canonical()
+	pool := engine.Pool{Workers: 4}
+
+	specs, goldens, suites := farmSpecs(t, scenarios, goldenSeed)
+	f, err := farm.New(specs, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120-interval runs; pause mid-epoch, mid-run.
+	if err := f.RunRounds(pool, 67); err != nil {
+		t.Fatal(err)
+	}
+	e := snapshot.NewEncoder()
+	if err := f.Snapshot(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		g.Snapshot(e)
+	}
+
+	// Fresh process-equivalent fleet; sessions restored before observers
+	// so the RunStart resets are overwritten with the captured state.
+	specs2, goldens2, suites2 := farmSpecs(t, scenarios, goldenSeed)
+	f2, err := farm.New(specs2, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := snapshot.NewDecoder(e.Bytes())
+	if err := f2.Restore(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens2 {
+		if err := g.Restore(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rem := d.Remaining(); rem != 0 {
+		t.Fatalf("%d bytes left after restore", rem)
+	}
+
+	if _, err := f2.Finish(pool, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkFarmTraces(t, scenarios, goldens2, suites2)
+
+	// The snapshot must not have disturbed the original fleet.
+	if _, err := f.Finish(pool, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkFarmTraces(t, scenarios, goldens, suites)
+}
+
+// TestFarmColumnsPopulated sanity-checks the SoA layer: after a run,
+// every chip's column region holds plausible physics (positive power and
+// CPI, temperatures above ambient-ish, island frequency).
+func TestFarmColumnsPopulated(t *testing.T) {
+	scenarios := Canonical()[:2]
+	specs, _, _ := farmSpecs(t, scenarios, goldenSeed)
+	f, err := farm.New(specs, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(engine.Pool{Workers: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cols := f.Columns()
+	if got := cols.CoreOffsets[f.NumChips()]; got != 16 {
+		t.Fatalf("fleet core count %d, want 16", got)
+	}
+	for c := 0; c < f.NumChips(); c++ {
+		if cols.ChipPowerW[c] <= 0 || cols.ChipBIPS[c] <= 0 {
+			t.Errorf("chip %d aggregates not populated: %+v W, %+v BIPS", c, cols.ChipPowerW[c], cols.ChipBIPS[c])
+		}
+		if cols.ChipInterval[c] != 119 {
+			t.Errorf("chip %d last interval %d, want 119", c, cols.ChipInterval[c])
+		}
+		for k := cols.CoreOffsets[c]; k < cols.CoreOffsets[c+1]; k++ {
+			if cols.PowerW[k] <= 0 || cols.CPI[k] <= 0 || cols.TempC[k] <= 0 || cols.FreqMHz[k] <= 0 {
+				t.Fatalf("chip %d core column %d not populated: power=%g cpi=%g temp=%g freq=%g",
+					c, k, cols.PowerW[k], cols.CPI[k], cols.TempC[k], cols.FreqMHz[k])
+			}
+		}
+	}
+}

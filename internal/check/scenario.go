@@ -146,11 +146,34 @@ func (s Scenario) Run(seed uint64, extra ...engine.Observer) (engine.Summary, *S
 // restored into a fresh one (checkpoint/resume, warm-started sweeps) and
 // continue bit-identically.
 func (s Scenario) Build(seed uint64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
-	mix := s.Mix()
-	cfg := sim.DefaultConfig(mix)
+	cfg := s.BuildConfig(seed)
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.assemble(cmp, cfg, extra...)
+}
+
+// BuildConfig returns the chip configuration Build simulates for seed —
+// the input a farm needs to construct an equivalent record-driven chip.
+func (s Scenario) BuildConfig(seed uint64) sim.Config {
+	cfg := sim.DefaultConfig(s.Mix())
 	cfg.Seed = seed
 	cfg.Parallel = false // sequential: golden digests must not depend on GOMAXPROCS
 	cfg.Variation = s.Variation
+	return cfg
+}
+
+// BuildOn assembles the scenario's stack over a caller-supplied chip built
+// from BuildConfig(seed) — normally a farm member (sim.NewWithRecords), so
+// the pinned golden scenarios can be replayed through the batched path.
+func (s Scenario) BuildOn(cmp *sim.CMP, seed uint64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
+	return s.assemble(cmp, s.BuildConfig(seed), extra...)
+}
+
+// assemble calibrates (process-cached) and wires controller or baseline,
+// invariant suite and session around the chip.
+func (s Scenario) assemble(cmp *sim.CMP, cfg sim.Config, extra ...engine.Observer) (*engine.Session, *Suite, error) {
 	cal, err := s.calibrate(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -158,16 +181,13 @@ func (s Scenario) Build(seed uint64, extra ...engine.Observer) (*engine.Session,
 	budget := cal.BudgetW(s.BudgetFrac)
 
 	if s.MaxBIPS {
-		return s.buildMaxBIPS(cfg, budget, extra...)
+		return s.buildMaxBIPS(cmp, budget, extra...)
 	}
-	return s.buildCPM(cfg, cal, budget, extra...)
+	return s.buildCPM(cmp, cal, budget, extra...)
 }
 
-func (s Scenario) buildCPM(cfg sim.Config, cal core.Calibration, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
-	cmp, err := sim.New(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
+func (s Scenario) buildCPM(cmp *sim.CMP, cal core.Calibration, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
+	var err error
 	var policy gpm.Policy
 	if s.Policy != nil {
 		if policy, err = s.Policy(); err != nil {
@@ -207,11 +227,7 @@ func (s Scenario) buildCPM(cfg sim.Config, cal core.Calibration, budget float64,
 	return sess, suite, nil
 }
 
-func (s Scenario) buildMaxBIPS(cfg sim.Config, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
-	cmp, err := sim.New(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
+func (s Scenario) buildMaxBIPS(cmp *sim.CMP, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
 	planner, err := maxbips.New(cmp.Table())
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,74 @@
+package farm
+
+import "github.com/cpm-sim/cpm/internal/sim"
+
+// Columns is the fleet's structure-of-arrays observation state: per-core
+// vectors laid out contiguously across chips (chip i's cores occupy
+// [CoreOffsets[i], CoreOffsets[i+1])), refreshed in place on every chip
+// step. Consumers — the fleet benchmark, the farm metrics observer,
+// future serving layers — stream flat float64 slices instead of walking N
+// chips' island trees; writers touch disjoint regions, so groups fill
+// their chips' columns concurrently without synchronization.
+type Columns struct {
+	// CoreOffsets has NumChips+1 entries; the last is the fleet core count.
+	CoreOffsets []int
+	// Per-core columns, fleet-wide.
+	PowerW  []float64
+	CPI     []float64
+	TempC   []float64
+	FreqMHz []float64
+	// Per-chip aggregates.
+	ChipPowerW   []float64
+	ChipBIPS     []float64
+	ChipMaxTempC []float64
+	// ChipInterval is each chip's last completed interval index.
+	ChipInterval []int
+}
+
+// initColumns sizes the columns and installs the per-chip step hooks that
+// keep them current. Hooks write only their chip's slice regions and
+// allocate nothing.
+func (f *Farm) initColumns(specs []ChipSpec) {
+	f.cols.CoreOffsets = make([]int, f.nSpecs+1)
+	for _, g := range f.groups {
+		for _, m := range g.members {
+			f.cols.CoreOffsets[m.spec+1] = m.cmp.NumCores()
+		}
+	}
+	for i := 0; i < f.nSpecs; i++ {
+		f.cols.CoreOffsets[i+1] += f.cols.CoreOffsets[i]
+	}
+	total := f.cols.CoreOffsets[f.nSpecs]
+	f.cols.PowerW = make([]float64, total)
+	f.cols.CPI = make([]float64, total)
+	f.cols.TempC = make([]float64, total)
+	f.cols.FreqMHz = make([]float64, total)
+	f.cols.ChipPowerW = make([]float64, f.nSpecs)
+	f.cols.ChipBIPS = make([]float64, f.nSpecs)
+	f.cols.ChipMaxTempC = make([]float64, f.nSpecs)
+	f.cols.ChipInterval = make([]int, f.nSpecs)
+
+	for _, g := range f.groups {
+		for _, m := range g.members {
+			i := m.spec
+			cmp := m.cmp
+			off, end := f.cols.CoreOffsets[i], f.cols.CoreOffsets[i+1]
+			cols := &f.cols
+			cmp.AddStepHook(func(res sim.Result) {
+				cols.ChipPowerW[i] = res.ChipPowerW
+				cols.ChipBIPS[i] = res.TotalBIPS
+				cols.ChipMaxTempC[i] = res.MaxTempC
+				cols.ChipInterval[i] = res.Interval
+				cmp.CorePowers(cols.PowerW[off:end])
+				cmp.CoreCPIs(cols.CPI[off:end])
+				cmp.CoreTemps(cols.TempC[off:end])
+				cmp.CoreFreqsMHz(cols.FreqMHz[off:end])
+			})
+		}
+	}
+}
+
+// Columns returns the fleet's column state. Valid to read between Run
+// calls (or after Run returns); while groups are stepping concurrently,
+// only each chip's own hooks may touch its regions.
+func (f *Farm) Columns() *Columns { return &f.cols }

@@ -1,0 +1,275 @@
+// Package farm batches many chip simulations into shared-workload groups
+// stepped in lockstep — the fleet-scale execution layer between the
+// single-chip kernel (internal/sim) and batch drivers (cpmsweep, the
+// fleet benchmarks).
+//
+// The enabling property is that uarch.TraceRecords are frequency-
+// independent: the expensive half of a chip interval (phase generation,
+// address streams, ~20k sampled cache accesses — >95% of a live step)
+// depends only on the chip's workload identity (seed, mix, core and cache
+// configuration), not on its DVFS trajectory, controller, budget, memory
+// or thermal state. Chips sharing a WorkloadKey therefore share one
+// sim.Sampler: each interval the sampler runs once and every member chip
+// evaluates only its cheap frequency-dependent half (uarch.ComputeCore)
+// over its own per-chip state. A sweep's budget points — same workload,
+// different budgets and controllers — collapse into one group, so the
+// aggregate cost of N points approaches the cost of one.
+//
+// Per-core observables are mirrored into flat structure-of-arrays Columns
+// (power, CPI, temperature, frequency vectors contiguous across chips), so
+// fleet-level consumers stream plain float64 slices instead of chasing N
+// chips' internal pointers.
+//
+// Every member chip is bit-identical to the live chip sim.New would have
+// produced from its Config — proven against the pinned golden scenarios by
+// internal/check — and group membership, group size and pool worker count
+// never change results, only wall-clock.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// WorkloadKey identifies the sampling half of a chip configuration: chips
+// with equal keys produce identical TraceRecord streams and may share one
+// sampler. Everything else in sim.Config — power model, memory timing,
+// thermal, variation, initial DVFS level, NoC, interval length — belongs
+// to the frequency-dependent half and may differ freely within a group.
+type WorkloadKey string
+
+// KeyOf derives the workload key of a configuration.
+func KeyOf(cfg sim.Config) WorkloadKey {
+	return WorkloadKey(fmt.Sprintf("seed=%d/mix=%s%v/core=%+v/sharedl2=%v/pref=%d",
+		cfg.Seed, cfg.Mix.Name, cfg.Mix.Islands, cfg.Core, cfg.SharedL2, cfg.L2PrefetchDegree))
+}
+
+// ChipSpec describes one member chip of a farm.
+type ChipSpec struct {
+	// Config is the chip configuration. The record-driven member built
+	// from it is bit-identical to sim.New(Config).
+	Config sim.Config
+	// Init, when non-nil, runs after chip construction and before the
+	// session is built — e.g. restoring a warm-template snapshot into the
+	// chip (warm-started sweeps).
+	Init func(cmp *sim.CMP) error
+	// NewSession builds the chip's session: wrap the chip in a runner
+	// (unmanaged, CPM, MaxBIPS, ...) and attach observers. Required.
+	NewSession func(cmp *sim.CMP) (*engine.Session, error)
+}
+
+// Options shapes farm construction.
+type Options struct {
+	// MaxGroup caps the number of chips sharing one sampler; groups larger
+	// than the cap are split (each split gets its own sampler, trading
+	// amortization for pool parallelism). 0 means unlimited.
+	MaxGroup int
+	// SamplerState, when non-nil, is a sim.Sampler snapshot restored into
+	// every group's sampler — the warm-started path, where member chips
+	// fork from templates already advanced past the snapshot's cursor.
+	SamplerState []byte
+}
+
+// member is one chip with its session, remembering its spec index so
+// results come back in spec order.
+type member struct {
+	spec int
+	cmp  *sim.CMP
+	sess *engine.Session
+}
+
+// group is the unit of sharing and of pool parallelism: one sampler plus
+// the member chips drawing records from it.
+type group struct {
+	key     WorkloadKey
+	sampler *sim.Sampler
+	members []member
+	fr      *engine.FarmRunner
+}
+
+// Farm is a constructed fleet: grouped chips, sessions and SoA columns,
+// ready to run.
+type Farm struct {
+	groups []*group
+	nSpecs int
+	cols   Columns
+
+	mu         sync.Mutex
+	completed  int
+	onProgress func(completed, total int)
+}
+
+// New builds the fleet: specs are grouped by WorkloadKey (first-seen
+// order, split at opts.MaxGroup), each group gets one sampler, and every
+// spec becomes a record-driven chip plus session. Construction is eager
+// and deterministic; Run only steps.
+func New(specs []ChipSpec, opts Options) (*Farm, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("farm: no chips")
+	}
+	f := &Farm{nSpecs: len(specs)}
+
+	// Group spec indices by workload key, preserving first-seen order.
+	order := []WorkloadKey{}
+	byKey := map[WorkloadKey][]int{}
+	for i, s := range specs {
+		if s.NewSession == nil {
+			return nil, fmt.Errorf("farm: chip %d has no session factory", i)
+		}
+		k := KeyOf(s.Config)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+
+	for _, k := range order {
+		idxs := byKey[k]
+		for len(idxs) > 0 {
+			n := len(idxs)
+			if opts.MaxGroup > 0 && n > opts.MaxGroup {
+				n = opts.MaxGroup
+			}
+			g, err := buildGroup(k, specs, idxs[:n], opts.SamplerState)
+			if err != nil {
+				return nil, err
+			}
+			f.groups = append(f.groups, g)
+			idxs = idxs[n:]
+		}
+	}
+	f.initColumns(specs)
+	return f, nil
+}
+
+// buildGroup constructs one sampler and its member chips and sessions.
+func buildGroup(key WorkloadKey, specs []ChipSpec, idxs []int, samplerState []byte) (*group, error) {
+	sampler, err := sim.NewSampler(specs[idxs[0]].Config)
+	if err != nil {
+		return nil, fmt.Errorf("farm: sampler for %s: %w", key, err)
+	}
+	if samplerState != nil {
+		if err := sampler.Restore(snapshot.NewDecoder(samplerState)); err != nil {
+			return nil, fmt.Errorf("farm: restoring sampler for %s: %w", key, err)
+		}
+	}
+	g := &group{key: key, sampler: sampler}
+	for _, i := range idxs {
+		spec := specs[i]
+		cmp, err := sim.NewWithRecords(spec.Config, sampler)
+		if err != nil {
+			return nil, fmt.Errorf("farm: chip %d: %w", i, err)
+		}
+		cmp.SetCacheStatsSource(sampler.CacheStats)
+		if spec.Init != nil {
+			if err := spec.Init(cmp); err != nil {
+				return nil, fmt.Errorf("farm: chip %d init: %w", i, err)
+			}
+		}
+		sess, err := spec.NewSession(cmp)
+		if err != nil {
+			return nil, fmt.Errorf("farm: chip %d session: %w", i, err)
+		}
+		if sess == nil {
+			return nil, fmt.Errorf("farm: chip %d session factory returned nil", i)
+		}
+		g.members = append(g.members, member{spec: i, cmp: cmp, sess: sess})
+	}
+	sessions := make([]*engine.Session, len(g.members))
+	for j, m := range g.members {
+		sessions[j] = m.sess
+	}
+	g.fr, err = engine.NewFarmRunner(sessions)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NumChips returns the fleet size.
+func (f *Farm) NumChips() int { return f.nSpecs }
+
+// NumGroups returns the number of sampler groups.
+func (f *Farm) NumGroups() int { return len(f.groups) }
+
+// GroupSampler returns group g's sampler (e.g. for fleet-level cache
+// telemetry); groups appear in construction order.
+func (f *Farm) GroupSampler(g int) *sim.Sampler { return f.groups[g].sampler }
+
+// Chip returns member chip i (spec order).
+func (f *Farm) Chip(i int) *sim.CMP {
+	for _, g := range f.groups {
+		for _, m := range g.members {
+			if m.spec == i {
+				return m.cmp
+			}
+		}
+	}
+	return nil
+}
+
+// progress folds a group's newly completed sessions into the fleet count
+// and forwards it; called from pool workers, hence the lock.
+func (f *Farm) progress(delta int) {
+	if delta == 0 || f.onProgress == nil {
+		return
+	}
+	f.mu.Lock()
+	f.completed += delta
+	done, total := f.completed, f.nSpecs
+	cb := f.onProgress
+	f.mu.Unlock()
+	cb(done, total)
+}
+
+// Run executes the whole fleet on the pool — groups are the unit of
+// parallelism; within a group, chips step in lockstep rounds — and
+// returns the summaries in spec order. onProgress, when non-nil, is
+// invoked (serialized) whenever sessions finish, with fleet-wide counts.
+// Byte-identical results at any pool size or grouping.
+func (f *Farm) Run(pool engine.Pool, onProgress func(completed, total int)) ([]engine.Summary, error) {
+	f.onProgress = onProgress
+	out := make([]engine.Summary, f.nSpecs)
+	err := pool.Run(len(f.groups), func(gi int) error {
+		g := f.groups[gi]
+		prev := 0
+		sums := g.fr.Run(func(done, _ int) {
+			f.progress(done - prev)
+			prev = done
+		})
+		for j, m := range g.members {
+			out[m.spec] = sums[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunRounds advances every group by up to n lockstep rounds without
+// finishing any session — the checkpointing hook: between rounds every
+// chip and its sampler are mutually consistent, so Snapshot captures a
+// resumable fleet.
+func (f *Farm) RunRounds(pool engine.Pool, n int) error {
+	return pool.Run(len(f.groups), func(gi int) error {
+		g := f.groups[gi]
+		for i := 0; i < n && g.fr.Active() > 0; i++ {
+			g.fr.StepRound()
+		}
+		return nil
+	})
+}
+
+// Finish drives every group's remaining rounds and finishes all sessions,
+// returning summaries in spec order — Run, for a fleet already partially
+// advanced by RunRounds.
+func (f *Farm) Finish(pool engine.Pool, onProgress func(completed, total int)) ([]engine.Summary, error) {
+	return f.Run(pool, onProgress)
+}

@@ -1,0 +1,63 @@
+package farm
+
+import "github.com/cpm-sim/cpm/internal/snapshot"
+
+// Snapshot appends the fleet's complete dynamic state: per group its
+// sampler and every member session (runner and chip included). Valid only
+// between lockstep rounds (see RunRounds) after every session has started
+// and before any has finished — the one moment chips and samplers are
+// mutually consistent.
+func (f *Farm) Snapshot(e *snapshot.Encoder) error {
+	e.Tag(snapshot.TagFarm)
+	e.Int(f.nSpecs)
+	e.Int(len(f.groups))
+	for _, g := range f.groups {
+		e.Int(len(g.members))
+	}
+	for _, g := range f.groups {
+		g.sampler.Snapshot(e)
+		for _, m := range g.members {
+			if err := m.sess.Snapshot(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restore reads state written by Snapshot into a freshly constructed farm
+// built from the same specs and options (sessions not yet started) —
+// grouping is deterministic, so shapes line up exactly. Chips resume
+// bit-identically: the restored samplers' cursors match the restored
+// sessions' interval counters.
+func (f *Farm) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagFarm)
+	nSpecs := d.Int()
+	nGroups := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nSpecs != f.nSpecs || nGroups != len(f.groups) {
+		return snapshot.ShapeErrorf("snapshot farm is %d chips / %d groups, target is %d / %d",
+			nSpecs, nGroups, f.nSpecs, len(f.groups))
+	}
+	for i, g := range f.groups {
+		if n := d.Int(); d.Err() == nil && n != len(g.members) {
+			return snapshot.ShapeErrorf("snapshot farm group %d has %d chips, target has %d", i, n, len(g.members))
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, g := range f.groups {
+		if err := g.sampler.Restore(d); err != nil {
+			return err
+		}
+		for _, m := range g.members {
+			if err := m.sess.Restore(d); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+)
+
+// FarmObserver aggregates fleet-wide telemetry for a chip farm into a
+// Registry under a single "farm" label. Cardinality is bounded by
+// construction: every series is a fleet-level sum or extreme — there are no
+// per-chip labels, so a 4-chip farm and a 4096-chip farm emit the same
+// number of series.
+//
+// One shared FarmObserver is attached to every member session of the farm.
+// Member sessions step concurrently (groups are the pool's unit of
+// parallelism), so all instrument updates are atomic and the running
+// extremes are guarded by a mutex; the step path allocates nothing, so the
+// fleet's 0 allocs/interval contract holds with the observer attached.
+//
+// RunStart fires once per member session and must therefore not reset
+// fleet state; extremes are initialized at construction and only ever
+// tightened.
+type FarmObserver struct {
+	sessions      *Counter
+	sessionsDone  *Counter
+	chipIntervals *Counter
+	epochs        *Counter
+	instructions  *Counter
+	powerSum      *Counter
+	bipsSum       *Counter
+
+	chipPowerMax *Gauge
+	chipPowerMin *Gauge
+	tempMax      *Gauge
+
+	mu       sync.Mutex
+	powerMax float64
+	powerMin float64
+	peakTemp float64
+}
+
+// NewFarmObserver builds a fleet observer writing into reg under the given
+// farm label. All instruments are created up front.
+func NewFarmObserver(reg *Registry, farm string) *FarmObserver {
+	o := &FarmObserver{
+		powerMax: math.Inf(-1),
+		powerMin: math.Inf(1),
+		peakTemp: math.Inf(-1),
+	}
+	o.sessions = reg.CounterVec("cpm_farm_sessions_total",
+		"Member sessions started in the farm.", "farm").With(farm)
+	o.sessionsDone = reg.CounterVec("cpm_farm_sessions_completed_total",
+		"Member sessions finished in the farm.", "farm").With(farm)
+	o.chipIntervals = reg.CounterVec("cpm_farm_chip_intervals_total",
+		"Chip-intervals simulated across the fleet, warmup included.", "farm").With(farm)
+	o.epochs = reg.CounterVec("cpm_farm_epochs_total",
+		"Measured GPM epochs across the fleet.", "farm").With(farm)
+	o.instructions = reg.CounterVec("cpm_farm_instructions_total",
+		"Instructions executed across the fleet's measured epochs.", "farm").With(farm)
+	o.powerSum = reg.CounterVec("cpm_farm_power_watt_intervals_total",
+		"Sum of per-interval chip power across the fleet; divide by cpm_farm_chip_intervals_total for the fleet-mean chip power.", "farm").With(farm)
+	o.bipsSum = reg.CounterVec("cpm_farm_bips_intervals_total",
+		"Sum of per-interval chip BIPS across the fleet; divide by cpm_farm_chip_intervals_total for the fleet-mean throughput.", "farm").With(farm)
+	o.chipPowerMax = reg.GaugeVec("cpm_farm_chip_power_max_watts",
+		"Highest single-chip interval power seen across the fleet.", "farm").With(farm)
+	o.chipPowerMin = reg.GaugeVec("cpm_farm_chip_power_min_watts",
+		"Lowest single-chip interval power seen across the fleet.", "farm").With(farm)
+	o.tempMax = reg.GaugeVec("cpm_farm_temp_max_celsius",
+		"Peak die temperature seen across the fleet.", "farm").With(farm)
+	return o
+}
+
+// RunStart implements engine.Observer; it fires once per member session.
+func (o *FarmObserver) RunStart(engine.RunInfo) { o.sessions.Inc() }
+
+// ObserveStep implements engine.Observer. Allocation-free and safe under
+// concurrent member sessions.
+func (o *FarmObserver) ObserveStep(st engine.Step) {
+	o.chipIntervals.Inc()
+	o.powerSum.Add(st.Sim.ChipPowerW)
+	o.bipsSum.Add(st.Sim.TotalBIPS)
+
+	p, tc := st.Sim.ChipPowerW, st.Sim.MaxTempC
+	o.mu.Lock()
+	if p > o.powerMax {
+		o.powerMax = p
+		o.chipPowerMax.Set(p)
+	}
+	if p < o.powerMin {
+		o.powerMin = p
+		o.chipPowerMin.Set(p)
+	}
+	if tc > o.peakTemp {
+		o.peakTemp = tc
+		o.tempMax.Set(tc)
+	}
+	o.mu.Unlock()
+}
+
+// ObserveEpoch implements engine.Observer.
+func (o *FarmObserver) ObserveEpoch(e engine.Epoch) {
+	o.epochs.Inc()
+	o.instructions.Add(e.Instructions)
+}
+
+// RunEnd implements engine.Observer.
+func (o *FarmObserver) RunEnd(sum *engine.Summary) {
+	o.sessionsDone.Inc()
+	if sum == nil {
+		return
+	}
+	o.mu.Lock()
+	if sum.MaxTempC > o.peakTemp {
+		o.peakTemp = sum.MaxTempC
+		o.tempMax.Set(sum.MaxTempC)
+	}
+	o.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/farm"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// farmCounter reads back a fleet counter under the test farm label.
+func farmCounter(reg *Registry, name, help string) float64 {
+	return reg.CounterVec(name, help, "farm").With("test-fleet").Value()
+}
+
+// TestFarmObserverEndToEnd attaches ONE shared FarmObserver to every
+// member session of a mixed farm (two workload keys, unmanaged runners),
+// runs the fleet concurrently, and cross-checks the fleet sums.
+func TestFarmObserverEndToEnd(t *testing.T) {
+	const warm, meas, period = 1, 2, 10
+	const nChips = 4
+	total := float64(nChips * (warm + meas) * period)
+
+	reg := NewRegistry()
+	fo := NewFarmObserver(reg, "test-fleet")
+
+	specs := make([]farm.ChipSpec, nChips)
+	for i := range specs {
+		cfg := sim.DefaultConfig(workload.Mix1())
+		cfg.Seed = uint64(1 + i%2) // two workload keys -> two sampler groups
+		cfg.Parallel = false
+		specs[i] = farm.ChipSpec{
+			Config: cfg,
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				return engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+					WarmEpochs: warm, MeasureEpochs: meas, Period: period, Label: "fleet",
+				}, fo)
+			},
+		}
+	}
+	f, err := farm.New(specs, farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() != 2 {
+		t.Fatalf("expected 2 sampler groups, got %d", f.NumGroups())
+	}
+	if _, err := f.Run(engine.Pool{Workers: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := farmCounter(reg, "cpm_farm_sessions_total", "Member sessions started in the farm."); got != nChips {
+		t.Errorf("sessions started = %v, want %v", got, nChips)
+	}
+	if got := farmCounter(reg, "cpm_farm_sessions_completed_total", "Member sessions finished in the farm."); got != nChips {
+		t.Errorf("sessions completed = %v, want %v", got, nChips)
+	}
+	if got := farmCounter(reg, "cpm_farm_chip_intervals_total", "Chip-intervals simulated across the fleet, warmup included."); got != total {
+		t.Errorf("chip intervals = %v, want %v", got, total)
+	}
+	if got := farmCounter(reg, "cpm_farm_epochs_total", "Measured GPM epochs across the fleet."); got != nChips*meas {
+		t.Errorf("epochs = %v, want %v", got, nChips*meas)
+	}
+	if got := farmCounter(reg, "cpm_farm_instructions_total", "Instructions executed across the fleet's measured epochs."); got <= 0 {
+		t.Errorf("instructions = %v, want > 0", got)
+	}
+
+	powerSum := farmCounter(reg, "cpm_farm_power_watt_intervals_total",
+		"Sum of per-interval chip power across the fleet; divide by cpm_farm_chip_intervals_total for the fleet-mean chip power.")
+	maxW := reg.GaugeVec("cpm_farm_chip_power_max_watts",
+		"Highest single-chip interval power seen across the fleet.", "farm").With("test-fleet").Value()
+	minW := reg.GaugeVec("cpm_farm_chip_power_min_watts",
+		"Lowest single-chip interval power seen across the fleet.", "farm").With("test-fleet").Value()
+	mean := powerSum / total
+	if !(minW > 0 && minW <= mean && mean <= maxW) {
+		t.Errorf("power extremes inconsistent: min=%v mean=%v max=%v", minW, mean, maxW)
+	}
+	if got := reg.GaugeVec("cpm_farm_temp_max_celsius",
+		"Peak die temperature seen across the fleet.", "farm").With("test-fleet").Value(); got <= 0 {
+		t.Errorf("peak temperature = %v, want > 0", got)
+	}
+
+	// Bounded cardinality: the whole fleet contributes exactly one sample
+	// per farm family, regardless of chip count.
+	for _, fam := range reg.Gather() {
+		if len(fam.Name) >= 9 && fam.Name[:9] == "cpm_farm_" && len(fam.Samples) != 1 {
+			t.Errorf("family %s has %d samples, want 1 (per-chip labels forbidden)", fam.Name, len(fam.Samples))
+		}
+	}
+}
+
+// TestFarmObserverStepAllocs pins the fleet observer's zero-allocation
+// step path: an unmanaged interval with the shared observer attached must
+// not allocate.
+func TestFarmObserverStepAllocs(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 5
+	cfg.Parallel = false
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	fo := NewFarmObserver(reg, "alloc-fleet")
+	r := engine.NewChipRunner(cmp)
+	fo.RunStart(engine.RunInfo{Label: "alloc", Islands: cmp.NumIslands(), Cores: cmp.NumCores()})
+	for k := 0; k < 5; k++ {
+		fo.ObserveStep(r.Step())
+	}
+	if n := testing.AllocsPerRun(20, func() { fo.ObserveStep(r.Step()) }); n != 0 {
+		t.Errorf("fleet interval allocates %v times with the farm observer attached, want 0", n)
+	}
+}

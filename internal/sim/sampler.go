@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/mem"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+	"github.com/cpm-sim/cpm/internal/stats"
+	"github.com/cpm-sim/cpm/internal/uarch"
+)
+
+// Sampler is the frequency-independent half of a chip, standing alone: the
+// per-core phase machines, address-stream generators and cache hierarchies
+// a live chip would own, advanced one interval at a time to produce
+// TraceRecord batches. Because records do not depend on the operating
+// point, every chip sharing the sampler's workload identity (seed, mix,
+// core and cache configuration — see farm.WorkloadKey) can be driven from
+// one Sampler through NewWithRecords, paying the expensive sampling work
+// (>95% of a live step) once per interval instead of once per chip.
+//
+// A Sampler built from cfg produces, interval for interval, exactly the
+// records a live New(cfg) chip's cores would have sampled: construction
+// derives the same per-core seeds and builds the same cache structures
+// through the same helpers. The memory system, thermal, variation and DVFS
+// parts of cfg are ignored — they belong to the compute half.
+//
+// Not safe for concurrent use; in a farm each sampler group is stepped by
+// one worker.
+type Sampler struct {
+	cfg     Config
+	islands []samplerIsland
+	cores   []*uarch.Core // global core-ID order
+	cursor  int
+	recs    []uarch.TraceRecord
+	// fresh reports that recs holds interval cursor-1 (false right after
+	// construction or restore, when no batch has been sampled yet).
+	fresh bool
+}
+
+type samplerIsland struct {
+	cores  []*uarch.Core
+	shared *cache.Banked
+}
+
+// NewSampler builds the sampling half of New(cfg). Replay configurations
+// are rejected: replay cores have no sampling half.
+func NewSampler(cfg Config) (*Sampler, error) {
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replay != nil {
+		return nil, errors.New("sim: replay chips have no sampling half")
+	}
+	if cfg.L2PrefetchDegree > 0 && cfg.SharedL2 {
+		return nil, errors.New("sim: L2 prefetching requires private L2 slices")
+	}
+	profiles, err := cfg.Mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	// Cores validate against a memory system at construction but never
+	// read it during sampling (latency belongs to the compute half); a
+	// throwaway instance satisfies the constructor.
+	memsys, err := mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{cfg: cfg}
+	coreID := 0
+	for _, islandProfiles := range profiles {
+		shared, err := islandL2(cfg, len(islandProfiles))
+		if err != nil {
+			return nil, err
+		}
+		isl := samplerIsland{shared: shared}
+		for _, prof := range islandProfiles {
+			h, err := coreHierarchy(cfg, shared)
+			if err != nil {
+				return nil, err
+			}
+			core, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), cfg.Core, prof, h, memsys)
+			if err != nil {
+				return nil, fmt.Errorf("sim: sampler core %d (%s): %w", coreID, prof.Name, err)
+			}
+			isl.cores = append(isl.cores, core)
+			s.cores = append(s.cores, core)
+			coreID++
+		}
+		s.islands = append(s.islands, isl)
+	}
+	s.recs = make([]uarch.TraceRecord, len(s.cores))
+	return s, nil
+}
+
+// NumCores returns the core count of the sampled chip.
+func (s *Sampler) NumCores() int { return len(s.cores) }
+
+// Cursor returns the next interval the sampler will generate.
+func (s *Sampler) Cursor() int { return s.cursor }
+
+// Records implements RecordSource: asking for the cursor interval samples
+// a fresh batch and advances; asking for the interval just sampled returns
+// the cached batch (the sharing path — every chip of a group steps the
+// same interval). Anything else panics: a chip has fallen out of lockstep
+// with its sampler, and continuing would silently corrupt every sharing
+// chip's workload stream.
+func (s *Sampler) Records(k int) []uarch.TraceRecord {
+	switch {
+	case k == s.cursor:
+		for i, core := range s.cores {
+			s.recs[i] = core.SampleInterval()
+		}
+		s.cursor++
+		s.fresh = true
+	case k == s.cursor-1 && s.fresh:
+		// cached batch
+	default:
+		panic(fmt.Sprintf("sim: record source at interval %d driven out of lockstep (asked for %d)", s.cursor, k))
+	}
+	return s.recs
+}
+
+// Advance samples and discards n intervals — warming the sampler past a
+// stretch no chip will consume (e.g. warm-up intervals already baked into
+// forked chip snapshots).
+func (s *Sampler) Advance(n int) {
+	for i := 0; i < n; i++ {
+		s.Records(s.cursor)
+	}
+}
+
+// CacheStats aggregates the sampler's cumulative cache counters exactly as
+// CMP.CacheStats would for the live twin chip: summed over cores, shared
+// L2s counted once per island. Record-driven chips delegate here via
+// CMP.SetCacheStatsSource (all chips of a group share these counters).
+func (s *Sampler) CacheStats() CacheStats {
+	var out CacheStats
+	for _, isl := range s.islands {
+		for j, core := range isl.cores {
+			l1i, l1d, l2 := core.CacheStats()
+			addCacheStats(&out.L1I, l1i)
+			addCacheStats(&out.L1D, l1d)
+			if isl.shared == nil || j == 0 {
+				addCacheStats(&out.L2, l2)
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot appends the sampler's complete dynamic state: the cursor and
+// per island its shared L2 (once, when shared) and per-core generator and
+// cache state. The cached record batch is not captured — snapshots are
+// taken between farm rounds, when every sharing chip has consumed it and
+// the next request advances the cursor.
+func (s *Sampler) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagSampler)
+	e.Int(len(s.cores))
+	e.Int(len(s.islands))
+	for _, isl := range s.islands {
+		e.Int(len(isl.cores))
+	}
+	e.Int(s.cursor)
+	for _, isl := range s.islands {
+		e.Bool(isl.shared != nil)
+		if isl.shared != nil {
+			isl.shared.Snapshot(e)
+		}
+		for _, core := range isl.cores {
+			core.Snapshot(e, isl.shared == nil)
+		}
+	}
+}
+
+// Restore reads state written by Snapshot into a freshly constructed,
+// structurally identical sampler. On error the sampler may be partially
+// written and must be discarded.
+func (s *Sampler) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagSampler)
+	nCores := d.Int()
+	nIslands := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nCores != len(s.cores) || nIslands != len(s.islands) {
+		return snapshot.ShapeErrorf("snapshot sampler is %d cores / %d islands, target is %d / %d",
+			nCores, nIslands, len(s.cores), len(s.islands))
+	}
+	for i, isl := range s.islands {
+		if n := d.Int(); d.Err() == nil && n != len(isl.cores) {
+			return snapshot.ShapeErrorf("snapshot sampler island %d has %d cores, target has %d", i, n, len(isl.cores))
+		}
+	}
+	cursor := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if cursor < 0 {
+		return snapshot.ShapeErrorf("negative sampler cursor %d", cursor)
+	}
+	s.cursor = cursor
+	s.fresh = false
+	for i, isl := range s.islands {
+		hadShared := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if hadShared != (isl.shared != nil) {
+			return snapshot.ShapeErrorf("sampler island %d shared-L2 presence %v, target %v", i, hadShared, isl.shared != nil)
+		}
+		if isl.shared != nil {
+			if err := isl.shared.Restore(d); err != nil {
+				return err
+			}
+		}
+		for _, core := range isl.cores {
+			if err := core.Restore(d, isl.shared == nil); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
+}

@@ -157,6 +157,27 @@ type coreModel interface {
 	SetExtraMemLatency(func() float64)
 }
 
+// recordFinisher is the capability record-driven chips step cores through:
+// evaluating an externally supplied TraceRecord at the core's operating
+// point. uarch.ComputeCore (and uarch.Core) implement it.
+type recordFinisher interface {
+	FinishInterval(rec uarch.TraceRecord, freqMHz, intervalSec, overheadFrac float64) uarch.IntervalStats
+}
+
+// RecordSource supplies per-core TraceRecords, one batch per interval, to
+// chips built with NewWithRecords. The returned slice is indexed by global
+// core ID and must stay valid until the next Records call.
+//
+// The contract is lockstep: consumers ask for interval k only when the
+// source's cursor is at k (which advances it) or at k+1 (which returns the
+// cached batch, so several chips sharing one source can each step interval
+// k). Implementations panic on out-of-order access — it means chips
+// sharing a sampler have diverged, which would silently corrupt every
+// chip's workload stream.
+type RecordSource interface {
+	Records(k int) []uarch.TraceRecord
+}
+
 type islandState struct {
 	isl       *island.Island
 	cores     []coreModel
@@ -169,6 +190,7 @@ type islandState struct {
 	res       IslandResult
 	memBlocks uint64
 	powers    []float64 // per-core power of this interval (island-local)
+	cpis      []float64 // per-core CPI of this interval (island-local)
 }
 
 // CMP is a simulated chip-multiprocessor instance.
@@ -184,9 +206,20 @@ type CMP struct {
 
 	recorded [][]uarch.TraceRecord
 
+	// recSrc, when non-nil, supplies every interval's per-core TraceRecords
+	// in place of live sampling: the chip was built by NewWithRecords and
+	// its cores are compute-only. recs is the current interval's batch.
+	recSrc RecordSource
+	recs   []uarch.TraceRecord
+
+	// cacheStatsSrc, when non-nil, overrides CacheStats — record-driven
+	// chips have no caches of their own and delegate to their sampler.
+	cacheStatsSrc func() CacheStats
+
 	nCores     int
 	maxChipW   float64
 	corePowers []float64 // global, indexed by core ID
+	coreCPIs   []float64 // global, indexed by core ID
 	// resIslands is the reused backing array of every Result.Islands the
 	// chip returns — part of the zero-allocation steady-state contract.
 	resIslands []IslandResult
@@ -220,6 +253,35 @@ func (c *CMP) AddStepHook(fn func(Result)) {
 
 // New builds a CMP from cfg.
 func New(cfg Config) (*CMP, error) {
+	return newChip(cfg, nil)
+}
+
+// NewWithRecords builds a record-driven chip: every core is a thin
+// uarch.ComputeCore holding no caches or generators, and each Step consumes
+// one batch of per-core TraceRecords from src (normally a sim.Sampler built
+// from the same Config). Everything frequency- or chip-dependent — DVFS
+// state, power, leakage, thermal RC network, memory and NoC congestion
+// feedback, process variation — remains per-chip, so a record-driven chip
+// fed the records its own live twin would have sampled is bit-identical to
+// that twin while costing a few KB and a few µs per interval instead of a
+// few hundred KB and ~100µs per core.
+//
+// Incompatible with RecordTraces and Replay (there is nothing to record,
+// and replay already has its own record stream).
+func NewWithRecords(cfg Config, src RecordSource) (*CMP, error) {
+	if src == nil {
+		return nil, errors.New("sim: NewWithRecords needs a record source")
+	}
+	if cfg.RecordTraces {
+		return nil, errors.New("sim: cannot record traces from a record-driven chip")
+	}
+	if cfg.Replay != nil {
+		return nil, errors.New("sim: cannot replay into a record-driven chip")
+	}
+	return newChip(cfg, src)
+}
+
+func newChip(cfg Config, src RecordSource) (*CMP, error) {
 	if err := cfg.Mix.Validate(); err != nil {
 		return nil, err
 	}
@@ -273,6 +335,7 @@ func New(cfg Config) (*CMP, error) {
 		nCores:     nCores,
 		maxChipW:   model.MaxChipPower(nCores),
 		corePowers: make([]float64, nCores),
+		coreCPIs:   make([]float64, nCores),
 	}
 	if cfg.NoC != nil {
 		mesh, err := noc.New(*cfg.NoC)
@@ -291,63 +354,44 @@ func New(cfg Config) (*CMP, error) {
 		c.recorded = make([][]uarch.TraceRecord, nCores)
 	}
 
+	c.recSrc = src
 	coreID := 0
 	for islandID, islandProfiles := range profiles {
 		st := &islandState{}
 		var coreIDs []int
-		var sharedL2 cache.Level2
-		if cfg.SharedL2 {
-			// One bank per core (rounded up to a power of two), each bank
-			// holding the Table I per-core share of 512 KB.
-			banks := 1
-			for banks < len(islandProfiles) {
-				banks *= 2
-			}
-			shared, err := cache.NewBanked(cache.TableIL2PerCore(), banks)
+		if src == nil {
+			shared, err := islandL2(cfg, len(islandProfiles))
 			if err != nil {
 				return nil, err
 			}
-			sharedL2 = shared
 			st.sharedL2 = shared
 		}
 		for _, prof := range islandProfiles {
-			l1i, err := cache.New(cache.TableIL1())
-			if err != nil {
-				return nil, err
-			}
-			l1d, err := cache.New(cache.TableIL1())
-			if err != nil {
-				return nil, err
-			}
-			var l2 cache.Level2
-			if cfg.SharedL2 {
-				l2 = sharedL2
-			} else {
-				priv, err := cache.New(cache.TableIL2PerCore())
-				if err != nil {
-					return nil, err
-				}
-				l2 = priv
-				if cfg.L2PrefetchDegree > 0 {
-					pf, err := cache.NewStreamPrefetcher(priv, cfg.L2PrefetchDegree, 16)
-					if err != nil {
-						return nil, err
-					}
-					l2 = pf
-				}
-			}
-			h, err := cache.NewHierarchy(l1i, l1d, l2)
-			if err != nil {
-				return nil, err
-			}
 			var core coreModel
-			if cfg.Replay != nil {
+			switch {
+			case src != nil:
+				// Thin member chip: no caches, no generators; records
+				// arrive from the shared sampler. The L2 latency records
+				// are charged at is the Table I per-core figure in every
+				// L2 configuration (banked shares it; the prefetcher
+				// wraps a slice with it).
+				cc, err := uarch.NewComputeCore(coreID, cfg.Core, prof,
+					cache.TableIL2PerCore().LatencyCycles, memsys)
+				if err != nil {
+					return nil, fmt.Errorf("sim: core %d (%s): %w", coreID, prof.Name, err)
+				}
+				core = cc
+			case cfg.Replay != nil:
 				rc, err := replayCoreFor(cfg, coreID, prof, memsys)
 				if err != nil {
 					return nil, err
 				}
 				core = rc
-			} else {
+			default:
+				h, err := coreHierarchy(cfg, st.sharedL2)
+				if err != nil {
+					return nil, err
+				}
 				live, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), cfg.Core, prof, h, memsys)
 				if err != nil {
 					return nil, fmt.Errorf("sim: core %d (%s): %w", coreID, prof.Name, err)
@@ -375,10 +419,58 @@ func New(cfg Config) (*CMP, error) {
 		st.isl = isl
 		st.maxPowerW = float64(len(st.cores)) * model.CoreMaxPower()
 		st.powers = make([]float64, len(st.cores))
+		st.cpis = make([]float64, len(st.cores))
 		c.islands = append(c.islands, st)
 	}
 	c.resIslands = make([]IslandResult, len(c.islands))
 	return c, nil
+}
+
+// islandL2 builds an island's shared banked L2 when cfg.SharedL2 is set:
+// one bank per core (rounded up to a power of two), each bank holding the
+// Table I per-core share of 512 KB. Returns nil for private slices.
+func islandL2(cfg Config, islandCores int) (*cache.Banked, error) {
+	if !cfg.SharedL2 {
+		return nil, nil
+	}
+	banks := 1
+	for banks < islandCores {
+		banks *= 2
+	}
+	return cache.NewBanked(cache.TableIL2PerCore(), banks)
+}
+
+// coreHierarchy builds one core's cache hierarchy, wiring the island's
+// shared L2 when present and otherwise a private slice with the configured
+// prefetcher. Shared by the live constructor and the farm sampler so both
+// produce bit-identical cache state.
+func coreHierarchy(cfg Config, shared *cache.Banked) (*cache.Hierarchy, error) {
+	l1i, err := cache.New(cache.TableIL1())
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cache.TableIL1())
+	if err != nil {
+		return nil, err
+	}
+	var l2 cache.Level2
+	if shared != nil {
+		l2 = shared
+	} else {
+		priv, err := cache.New(cache.TableIL2PerCore())
+		if err != nil {
+			return nil, err
+		}
+		l2 = priv
+		if cfg.L2PrefetchDegree > 0 {
+			pf, err := cache.NewStreamPrefetcher(priv, cfg.L2PrefetchDegree, 16)
+			if err != nil {
+				return nil, err
+			}
+			l2 = pf
+		}
+	}
+	return cache.NewHierarchy(l1i, l1d, l2)
 }
 
 // floorplanFor returns a near-square grid containing exactly n cores.
@@ -454,6 +546,48 @@ func (c *CMP) Thermals() *thermal.Model { return c.thermals }
 // TotalInstructions returns cumulative instructions across all cores.
 func (c *CMP) TotalInstructions() float64 { return c.totalInstr }
 
+// SetCacheStatsSource overrides CacheStats with an external supplier —
+// record-driven chips simulate no caches and delegate to the sampler that
+// feeds them. A nil source restores the chip's own counters.
+func (c *CMP) SetCacheStatsSource(f func() CacheStats) { c.cacheStatsSrc = f }
+
+// CorePowers copies the previous interval's per-core oracle power (W) into
+// dst, which must have NumCores capacity; it returns dst[:NumCores].
+// Allocation-free when dst is large enough — the farm layer's column
+// extraction path.
+func (c *CMP) CorePowers(dst []float64) []float64 {
+	return append(dst[:0], c.corePowers...)
+}
+
+// CoreCPIs copies the previous interval's per-core effective CPI into dst,
+// mirroring CorePowers.
+func (c *CMP) CoreCPIs(dst []float64) []float64 {
+	return append(dst[:0], c.coreCPIs...)
+}
+
+// CoreTemps copies the current per-core temperatures (°C) into dst,
+// mirroring CorePowers.
+func (c *CMP) CoreTemps(dst []float64) []float64 {
+	dst = dst[:0]
+	for id := 0; id < c.nCores; id++ {
+		dst = append(dst, c.thermals.Temp(id))
+	}
+	return dst
+}
+
+// CoreFreqsMHz copies the current per-core operating frequency into dst,
+// mirroring CorePowers (cores of an island share its operating point).
+func (c *CMP) CoreFreqsMHz(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, st := range c.islands {
+		f := st.isl.OperatingPoint().FreqMHz
+		for range st.cores {
+			dst = append(dst, f)
+		}
+	}
+	return dst
+}
+
 // CacheStats aggregates cumulative cache counters across the chip, one
 // Stats per hierarchy level.
 type CacheStats struct {
@@ -475,6 +609,9 @@ type cacheStatser interface {
 // nothing (they re-execute recorded cache behaviour without caches).
 // Allocation-free; safe to call between Steps.
 func (c *CMP) CacheStats() CacheStats {
+	if c.cacheStatsSrc != nil {
+		return c.cacheStatsSrc()
+	}
 	var out CacheStats
 	for _, st := range c.islands {
 		for j, core := range st.cores {
@@ -504,6 +641,14 @@ func addCacheStats(dst *cache.Stats, s cache.Stats) {
 // returned Result's Islands slice is valid until the next Step (see
 // Result.Clone).
 func (c *CMP) Step() Result {
+	if c.recSrc != nil {
+		// Fetch the interval's records before the island loop so the
+		// parallel executor only reads the shared batch.
+		c.recs = c.recSrc.Records(c.interval)
+		if len(c.recs) != c.nCores {
+			panic(fmt.Sprintf("sim: record source supplied %d records for %d cores", len(c.recs), c.nCores))
+		}
+	}
 	if c.cfg.Parallel && len(c.islands) > 1 {
 		var wg sync.WaitGroup
 		for _, st := range c.islands {
@@ -531,6 +676,7 @@ func (c *CMP) Step() Result {
 		blocks += st.memBlocks
 		for j, id := range st.isl.CoreIDs() {
 			c.corePowers[id] = st.powers[j]
+			c.coreCPIs[id] = st.cpis[j]
 		}
 	}
 	res.ChipPowerFrac = res.ChipPowerW / c.maxChipW
@@ -565,12 +711,18 @@ func (c *CMP) stepIsland(st *islandState) {
 	}
 	st.memBlocks = 0
 	for j, core := range st.cores {
-		cs := core.RunInterval(op.FreqMHz, c.cfg.IntervalSec, overhead)
 		coreID := st.isl.CoreIDs()[j]
+		var cs uarch.IntervalStats
+		if c.recs != nil {
+			cs = core.(recordFinisher).FinishInterval(c.recs[coreID], op.FreqMHz, c.cfg.IntervalSec, overhead)
+		} else {
+			cs = core.RunInterval(op.FreqMHz, c.cfg.IntervalSec, overhead)
+		}
 		act := power.DeriveActivity(cs.Activity)
 		pw := c.model.Dynamic.Power(op, act) +
 			c.model.Leakage.Power(op.VoltageV, c.thermals.Temp(coreID), c.varmap.CoreMult(coreID))
 		st.powers[j] = pw
+		st.cpis[j] = cs.CPI
 		r.PowerW += pw
 		r.MeanUtil += cs.Utilization
 		r.BIPS += cs.BIPS

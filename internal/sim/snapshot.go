@@ -11,8 +11,9 @@ import (
 // Core kind bytes written per core so a restore verifies live vs replay
 // wiring matches the snapshot.
 const (
-	coreKindLive   uint8 = 1
-	coreKindReplay uint8 = 2
+	coreKindLive    uint8 = 1
+	coreKindReplay  uint8 = 2
+	coreKindCompute uint8 = 3
 )
 
 // Fingerprint summarizes the chip's structural identity — the part of the
@@ -64,6 +65,11 @@ func (c *CMP) Snapshot(e *snapshot.Encoder) error {
 				core.Snapshot(e, st.sharedL2 == nil)
 			case *uarch.ReplayCore:
 				e.U8(coreKindReplay)
+				core.Snapshot(e)
+			case *uarch.ComputeCore:
+				// The workload half lives in the chip's sampler, captured
+				// separately by whoever owns it (the farm layer).
+				e.U8(coreKindCompute)
 				core.Snapshot(e)
 			default:
 				return errors.New("sim: unsnapshotable core model")
@@ -153,6 +159,13 @@ func (c *CMP) Restore(d *snapshot.Decoder) error {
 			case *uarch.ReplayCore:
 				if kind != coreKindReplay {
 					return snapshot.ShapeErrorf("island %d core %d kind %d, target is a replay core", i, j, kind)
+				}
+				if err := core.Restore(d); err != nil {
+					return err
+				}
+			case *uarch.ComputeCore:
+				if kind != coreKindCompute {
+					return snapshot.ShapeErrorf("island %d core %d kind %d, target is a compute core", i, j, kind)
 				}
 				if err := core.Restore(d); err != nil {
 					return err

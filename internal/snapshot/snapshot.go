@@ -70,6 +70,9 @@ const (
 	TagSummary
 	TagDeterminism
 	TagGolden
+	TagComputeCore
+	TagSampler
+	TagFarm
 )
 
 // Header identifies what a snapshot captured, so a restore can refuse a

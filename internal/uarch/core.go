@@ -219,11 +219,24 @@ type TraceRecord struct {
 // RunInterval executes one control interval of length intervalSec at
 // frequency freqMHz. overheadFrac is the fraction of the interval lost to a
 // DVFS transition (0 when the operating point did not change).
+//
+// RunInterval is SampleInterval followed by FinishInterval; callers that
+// need the two halves separately (trace capture, or amortizing sampling
+// across chips sharing a workload — see internal/farm) call them directly.
 func (c *Core) RunInterval(freqMHz, intervalSec, overheadFrac float64) IntervalStats {
-	rec := c.sampleInterval()
+	rec := c.SampleInterval()
 	if c.recorder != nil {
 		c.recorder(rec)
 	}
+	return c.FinishInterval(rec, freqMHz, intervalSec, overheadFrac)
+}
+
+// FinishInterval evaluates the frequency-dependent half of the interval
+// model: it turns a TraceRecord (from this core's SampleInterval, or an
+// equivalent core's — the record is frequency-independent) into
+// IntervalStats at the requested operating point, and accumulates the
+// instruction count.
+func (c *Core) FinishInterval(rec TraceRecord, freqMHz, intervalSec, overheadFrac float64) IntervalStats {
 	memNs := c.memsys.LatencyNs()
 	if c.extraMemNs != nil {
 		memNs += c.extraMemNs()
@@ -234,9 +247,13 @@ func (c *Core) RunInterval(freqMHz, intervalSec, overheadFrac float64) IntervalS
 	return stats
 }
 
-// sampleInterval advances the phase machine and pushes the sampled address
-// streams through the caches, yielding the interval's TraceRecord.
-func (c *Core) sampleInterval() TraceRecord {
+// SampleInterval advances the phase machine and pushes the sampled address
+// streams through the caches, yielding the interval's TraceRecord — the
+// frequency-independent half of the interval model. Every call advances
+// workload state; pair each call with exactly one FinishInterval (on this
+// core or on compute-only cores sharing the record) to keep instruction
+// accounting meaningful.
+func (c *Core) SampleInterval() TraceRecord {
 	ph := c.phases.Next()
 	c.dataBuf = c.streams.DataAddrs(c.cfg.DataSampleRefs, ph, c.dataBuf)
 	var dL2, dMem int

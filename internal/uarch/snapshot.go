@@ -32,6 +32,20 @@ func (c *Core) Restore(d *snapshot.Decoder, includeL2 bool) error {
 	return c.hier.Restore(d, includeL2)
 }
 
+// Snapshot appends the compute core's dynamic state — only the cumulative
+// instruction count; the workload state lives in the shared sampler.
+func (c *ComputeCore) Snapshot(e *snapshot.Encoder) {
+	e.Tag(snapshot.TagComputeCore)
+	e.F64(c.totalInstructions)
+}
+
+// Restore reads state written by Snapshot.
+func (c *ComputeCore) Restore(d *snapshot.Decoder) error {
+	d.Tag(snapshot.TagComputeCore)
+	c.totalInstructions = d.F64()
+	return d.Err()
+}
+
 // Snapshot appends the replay core's dynamic state: the trace cursor and
 // cumulative instruction count.
 func (c *ReplayCore) Snapshot(e *snapshot.Encoder) {
