@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR6.json
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test ./internal/workload -fuzz FuzzStreamAddrs -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/control -fuzz FuzzRoots -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -fuzz FuzzServeRequestDecode -fuzztime $(FUZZTIME)
 
 # Checkpoint/restore gate: codec round-trips, every layer's snapshot tests,
 # the six-scenario resume-equivalence proof (snapshot mid-run, restore into a
@@ -67,6 +68,19 @@ farm-check:
 # numbers into $(BENCH_OUT)).
 fleet-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetFarm' -benchtime 20x .
+
+# Simulation-service gate (race-enabled): golden-over-HTTP equivalence for
+# all six pinned scenarios, the coalescing proof (N identical concurrent
+# requests -> exactly one simulation), backpressure/drain semantics, farm
+# batch admission, and the cpmserve CLI tests.
+serve-check:
+	$(GO) test -race ./internal/serve ./cmd/cpmserve
+
+# Self-driven smoke of the daemon: 100 requests through a real listener
+# cycling scenarios, seeds and both response modes, with the /metrics
+# scrape on stdout (ci.yml archives it as serve-smoke.prom).
+serve-smoke: build
+	$(GO) run ./cmd/cpmserve -smoke 100 -workers 2
 
 # Coverage for the control-critical packages; ci.yml enforces the floor.
 cover:

@@ -203,16 +203,11 @@ func main() {
 
 // scenarioByName resolves a canonical golden scenario.
 func scenarioByName(name string) (check.Scenario, error) {
-	for _, sc := range check.Canonical() {
-		if sc.Name == name {
-			return sc, nil
-		}
+	sc, err := check.ScenarioByName(name)
+	if err != nil {
+		return check.Scenario{}, fmt.Errorf("cpmsim scenario: %w", err)
 	}
-	var names []string
-	for _, sc := range check.Canonical() {
-		names = append(names, sc.Name)
-	}
-	return check.Scenario{}, fmt.Errorf("cpmsim scenario: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+	return sc, nil
 }
 
 // runScenarios replays canonical golden scenarios under the invariant

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/cpm-sim/cpm/internal/control"
@@ -83,6 +84,35 @@ func Canonical() []Scenario {
 		},
 		{Name: "budget-60", Mix: workload.Mix1, BudgetFrac: 0.6},
 	}
+}
+
+// ScenarioNames lists the canonical scenario names, in Canonical order.
+func ScenarioNames() []string {
+	cs := Canonical()
+	names := make([]string, len(cs))
+	for i, sc := range cs {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// ScenarioByName resolves a canonical scenario; the error lists the valid
+// names. Callers that want to vary the run (budget, windows) mutate the
+// returned copy before Build.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Canonical() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("check: unknown scenario %q (have %s)", name, strings.Join(ScenarioNames(), ", "))
+}
+
+// Defaults returns the effective warmup and measurement windows in GPM
+// epochs — the zero-value defaults resolved, so external layers (the serve
+// request normalizer) can content-address a run without duplicating them.
+func (s Scenario) Defaults() (warmEpochs, measureEpochs int) {
+	return s.warm(), s.meas()
 }
 
 // thermalPolicy builds the Figure 18 constraint set over a 2x4 floorplan,

@@ -1,0 +1,56 @@
+package serve
+
+import "container/list"
+
+// lruCache is a bounded most-recently-used result cache keyed by content
+// address. It is not safe for concurrent use on its own — the server's one
+// admission mutex guards it, which is also what makes the
+// check-cache-then-register-flight sequence atomic.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *result
+}
+
+// newLRUCache builds a cache holding at most cap entries; cap <= 0 disables
+// caching entirely (every get misses, every add is dropped).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *lruCache) get(key string) (*result, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when the bound is exceeded.
+func (c *lruCache) add(key string, res *result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *lruCache) len() int { return c.ll.Len() }

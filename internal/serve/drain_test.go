@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// httptestServer pairs the HTTP front end with the run-start channel the
+// gated RunHook feeds.
+type httptestServer struct {
+	ts      *httptest.Server
+	started chan Request
+}
+
+// awaitStart blocks until a run has entered the (gated) RunHook.
+func (h *httptestServer) awaitStart(t *testing.T) Request {
+	t.Helper()
+	select {
+	case r := <-h.started:
+		return r
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for a run to start")
+		return Request{}
+	}
+}
+
+// gatedServer builds a 1-worker server whose runs block until the returned
+// release function is called — the harness for queue-pressure and drain
+// tests.
+func gatedServer(t *testing.T, queueDepth int) (*Server, *httptestServer, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	started := make(chan Request, 64)
+	srv, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: queueDepth,
+		RunHook: func(r Request) {
+			started <- r
+			<-gate
+		},
+	})
+	var once sync.Once
+	return srv, &httptestServer{ts: ts, started: started}, func() { once.Do(func() { close(gate) }) }
+}
+
+// TestQueueFullBackpressure: with one worker and no queue, a second
+// distinct request during an in-flight run is refused with 429 and a
+// Retry-After hint — while an *identical* request still coalesces instead
+// of being bounced.
+func TestQueueFullBackpressure(t *testing.T) {
+	srv, h, release := gatedServer(t, 0)
+	defer release()
+	ts := h.ts
+
+	first := runDoc(shortRun("cpm-default", goldenSeed))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wantStatus(t, postJSON(t, ts, first), 200)
+	}()
+	h.awaitStart(t) // the worker now holds the only slot
+
+	// Distinct work: no capacity, explicit backpressure.
+	resp := postJSON(t, ts, runDoc(shortRun("cpm-default", 7)))
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("distinct request during full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without a Retry-After hint")
+	}
+
+	// Identical work: coalescing costs no slot, so it is never bounced.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := postJSON(t, ts, first)
+		wantStatus(t, resp, 200)
+		if got := resp.Header.Get(HeaderCache); got != outcomeCoalesced {
+			t.Errorf("identical request during full queue: outcome %q, want coalesced", got)
+		}
+	}()
+	waitFor(t, "identical request to coalesce", func() bool { return srv.Stats().Coalesced == 1 })
+
+	release()
+	wg.Wait()
+
+	// Capacity freed: the previously bounced request now succeeds.
+	wantStatus(t, postJSON(t, ts, runDoc(shortRun("cpm-default", 7))), 200)
+	st := srv.Stats()
+	if st.RejectedQueueFull != 1 {
+		t.Errorf("RejectedQueueFull = %d, want 1", st.RejectedQueueFull)
+	}
+}
+
+// TestGracefulDrain: draining lets the in-flight run finish and be
+// answered while new submissions — and the health check — turn away.
+func TestGracefulDrain(t *testing.T) {
+	srv, h, release := gatedServer(t, 4)
+	defer release()
+	ts := h.ts
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wantStatus(t, postJSON(t, ts, runDoc(shortRun("cpm-default", goldenSeed))), 200)
+	}()
+	h.awaitStart(t)
+
+	srv.StartDrain()
+
+	resp := postJSON(t, ts, runDoc(shortRun("cpm-default", 7)))
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("503 without a Retry-After hint")
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, hresp)
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	}
+
+	release()
+	srv.Drain() // must return: the accepted run finishes
+	wg.Wait()
+
+	st := srv.Stats()
+	if !st.Draining || st.RejectedDraining != 1 {
+		t.Errorf("post-drain stats: %+v", st)
+	}
+	// Draining refuses everything, even requests the cache could answer —
+	// the server is going away, clients must fail over.
+	resp = postJSON(t, ts, runDoc(shortRun("cpm-default", goldenSeed)))
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining server accepted new work: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/cpm-sim/cpm/internal/check"
+)
+
+// goldenSeed is the seed every pinned golden trace was recorded at.
+const goldenSeed = 1
+
+// newTestServer builds a server plus an httptest front end, both torn down
+// with the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// postJSON issues one POST /v1/run with the given document.
+func postJSON(t *testing.T, ts *httptest.Server, doc string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(doc)))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	return resp
+}
+
+// runDoc renders the request document for a scenario run.
+func runDoc(req Request) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// readBody drains and closes a response body.
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response body: %v", err)
+	}
+	return b
+}
+
+// wantStatus fails the test with the body's error text when the status
+// differs.
+func wantStatus(t *testing.T, resp *http.Response, want int) []byte {
+	t.Helper()
+	body := readBody(t, resp)
+	if resp.StatusCode != want {
+		t.Fatalf("status %d, want %d (body: %s)", resp.StatusCode, want, bytes.TrimSpace(body))
+	}
+	return body
+}
+
+// goldenPath locates a pinned golden trace in the check package's testdata.
+func goldenPath(name string) string {
+	return filepath.Join("..", "check", "testdata", "golden", name+".json")
+}
+
+// loadRef fetches a scenario's pinned golden trace, skipping when absent —
+// the same convention as the check package's own golden tests.
+func loadRef(t *testing.T, name string) check.Trace {
+	t.Helper()
+	ref, err := check.LoadTrace(goldenPath(name))
+	if os.IsNotExist(err) {
+		t.Skipf("no golden trace at %s; run the check package with -update first", goldenPath(name))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// traceOf rebuilds a check.Trace from a served report, the shape Diff
+// compares digests over.
+func traceOf(rep Report) check.Trace {
+	return check.Trace{
+		Scenario:     rep.Scenario,
+		Epochs:       len(rep.EpochDigests),
+		EpochDigests: rep.EpochDigests,
+		FinalDigest:  rep.FinalDigest,
+		MeanPowerW:   float64(rep.MeanPowerW),
+		MeanBIPS:     float64(rep.MeanBIPS),
+		MaxTempC:     float64(rep.MaxTempC),
+	}
+}
+
+// decodeReport parses a non-streamed run response.
+func decodeReport(t *testing.T, body []byte) Report {
+	t.Helper()
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("decoding report: %v\nbody: %s", err, body)
+	}
+	return rep
+}
+
+// decodeStream parses an NDJSON run response into its epoch lines and the
+// report trailer, validating the line discipline as it goes.
+func decodeStream(t *testing.T, body []byte) ([]EpochReport, Report) {
+	t.Helper()
+	var (
+		epochs  []EpochReport
+		trailer *Report
+	)
+	scan := bufio.NewScanner(bytes.NewReader(body))
+	scan.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scan.Scan() {
+		line := scan.Bytes()
+		var disc struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			t.Fatalf("stream line is not JSON: %v\nline: %s", err, line)
+		}
+		switch disc.Type {
+		case "epoch":
+			if trailer != nil {
+				t.Fatalf("epoch line after the report trailer")
+			}
+			var el epochLine
+			if err := json.Unmarshal(line, &el); err != nil {
+				t.Fatalf("decoding epoch line: %v", err)
+			}
+			epochs = append(epochs, el.EpochReport)
+		case "report":
+			if trailer != nil {
+				t.Fatalf("two report trailers in one stream")
+			}
+			var rl reportLine
+			if err := json.Unmarshal(line, &rl); err != nil {
+				t.Fatalf("decoding report trailer: %v", err)
+			}
+			trailer = &rl.Report
+		default:
+			t.Fatalf("unknown stream line type %q", disc.Type)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if trailer == nil {
+		t.Fatalf("stream ended without a report trailer")
+	}
+	return epochs, *trailer
+}
+
+// shortRun is a cheap non-canonical request variant tests use when they
+// need a real simulation but not the full canonical window.
+func shortRun(scenario string, seed uint64) Request {
+	return Request{Scenario: scenario, Seed: seed, MeasureEpochs: 1}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fmtSeed exists so test names stay readable.
+func fmtSeed(seed uint64) string { return fmt.Sprintf("seed-%d", seed) }
