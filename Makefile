@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke policy-check scorecard all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR6.json
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test ./internal/control -fuzz FuzzRoots -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzServeRequestDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gpm -fuzz FuzzNewPolicyInvariants -fuzztime $(FUZZTIME)
 
 # Checkpoint/restore gate: codec round-trips, every layer's snapshot tests,
 # the six-scenario resume-equivalence proof (snapshot mid-run, restore into a
@@ -86,6 +87,22 @@ serve-smoke: build
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/check ./internal/engine ./internal/control
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Adaptive/predictive control gate (race-enabled): the estimator and policy
+# unit suites, the three new pinned golden scenarios, their snapshot-resume
+# bit-identity, and the sweep-level farm-vs-scalar CSV byte-identity for the
+# -adaptive / mpc / cache routes.
+policy-check:
+	$(GO) test -race ./internal/pic ./internal/gpm
+	$(GO) test -race ./internal/check -run 'TestGoldenScenarios$$/(adaptive-pic|mpc-gpm|cache-aware)|TestGoldenSnapshotResumeEquivalence'
+	$(GO) test -race ./internal/core -run 'TestAdaptive|TestCacheSignals|TestSnapshotRoundTripCacheAdaptive'
+	$(GO) test -race ./cmd/cpmsweep -run 'TestSweepAdaptiveAndPredictiveRoutes|TestMakePolicyNames'
+
+# Adaptive/predictive policy scorecard (tracking error, settling time,
+# BIPS/W vs the fixed-gain baseline on two mixes); CSV series land in
+# scorecard-csv/ (ci.yml uploads them as an informational artifact).
+scorecard: build
+	$(GO) run ./cmd/cpmsim -csv scorecard-csv run scorecard
 
 # Regenerate the golden traces after an intentional behaviour change.
 golden:

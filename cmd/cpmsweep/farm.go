@@ -82,7 +82,7 @@ func sweepFarm(cfg sim.Config, cal core.Calibration, o sweepOptions, logw io.Wri
 				if err != nil {
 					return nil, err
 				}
-				c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers})
+				c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers, Adaptive: adaptiveConfig(o.Adaptive, cal)})
 				if err != nil {
 					return nil, err
 				}

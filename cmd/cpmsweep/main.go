@@ -47,7 +47,8 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	fs := flag.NewFlagSet("cpmsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	mixName := fs.String("mix", "mix1", "application mix: mix1, mix2, mix3, mix3x2, thermal")
-	policy := fs.String("policy", "performance", "GPM policy: performance, equal, thermal, variation")
+	policy := fs.String("policy", "performance", "GPM policy: performance, equal, thermal, variation, mpc, cache")
+	adaptive := fs.Bool("adaptive", false, "run the PICs with the adaptive-gain estimator (RLS plant-gain tracking, seeded from calibration)")
 	budgets := fs.String("budgets", "0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated budget fractions of required power")
 	seed := fs.Uint64("seed", 1, "simulation seed (non-zero)")
 	warm := fs.Int("warm", 6, "warm-up GPM epochs")
@@ -90,6 +91,7 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	return sweepOptions{
 		Mix:       mix,
 		Policy:    *policy,
+		Adaptive:  *adaptive,
 		Fracs:     fracs,
 		Seed:      *seed,
 		Warm:      *warm,
@@ -122,7 +124,10 @@ func main() {
 type sweepOptions struct {
 	Mix    workload.Mix
 	Policy string
-	Fracs  []float64
+	// Adaptive runs every CPM point's PICs with the adaptive-gain
+	// estimator, seeded from the sweep's calibrated plant gain.
+	Adaptive bool
+	Fracs    []float64
 	Seed   uint64
 	Warm   int
 	Epochs int
@@ -238,7 +243,7 @@ func sweepRows(cfg sim.Config, cal core.Calibration, base engine.Summary, o swee
 		if err != nil {
 			return sweepRow{}, err
 		}
-		ours, err := measureCPM(cfg, cal, budget, pol, o.Warm, o.Epochs, o.Check, o.Metrics, frac, warmState)
+		ours, err := measureCPM(cfg, cal, budget, pol, o.Adaptive, o.Warm, o.Epochs, o.Check, o.Metrics, frac, warmState)
 		if err != nil {
 			return sweepRow{}, err
 		}
@@ -319,12 +324,12 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metri
 	return sum, nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, adaptive bool, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
 	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
 		return engine.Summary{}, err
 	}
-	c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers})
+	c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers, Adaptive: adaptiveConfig(adaptive, cal)})
 	if err != nil {
 		return engine.Summary{}, err
 	}
@@ -405,6 +410,16 @@ func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bo
 	return sum, nil
 }
 
+// adaptiveConfig builds the per-run adaptive-gain configuration for
+// -adaptive sweeps (nil when off), seeding the RLS estimator from the
+// sweep's calibrated plant gain.
+func adaptiveConfig(on bool, cal core.Calibration) *pic.AdaptiveConfig {
+	if !on {
+		return nil
+	}
+	return &pic.AdaptiveConfig{SeedGain: cal.PlantGain}
+}
+
 func makePolicy(name string) (gpm.Policy, error) {
 	switch name {
 	case "equal":
@@ -423,8 +438,12 @@ func makePolicy(name string) (gpm.Policy, error) {
 		}, nil
 	case "performance":
 		return &gpm.PerformanceAware{}, nil
+	case "mpc":
+		return &gpm.ModelPredictive{}, nil
+	case "cache":
+		return &gpm.CacheAware{}, nil
 	default:
-		return nil, fmt.Errorf("cpmsweep: unknown policy %q (want performance, equal, thermal, variation)", name)
+		return nil, fmt.Errorf("cpmsweep: unknown policy %q (want performance, equal, thermal, variation, mpc, cache)", name)
 	}
 }
 

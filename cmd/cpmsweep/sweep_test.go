@@ -89,13 +89,60 @@ func TestParseBudgets(t *testing.T) {
 }
 
 func TestParseSweepCLIValid(t *testing.T) {
-	o, err := parseSweepCLI([]string{"-mix", "mix3", "-policy", "equal", "-budgets", "0.7,0.8", "-warm", "2", "-epochs", "4", "-check", "-warmstart"}, io.Discard)
+	o, err := parseSweepCLI([]string{"-mix", "mix3", "-policy", "equal", "-budgets", "0.7,0.8", "-warm", "2", "-epochs", "4", "-check", "-warmstart", "-adaptive"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Mix.Name != "Mix-3" || o.Policy != "equal" || len(o.Fracs) != 2 ||
-		o.Warm != 2 || o.Epochs != 4 || !o.Check || !o.Parallel || !o.WarmStart {
+		o.Warm != 2 || o.Epochs != 4 || !o.Check || !o.Parallel || !o.WarmStart || !o.Adaptive {
 		t.Errorf("options not threaded: %+v", o)
+	}
+}
+
+// TestSweepAdaptiveAndPredictiveRoutes pins the new control configurations
+// through both sweep routes: for each of (-adaptive fixed-policy, -policy
+// mpc, -policy cache) the farm route must emit byte-identical CSV to the
+// scalar route, under the invariant suite.
+func TestSweepAdaptiveAndPredictiveRoutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive/predictive sweeps in -short mode")
+	}
+	cases := []struct {
+		name     string
+		policy   string
+		adaptive bool
+	}{
+		{"adaptive", "performance", true},
+		{"mpc", "mpc", false},
+		{"cache", "cache", false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := func(scalar bool) sweepOptions {
+				o := testOptions(2)
+				o.Fracs = []float64{0.8}
+				o.Policy = c.policy
+				o.Adaptive = c.adaptive
+				o.Check = true
+				o.Scalar = scalar
+				return o
+			}
+			var scalar, farmed bytes.Buffer
+			if err := sweep(opts(true), &scalar, io.Discard); err != nil {
+				t.Fatalf("scalar route: %v", err)
+			}
+			if err := sweep(opts(false), &farmed, io.Discard); err != nil {
+				t.Fatalf("farm route: %v", err)
+			}
+			if !bytes.Equal(scalar.Bytes(), farmed.Bytes()) {
+				t.Fatalf("farm route differs from scalar:\n--- scalar ---\n%s--- farm ---\n%s",
+					scalar.String(), farmed.String())
+			}
+			if scalar.Len() == 0 {
+				t.Fatal("empty sweep output")
+			}
+		})
 	}
 }
 
@@ -171,7 +218,7 @@ func TestSweepChecked(t *testing.T) {
 }
 
 func TestMakePolicyNames(t *testing.T) {
-	for _, name := range []string{"performance", "equal", "variation", "thermal"} {
+	for _, name := range []string{"performance", "equal", "variation", "thermal", "mpc", "cache"} {
 		p, err := makePolicy(name)
 		if err != nil || p == nil {
 			t.Errorf("makePolicy(%q) = %v, %v", name, p, err)

@@ -10,6 +10,7 @@ import (
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
 	"github.com/cpm-sim/cpm/internal/maxbips"
+	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/thermal"
 	"github.com/cpm-sim/cpm/internal/variation"
@@ -19,8 +20,9 @@ import (
 // Scenario is one canonical end-to-end configuration pinned by the golden
 // harness. The set in Canonical covers every control path the paper
 // evaluates: the default two-tier CPM loop, the MaxBIPS baseline, the
-// thermal- and variation-aware provisioning policies, fault injection, and
-// a second point on the budget axis.
+// thermal- and variation-aware provisioning policies, fault injection, a
+// second point on the budget axis, and the adaptive/predictive extensions
+// (adaptive-gain PIC, MPC-style GPM, cache-aware provisioning).
 type Scenario struct {
 	// Name keys the golden file (testdata/golden/<Name>.json).
 	Name string
@@ -44,6 +46,9 @@ type Scenario struct {
 	// It exists for the harness's self-test: a perturbed controller must
 	// change the golden digests.
 	GainScale float64
+	// Adaptive runs every PIC with the adaptive-gain estimator, seeded
+	// from the scenario's own calibrated plant gain (core.Config.Adaptive).
+	Adaptive bool
 	// WarmEpochs/MeasureEpochs shape the run; zero means the canonical
 	// 2 warm + 4 measured epochs.
 	WarmEpochs    int
@@ -64,7 +69,7 @@ func (s Scenario) meas() int {
 	return 4
 }
 
-// Canonical returns the six pinned scenarios. Names are stable — they key
+// Canonical returns the nine pinned scenarios. Names are stable — they key
 // the golden files.
 func Canonical() []Scenario {
 	return []Scenario{
@@ -83,6 +88,15 @@ func Canonical() []Scenario {
 			Faults: &core.FaultPlan{UtilNoiseStd: 0.15, StuckIsland: -1, Seed: 11},
 		},
 		{Name: "budget-60", Mix: workload.Mix1, BudgetFrac: 0.6},
+		{Name: "adaptive-pic", Mix: workload.Mix1, BudgetFrac: 0.8, Adaptive: true},
+		{
+			Name: "mpc-gpm", Mix: workload.Mix1, BudgetFrac: 0.8,
+			Policy: func() (gpm.Policy, error) { return &gpm.ModelPredictive{}, nil },
+		},
+		{
+			Name: "cache-aware", Mix: workload.Mix1, BudgetFrac: 0.7,
+			Policy: func() (gpm.Policy, error) { return &gpm.CacheAware{}, nil },
+		},
 	}
 }
 
@@ -232,6 +246,12 @@ func (s Scenario) buildCPM(cmp *sim.CMP, cal core.Calibration, budget float64, e
 			KD: control.PaperGains.KD * s.GainScale,
 		}
 	}
+	var adaptive *pic.AdaptiveConfig
+	if s.Adaptive {
+		// Seed the estimator from the same sysid fit the scenario already
+		// paid for; every AdaptiveConfig default is otherwise canonical.
+		adaptive = &pic.AdaptiveConfig{SeedGain: cal.PlantGain}
+	}
 	ctl, err := core.New(cmp, core.Config{
 		BudgetW:     budget,
 		Policy:      policy,
@@ -239,6 +259,7 @@ func (s Scenario) buildCPM(cmp *sim.CMP, cal core.Calibration, budget float64, e
 		Gains:       gains,
 		Transducers: cal.Transducers,
 		Faults:      s.Faults,
+		Adaptive:    adaptive,
 	})
 	if err != nil {
 		return nil, nil, err

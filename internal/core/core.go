@@ -42,6 +42,11 @@ type Config struct {
 	UseOraclePower bool
 	// SmoothAlpha is passed to every PIC (see pic.Config.SmoothAlpha).
 	SmoothAlpha float64
+	// Adaptive, when non-nil, runs every PIC with the adaptive-gain
+	// estimator (see pic.AdaptiveConfig): Gains become design gains that
+	// the RLS plant-gain estimate rescales online, with the Jury-criterion
+	// guard falling back to the paper's fixed gains.
+	Adaptive *pic.AdaptiveConfig
 	// Faults optionally injects sensor/actuator faults (robustness
 	// studies). StuckIsland of 0 is a valid island, so construct plans with
 	// StuckIsland: -1 when no actuator fault is wanted — or leave the whole
@@ -87,6 +92,16 @@ type CPM struct {
 	accPow, accBIPS []float64
 	accN            int
 	interval        int
+
+	// Cache-signal plumbing, active only when the policy chain asks for it
+	// (gpm.WantsCacheSignals): curCache latches the cumulative per-island
+	// cache counters right after each chip step — the one point where every
+	// farm group member observes the shared sampler at the same position —
+	// and prevCache holds the latch from the last GPM invocation so the
+	// next one observes epoch deltas.
+	wantCache bool
+	curCache  []sim.CacheStats
+	prevCache []sim.CacheStats
 
 	faults *faultState
 
@@ -149,6 +164,11 @@ func New(cmp *sim.CMP, cfg Config) (*CPM, error) {
 	if cfg.Faults != nil && cfg.Faults.enabled() {
 		c.faults = newFaultState(*cfg.Faults)
 	}
+	if gpm.WantsCacheSignals(cfg.Policy) {
+		c.wantCache = true
+		c.curCache = make([]sim.CacheStats, n)
+		c.prevCache = make([]sim.CacheStats, n)
+	}
 	for i := 0; i < n; i++ {
 		var tr sensor.Estimator
 		if !cfg.UseOraclePower {
@@ -161,6 +181,7 @@ func New(cmp *sim.CMP, cfg Config) (*CPM, error) {
 			Transducer:     tr,
 			UseOraclePower: cfg.UseOraclePower,
 			SmoothAlpha:    cfg.SmoothAlpha,
+			Adaptive:       cfg.Adaptive,
 		}, cmp.Level(i))
 		if err != nil {
 			return nil, err
@@ -212,6 +233,16 @@ func (c *CPM) Step() StepResult {
 				LeakMult:  c.cmp.IslandLeakMult(i),
 				Level:     c.cmp.Level(i),
 			}
+			if c.wantCache {
+				// curCache was latched right after the last chip step, so
+				// the deltas cover exactly the epoch that just ended.
+				cur, prev := c.curCache[i], c.prevCache[i]
+				obs[i].L2Accesses = float64(cur.L2.Accesses - prev.L2.Accesses)
+				obs[i].L2Misses = float64(cur.L2.Misses - prev.L2.Misses)
+				obs[i].L1DAccesses = float64(cur.L1D.Accesses - prev.L1D.Accesses)
+				obs[i].L1DMisses = float64(cur.L1D.Misses - prev.L1D.Misses)
+				c.prevCache[i] = cur
+			}
 		}
 		c.alloc = c.mgr.Provision(obs)
 		for i, p := range c.pic {
@@ -254,6 +285,16 @@ func (c *CPM) Step() StepResult {
 		}
 		c.accPow[i] += est
 		c.accBIPS[i] += ir.BIPS
+	}
+	if c.wantCache {
+		// Latch cumulative counters now, not lazily at the next GPM
+		// boundary: in a farm group the shared sampler advances once per
+		// lockstep round, and immediately after a member's own step is the
+		// one moment its position is the same for every member (and for
+		// the scalar path) — see the struct comment.
+		for i := range c.curCache {
+			c.curCache[i] = c.cmp.IslandCacheStats(i)
+		}
 	}
 	c.accN++
 	c.haveMeas = true

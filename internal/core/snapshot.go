@@ -1,6 +1,10 @@
 package core
 
-import "github.com/cpm-sim/cpm/internal/snapshot"
+import (
+	"github.com/cpm-sim/cpm/internal/cache"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
 
 // Snapshot appends the complete dynamic state of the managed chip: the chip
 // itself, every per-island PIC, the GPM (budget and policy history), the
@@ -30,7 +34,36 @@ func (c *CPM) Snapshot(e *snapshot.Encoder) error {
 	if c.faults != nil {
 		e.U64(c.faults.rng.State())
 	}
+	e.Bool(c.wantCache)
+	if c.wantCache {
+		for _, s := range c.prevCache {
+			encodeCacheStats(e, s)
+		}
+		for _, s := range c.curCache {
+			encodeCacheStats(e, s)
+		}
+	}
 	return nil
+}
+
+func encodeCacheStats(e *snapshot.Encoder, s sim.CacheStats) {
+	for _, cs := range [...]cache.Stats{s.L1I, s.L1D, s.L2} {
+		e.U64(cs.Accesses)
+		e.U64(cs.Hits)
+		e.U64(cs.Misses)
+		e.U64(cs.Evictions)
+	}
+}
+
+func decodeCacheStats(d *snapshot.Decoder) sim.CacheStats {
+	var s sim.CacheStats
+	for _, cs := range [...]*cache.Stats{&s.L1I, &s.L1D, &s.L2} {
+		cs.Accesses = d.U64()
+		cs.Hits = d.U64()
+		cs.Misses = d.U64()
+		cs.Evictions = d.U64()
+	}
+	return s
 }
 
 // Restore reads state written by Snapshot into a CPM constructed with an
@@ -72,6 +105,18 @@ func (c *CPM) Restore(d *snapshot.Decoder) error {
 	if hadFaults {
 		faultRNG = d.U64()
 	}
+	hadCache := d.Bool()
+	var prevCache, curCache []sim.CacheStats
+	if hadCache {
+		prevCache = make([]sim.CacheStats, nPIC)
+		for i := range prevCache {
+			prevCache[i] = decodeCacheStats(d)
+		}
+		curCache = make([]sim.CacheStats, nPIC)
+		for i := range curCache {
+			curCache[i] = decodeCacheStats(d)
+		}
+	}
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -87,6 +132,9 @@ func (c *CPM) Restore(d *snapshot.Decoder) error {
 	if hadFaults != (c.faults != nil) {
 		return snapshot.ShapeErrorf("snapshot fault-plan presence %v, controller %v", hadFaults, c.faults != nil)
 	}
+	if hadCache != c.wantCache {
+		return snapshot.ShapeErrorf("snapshot cache-latch presence %v, controller %v", hadCache, c.wantCache)
+	}
 	c.alloc = alloc
 	c.haveMeas = haveMeas
 	copy(c.lastUtil, lastUtil)
@@ -97,6 +145,10 @@ func (c *CPM) Restore(d *snapshot.Decoder) error {
 	c.interval = interval
 	if c.faults != nil {
 		c.faults.rng.SetState(faultRNG)
+	}
+	if c.wantCache {
+		copy(c.prevCache, prevCache)
+		copy(c.curCache, curCache)
 	}
 	return nil
 }

@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"ext1", "ext2", "ext3",
+		"ext1", "ext2", "ext3", "scorecard",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -345,5 +345,39 @@ func TestCheckedHarnesses(t *testing.T) {
 				t.Fatalf("%s produced no report", id)
 			}
 		})
+	}
+}
+
+// Scorecard: every (mix, configuration) cell reports sane tracking error,
+// settling time and efficiency, and the adaptive-gain PIC stays in the same
+// tracking family as the fixed-gain baseline it rescales.
+func TestScorecard(t *testing.T) {
+	r := quick(t, "scorecard")
+	mixes := []string{"mix1", "mix2"}
+	configsKeys := []string{"fixed", "adaptive", "mpc", "cache"}
+	for _, mix := range mixes {
+		for _, cfg := range configsKeys {
+			prefix := mix + "_" + cfg
+			te, ok := r.Metrics[prefix+"_track_err"]
+			if !ok {
+				t.Fatalf("missing metric %s_track_err", prefix)
+			}
+			if !(te >= 0 && te < 0.5) {
+				t.Errorf("%s: tracking error %.3f out of sane range", prefix, te)
+			}
+			if bw := r.Metrics[prefix+"_bips_per_w"]; !(bw > 0) {
+				t.Errorf("%s: BIPS/W = %v, want positive", prefix, bw)
+			}
+			if se := r.Metrics[prefix+"_settle_epochs"]; se < 0 {
+				t.Errorf("%s: settle epochs %v negative", prefix, se)
+			}
+		}
+		fixed, adaptive := r.Metrics[mix+"_fixed_track_err"], r.Metrics[mix+"_adaptive_track_err"]
+		if adaptive > fixed*2+0.02 {
+			t.Errorf("%s: adaptive tracking error %.3f far worse than fixed %.3f", mix, adaptive, fixed)
+		}
+	}
+	if len(r.Sets) != len(mixes) {
+		t.Errorf("scorecard exported %d trace sets, want one per mix (%d)", len(r.Sets), len(mixes))
 	}
 }

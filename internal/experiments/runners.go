@@ -27,6 +27,8 @@ type cpmParams struct {
 	keepSteps   bool
 	oraclePower bool
 	faults      *core.FaultPlan
+	// adaptive runs the PICs with the adaptive-gain estimator.
+	adaptive *pic.AdaptiveConfig
 	// observers watch the run as it executes (engine.Observer fan-out).
 	observers []engine.Observer
 	// opts carries the harness Options through to the run: Check attaches
@@ -61,6 +63,7 @@ func runCPM(cfg sim.Config, cal core.Calibration, p cpmParams) (runSummary, erro
 		Transducers:    cal.Transducers,
 		UseOraclePower: p.oraclePower,
 		Faults:         p.faults,
+		Adaptive:       p.adaptive,
 	})
 	if err != nil {
 		return runSummary{}, err

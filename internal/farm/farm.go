@@ -166,6 +166,7 @@ func buildGroup(key WorkloadKey, specs []ChipSpec, idxs []int, samplerState []by
 			return nil, fmt.Errorf("farm: chip %d: %w", i, err)
 		}
 		cmp.SetCacheStatsSource(sampler.CacheStats)
+		cmp.SetIslandCacheStatsSource(sampler.IslandCacheStats)
 		if spec.Init != nil {
 			if err := spec.Init(cmp); err != nil {
 				return nil, fmt.Errorf("farm: chip %d init: %w", i, err)

@@ -1,0 +1,163 @@
+package gpm
+
+import "math"
+
+// CacheAware is a THEAS-style provisioning policy: power follows the memory
+// hierarchy. An island whose working set is resident (high L2 hit fraction
+// over the past epoch) converts frequency into throughput nearly linearly,
+// so extra budget buys performance there; an island missing to memory
+// stalls regardless of its operating point, so its budget is largely
+// wasted. The policy therefore weights each island by occupancy-weighted
+// responsiveness:
+//
+//	w_i = (OccFloor + occ_i) · BIPS_i / P_i
+//
+// where occ_i is the epoch's L2 hit fraction (the occupancy proxy: a
+// resident working set hits, a thrashing one misses), and BIPS/P is the
+// island's demonstrated efficiency at converting watts into instructions.
+// OccFloor keeps a memory-bound island from starving outright — misses
+// still need cycles to generate. Weights are EMA-smoothed across epochs so
+// one transient phase does not slosh the whole budget, floored at
+// MinShareFrac of the equal split, normalized to the budget, and capped at
+// island maximum power with the usual excess redistribution.
+//
+// The controller feeds the L2 (and L1-D) deltas through IslandObs only for
+// policies that implement CacheSignalPolicy; CacheAware is the first.
+type CacheAware struct {
+	// SmoothAlpha is the EMA coefficient on the per-island weights
+	// (1 = no smoothing; default 0.5).
+	SmoothAlpha float64
+	// OccFloor is the occupancy weight a fully-missing island retains
+	// (default 0.25).
+	OccFloor float64
+	// MinShareFrac floors each island's allocation at this fraction of the
+	// equal split (default 0.15), as in PerformanceAware.
+	MinShareFrac float64
+
+	w      []float64
+	primed bool
+}
+
+// cacheAwareWeightMax bounds a single epoch's raw weight so that no finite
+// sum of weights can overflow the normalization (see Provision).
+const cacheAwareWeightMax = 1e12
+
+// Name implements Policy.
+func (p *CacheAware) Name() string { return "cache-aware" }
+
+// WantsCacheSignals implements CacheSignalPolicy: this policy is why the
+// controller collects per-island cache deltas at all.
+func (p *CacheAware) WantsCacheSignals() bool { return true }
+
+func (p *CacheAware) smoothAlpha() float64 {
+	if p.SmoothAlpha <= 0 || p.SmoothAlpha > 1 {
+		return 0.5
+	}
+	return p.SmoothAlpha
+}
+
+func (p *CacheAware) occFloor() float64 {
+	if p.OccFloor <= 0 {
+		return 0.25
+	}
+	return p.OccFloor
+}
+
+func (p *CacheAware) minShareFrac() float64 {
+	if p.MinShareFrac <= 0 {
+		return 0.15
+	}
+	return p.MinShareFrac
+}
+
+// Provision implements Policy.
+func (p *CacheAware) Provision(budgetW float64, obs []IslandObs) []float64 {
+	n := len(obs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if !(budgetW > 0) || math.IsInf(budgetW, 0) {
+		return out
+	}
+	equal := budgetW / float64(n)
+
+	alpha := p.smoothAlpha()
+	occFloor := p.occFloor()
+	if !p.primed || len(p.w) != n {
+		p.w = make([]float64, n)
+		for i := range p.w {
+			p.w[i] = 1
+		}
+		p.primed = true
+		for i := range out {
+			out[i] = equal
+		}
+		return out
+	}
+
+	for i, o := range obs {
+		// Occupancy proxy: the epoch's L2 hit fraction. No accesses —
+		// a core that never left L1 — reads as fully resident.
+		occ := 1.0
+		acc := finitePos(o.L2Accesses, 0)
+		miss := finitePos(o.L2Misses, 0)
+		if acc > 0 {
+			occ = 1 - math.Min(miss, acc)/acc
+		}
+		// Responsiveness: demonstrated BIPS per watt at the island's
+		// current operating point.
+		bips := finitePos(o.BIPS, 0)
+		pw := finitePos(o.PowerW, 0)
+		resp := 0.0
+		if pw > 0 {
+			resp = bips / pw
+		}
+		raw := (occFloor + occ) * resp
+		// The ratio can overflow (huge BIPS over subnormal power → +Inf),
+		// and an infinite weight would turn the normalization below into
+		// NaN; clamp to a bound that still dwarfs any real efficiency.
+		if !(raw < cacheAwareWeightMax) {
+			raw = cacheAwareWeightMax
+		}
+		p.w[i] = alpha*raw + (1-alpha)*p.w[i]
+	}
+
+	sum := 0.0
+	for _, w := range p.w {
+		sum += w
+	}
+	floor := p.minShareFrac() * equal
+	if sum <= 0 {
+		// No island demonstrated any efficiency (idle chip): equal split.
+		for i := range out {
+			out[i] = equal
+		}
+		return out
+	}
+	total := 0.0
+	for i := range out {
+		out[i] = budgetW * p.w[i] / sum
+		if out[i] < floor {
+			out[i] = floor
+		}
+		total += out[i]
+	}
+	// The floor can oversubscribe; renormalize onto the budget.
+	if total > budgetW {
+		scale := budgetW / total
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+
+	caps := make([]float64, n)
+	for i, o := range obs {
+		caps[i] = finitePos(o.MaxPowerW, math.Inf(1))
+		if caps[i] <= 0 {
+			caps[i] = math.Inf(1)
+		}
+	}
+	enforceCaps(out, caps)
+	return out
+}

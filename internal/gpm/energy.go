@@ -87,3 +87,7 @@ func (p *EnergyAware) Provision(budgetW float64, obs []IslandObs) []float64 {
 	}
 	return base.Provision(budgetW*p.shrink, obs)
 }
+
+// BaseOf implements BasePolicy, exposing the wrapped policy to capability
+// probes (see WantsCacheSignals).
+func (p *EnergyAware) BaseOf() Policy { return p.Base }

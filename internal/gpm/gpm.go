@@ -36,6 +36,48 @@ type IslandObs struct {
 	LeakMult float64
 	// Level is the island's current DVFS level.
 	Level int
+	// L2Accesses/L2Misses are the island's shared-L2 access and miss
+	// deltas over the past epoch. The controller fills them only when the
+	// active policy implements CacheSignalPolicy (see CacheAware); they
+	// are zero otherwise.
+	L2Accesses, L2Misses float64
+	// L1DAccesses/L1DMisses are the corresponding private L1-D deltas.
+	L1DAccesses, L1DMisses float64
+}
+
+// CacheSignalPolicy is the optional capability a Policy implements when its
+// provisioning decisions read the IslandObs cache-delta fields. The
+// controller probes for it (through decorators via BasePolicy) and only
+// collects per-island cache counters when some policy in the chain wants
+// them, so the common policies pay nothing.
+type CacheSignalPolicy interface {
+	Policy
+	// WantsCacheSignals reports whether the policy reads cache deltas.
+	WantsCacheSignals() bool
+}
+
+// BasePolicy is the optional capability of decorator policies (thermal,
+// energy) that wrap another policy, letting capability probes such as
+// WantsCacheSignals traverse the chain.
+type BasePolicy interface {
+	// BaseOf returns the wrapped policy (nil when none).
+	BaseOf() Policy
+}
+
+// WantsCacheSignals reports whether p — or any policy it decorates — asks
+// for the IslandObs cache-delta fields.
+func WantsCacheSignals(p Policy) bool {
+	for p != nil {
+		if cs, ok := p.(CacheSignalPolicy); ok && cs.WantsCacheSignals() {
+			return true
+		}
+		b, ok := p.(BasePolicy)
+		if !ok {
+			return false
+		}
+		p = b.BaseOf()
+	}
+	return false
 }
 
 // Policy decides the next epoch's per-island allocations.
@@ -119,10 +161,12 @@ func NewManager(policy Policy, budgetW float64) (*Manager, error) {
 func (m *Manager) BudgetW() float64 { return m.budgetW }
 
 // SetBudgetW updates the chip budget (budget-sweep experiments).
-// Non-finite budgets are ignored and the previous budget held, matching
-// the NewManager boundary check (see there for why).
+// Non-finite and non-positive budgets are ignored and the previous budget
+// held, matching the NewManager boundary check (see there for why): a zero
+// or negative budget would zero every provision and drive all PICs to the
+// bottom of the DVFS table with no way to recover the intended budget.
 func (m *Manager) SetBudgetW(w float64) {
-	if math.IsNaN(w) || math.IsInf(w, 0) {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
 		return
 	}
 	m.budgetW = w

@@ -494,3 +494,88 @@ func TestPowerExponentCalibrationPreventsBlindConcentration(t *testing.T) {
 		t.Errorf("cube-root exponent diverged: |Δ| = %.1f W", biased)
 	}
 }
+
+// SetBudgetW must enforce the same boundary as NewManager: non-finite AND
+// non-positive updates are ignored, the previous budget held. The pre-fix
+// code let w <= 0 through, zeroing every subsequent provision.
+func TestSetBudgetWBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		w    float64
+		want float64 // budget after the call, starting from 80
+	}{
+		{"zero held", 0, 80},
+		{"negative held", -5, 80},
+		{"NaN held", math.NaN(), 80},
+		{"+Inf held", math.Inf(1), 80},
+		{"-Inf held", math.Inf(-1), 80},
+		{"positive applied", 42, 42},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewManager(EqualShare{}, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetBudgetW(tc.w)
+			if got := m.BudgetW(); got != tc.want {
+				t.Errorf("SetBudgetW(%v): budget = %v, want %v", tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+// enforceCaps must not drop reclaimed budget when the only islands with
+// headroom sit at zero allocation: proportional redistribution weights them
+// all at zero, so the excess must be spread equally instead. The pre-fix
+// code returned with the excess unspent.
+func TestEnforceCapsZeroAllocOpenEntries(t *testing.T) {
+	t.Run("single open entry at zero", func(t *testing.T) {
+		alloc := []float64{4, 0}
+		caps := []float64{2, math.Inf(1)}
+		enforceCaps(alloc, caps)
+		if alloc[0] != 2 {
+			t.Errorf("capped entry = %v, want 2", alloc[0])
+		}
+		if alloc[1] != 2 {
+			t.Errorf("open zero entry received %v W, want the full 2 W excess", alloc[1])
+		}
+	})
+	t.Run("excess spread equally over open zero entries", func(t *testing.T) {
+		alloc := []float64{6, 0, 0}
+		caps := []float64{2, 3, math.Inf(1)}
+		enforceCaps(alloc, caps)
+		if alloc[0] != 2 {
+			t.Errorf("capped entry = %v, want 2", alloc[0])
+		}
+		if alloc[1] != 2 || alloc[2] != 2 {
+			t.Errorf("open entries = %v, want 2 W each", alloc[1:])
+		}
+		if s := sum(alloc); math.Abs(s-6) > 1e-12 {
+			t.Errorf("total %v changed, want 6 preserved", s)
+		}
+	})
+	t.Run("equal spread respects caps", func(t *testing.T) {
+		alloc := []float64{9, 0, 0}
+		caps := []float64{1, 2, math.Inf(1)}
+		enforceCaps(alloc, caps)
+		for i := range alloc {
+			if alloc[i] > caps[i]+1e-12 {
+				t.Errorf("alloc[%d] = %v exceeds cap %v", i, alloc[i], caps[i])
+			}
+		}
+		// 8 W excess: equal spread gives each open entry 4, entry 1 clamps
+		// to 2, and its 2 W of re-excess flows on to the unbounded entry.
+		if alloc[1] != 2 || alloc[2] != 6 {
+			t.Errorf("alloc = %v, want [1 2 6]", alloc)
+		}
+	})
+	t.Run("all capped still drops excess", func(t *testing.T) {
+		alloc := []float64{5, 5}
+		caps := []float64{2, 2}
+		enforceCaps(alloc, caps)
+		if alloc[0] != 2 || alloc[1] != 2 {
+			t.Errorf("alloc = %v, want clamped to caps", alloc)
+		}
+	})
+}

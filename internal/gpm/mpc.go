@@ -1,0 +1,244 @@
+package gpm
+
+import "math"
+
+// ModelPredictive is an MPC-style provisioning policy: instead of reacting
+// to the last epoch's responsiveness ratio (PerformanceAware), it *plans*
+// over an H-epoch horizon using the same interval model the simulator is
+// built on — the cube law of Equation (1), performance scaling with the
+// cube root of the power ratio — and commits the first move of the best
+// plan, re-planning every epoch (receding horizon).
+//
+// Each epoch the policy enumerates a small deterministic candidate set of
+// share vectors: hold the current shares, return to the equal split, and
+// every pairwise transfer of StepFrac of the budget from island i to island
+// j. Transfers respect two floors: the static minimum-share floor, and a
+// *demonstrated-power* floor — an island is never planned more than a small
+// concession below the power it just exhibited, because an island pinned at
+// its bottom operating point cannot spend less no matter the provision, and
+// planning below its floor power only moves a budget violation around
+// instead of freeing real watts. Each candidate is rolled forward
+// H epochs: island power converges toward its (cap-clamped) allocation at
+// rate ConvergeRate per epoch — the closed-loop settling the PIC tier
+// provides — and predicted BIPS follows the cube-law power ratio. The
+// candidate with the highest cumulative predicted BIPS wins; ties break to
+// the earliest candidate so the choice is deterministic.
+//
+// The policy is stateful (it carries its current share vector across
+// epochs) and implements StatefulPolicy for bit-identical resume.
+type ModelPredictive struct {
+	// Horizon is the number of epochs each candidate plan is rolled
+	// forward (default 3). Longer horizons weight sustained gains over
+	// one-epoch spikes; with the memoryless cube-law model the marginal
+	// value fades quickly.
+	Horizon int
+	// StepFrac is the fraction of the budget a pairwise-transfer candidate
+	// moves between two islands (default 0.05).
+	StepFrac float64
+	// PowerExponent relates predicted performance to power ratios, as in
+	// PerformanceAware (default 1/3, the paper's cube law).
+	PowerExponent float64
+	// MinShareFrac floors each island's share of the equal split (default
+	// 0.15), preventing starvation exactly as in PerformanceAware.
+	MinShareFrac float64
+	// ConvergeRate is the per-epoch fraction by which island power closes
+	// the gap to its allocation in the rollout model (default 0.6 — the
+	// PIC tier settles well within an epoch, but transducer error and
+	// quantization leave a remainder).
+	ConvergeRate float64
+
+	shares []float64
+	primed bool
+}
+
+// demonstratedFloorFrac is the fraction of an island's demonstrated power
+// below which the planner never cuts its allocation in one move: a 5%
+// concession per epoch is what the closed PIC loop reliably settles, and an
+// island pinned at its bottom operating point holds its floor power
+// regardless, so deeper cuts cannot be realized.
+const demonstratedFloorFrac = 0.95
+
+// Name implements Policy.
+func (p *ModelPredictive) Name() string { return "mpc-gpm" }
+
+func (p *ModelPredictive) horizon() int {
+	if p.Horizon <= 0 {
+		return 3
+	}
+	return p.Horizon
+}
+
+func (p *ModelPredictive) stepFrac() float64 {
+	if p.StepFrac <= 0 {
+		return 0.05
+	}
+	return p.StepFrac
+}
+
+func (p *ModelPredictive) exponent() float64 {
+	if p.PowerExponent <= 0 {
+		return 1.0 / 3.0
+	}
+	return p.PowerExponent
+}
+
+func (p *ModelPredictive) minShareFrac() float64 {
+	if p.MinShareFrac <= 0 {
+		return 0.15
+	}
+	return p.MinShareFrac
+}
+
+func (p *ModelPredictive) convergeRate() float64 {
+	if p.ConvergeRate <= 0 || p.ConvergeRate > 1 {
+		return 0.6
+	}
+	return p.ConvergeRate
+}
+
+// Provision implements Policy.
+func (p *ModelPredictive) Provision(budgetW float64, obs []IslandObs) []float64 {
+	n := len(obs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if !(budgetW > 0) || math.IsInf(budgetW, 0) {
+		return out
+	}
+	equal := 1.0 / float64(n)
+	if !p.primed || len(p.shares) != n {
+		p.shares = make([]float64, n)
+		for i := range p.shares {
+			p.shares[i] = equal
+		}
+		p.primed = true
+		for i := range out {
+			out[i] = budgetW * equal
+		}
+		return out
+	}
+
+	// Sanitized model inputs: power and BIPS baselines for the rollout.
+	pow := make([]float64, n)
+	bips := make([]float64, n)
+	caps := make([]float64, n)
+	for i, o := range obs {
+		pow[i] = finitePos(o.PowerW, budgetW*equal)
+		bips[i] = finitePos(o.BIPS, 0)
+		caps[i] = finitePos(o.MaxPowerW, math.Inf(1))
+		if caps[i] <= 0 {
+			caps[i] = math.Inf(1)
+		}
+	}
+
+	// Per-island plan floor: the static minimum share, raised to a small
+	// concession below the island's demonstrated power — cutting further
+	// than the PIC can actually settle in one epoch just produces an island
+	// overshooting its provision. An incumbent share already below its
+	// floor is not lifted (the next upward transfer fixes it); it simply
+	// cannot be cut further.
+	floor := make([]float64, n)
+	base := p.minShareFrac() * equal
+	for i := range floor {
+		floor[i] = base
+		if f := demonstratedFloorFrac * pow[i] / budgetW; f > floor[i] {
+			floor[i] = f
+		}
+		if floor[i] > p.shares[i] {
+			floor[i] = p.shares[i]
+		}
+	}
+	step := p.stepFrac()
+	best := append([]float64(nil), p.shares...)
+	bestScore := p.rollout(budgetW, best, pow, bips, caps)
+
+	try := func(cand []float64) {
+		if s := p.rollout(budgetW, cand, pow, bips, caps); s > bestScore {
+			bestScore = s
+			best = append(best[:0:0], cand...)
+		}
+	}
+
+	eq := make([]float64, n)
+	eqFeasible := true
+	for i := range eq {
+		eq[i] = equal
+		if equal < floor[i] {
+			eqFeasible = false
+		}
+	}
+	if eqFeasible {
+		try(eq)
+	}
+
+	cand := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			move := step
+			if p.shares[i]-move < floor[i] {
+				move = p.shares[i] - floor[i]
+			}
+			if move <= 0 {
+				continue
+			}
+			copy(cand, p.shares)
+			cand[i] -= move
+			cand[j] += move
+			try(cand)
+		}
+	}
+
+	p.shares = append(p.shares[:0:0], best...)
+	for i := range out {
+		out[i] = budgetW * best[i]
+	}
+	enforceCaps(out, caps)
+	return out
+}
+
+// rollout scores one candidate share vector: cumulative predicted BIPS over
+// the horizon under the converge-toward-allocation power model and the
+// cube-law performance model.
+func (p *ModelPredictive) rollout(budgetW float64, shares, pow, bips, caps []float64) float64 {
+	h := p.horizon()
+	kappa := p.convergeRate()
+	e := p.exponent()
+	total := 0.0
+	for i := range shares {
+		target := budgetW * shares[i]
+		if target > caps[i] {
+			target = caps[i]
+		}
+		pi := pow[i]
+		p0 := pi
+		if p0 <= 0 {
+			// An island observed at zero power gives the ratio model no
+			// baseline; score it by its target share directly so budget
+			// still counts for something there.
+			total += bips[i] * float64(h)
+			continue
+		}
+		for k := 0; k < h; k++ {
+			pi += kappa * (target - pi)
+			total += bips[i] * math.Pow(pi/p0, e)
+		}
+	}
+	return total
+}
+
+// WantsCacheSignals implements CacheSignalPolicy: the rollout model runs on
+// power and BIPS only.
+func (p *ModelPredictive) WantsCacheSignals() bool { return false }
+
+// finitePos sanitizes a model input: non-finite or negative values become
+// the fallback.
+func finitePos(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fallback
+	}
+	return v
+}

@@ -165,29 +165,39 @@ func (p *PerformanceAware) Provision(budgetW float64, obs []IslandObs) []float64
 
 // enforceCaps clamps entries above their per-entry cap and redistributes the
 // excess over uncapped entries proportionally, iterating to a fixed point.
+// When every uncapped entry sits at zero, proportional weights all vanish;
+// the excess is then spread equally across the open entries instead of being
+// silently dropped (a zero-allocation island with headroom is exactly where
+// reclaimed budget should go).
 func enforceCaps(alloc, caps []float64) {
 	for iter := 0; iter < len(alloc); iter++ {
 		excess := 0.0
 		var openSum float64
+		open := 0
 		for i := range alloc {
 			if alloc[i] > caps[i] {
 				excess += alloc[i] - caps[i]
 			} else if alloc[i] < caps[i] {
 				openSum += alloc[i]
+				open++
 			}
 		}
 		if excess == 0 {
 			return
 		}
+		if open == 0 {
+			break // everything capped; leave the excess unspent
+		}
 		for i := range alloc {
 			if alloc[i] > caps[i] {
 				alloc[i] = caps[i]
-			} else if openSum > 0 && alloc[i] < caps[i] {
-				alloc[i] += excess * alloc[i] / openSum
+			} else if alloc[i] < caps[i] {
+				if openSum > 0 {
+					alloc[i] += excess * alloc[i] / openSum
+				} else {
+					alloc[i] += excess / float64(open)
+				}
 			}
-		}
-		if openSum == 0 {
-			return // everything capped; leave the excess unspent
 		}
 	}
 	for i := range alloc {

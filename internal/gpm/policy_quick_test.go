@@ -1,0 +1,216 @@
+package gpm
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// adversarialObs decodes a raw value stream into IslandObs whose every
+// float field may be NaN, ±Inf, negative, subnormal — the hostile inputs a
+// provisioning policy must survive (a faulty sensor path reaches the GPM
+// unfiltered in the oracle ablation).
+func adversarialObs(vals []float64, n int) []IslandObs {
+	pick := func(k int) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return vals[k%len(vals)]
+	}
+	obs := make([]IslandObs, n)
+	for i := range obs {
+		obs[i] = IslandObs{
+			Island:      i,
+			AllocW:      pick(9*i + 0),
+			PowerW:      pick(9*i + 1),
+			BIPS:        pick(9*i + 2),
+			MaxPowerW:   pick(9*i + 3),
+			LeakMult:    pick(9*i + 4),
+			Level:       int(math.Abs(pick(9*i+5))) % 8,
+			L2Accesses:  pick(9*i + 6),
+			L2Misses:    pick(9*i + 7),
+			L1DAccesses: pick(9*i + 8),
+			L1DMisses:   pick(9*i + 7),
+		}
+	}
+	return obs
+}
+
+// checkPolicyInvariants asserts the three allocation invariants on a
+// policy's raw output (not the Manager's clipped version): Σalloc ≤ budget,
+// non-negativity, and NaN/Inf-freedom.
+func checkPolicyInvariants(t *testing.T, name string, alloc []float64, budgetW float64, n int) {
+	t.Helper()
+	if len(alloc) != n {
+		t.Fatalf("%s: %d allocations for %d islands", name, len(alloc), n)
+	}
+	sum := 0.0
+	for i, a := range alloc {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Fatalf("%s: alloc[%d] = %v is not finite", name, i, a)
+		}
+		if a < 0 {
+			t.Fatalf("%s: alloc[%d] = %v is negative", name, i, a)
+		}
+		sum += a
+	}
+	if sum > budgetW*(1+1e-9) {
+		t.Fatalf("%s: Σalloc = %v exceeds budget %v", name, sum, budgetW)
+	}
+}
+
+// newPolicies builds one fresh instance of every policy added by the
+// adaptive/predictive family — the subjects of the invariant property suite.
+func newPolicies() map[string]Policy {
+	return map[string]Policy{
+		"mpc-gpm":     &ModelPredictive{},
+		"cache-aware": &CacheAware{},
+	}
+}
+
+// TestNewPolicyInvariantsQuick drives each new policy through a sequence of
+// adversarial epochs with testing/quick-generated observables and asserts
+// the allocation invariants on every single epoch — including the epochs
+// after the state has been poisoned by earlier garbage.
+func TestNewPolicyInvariantsQuick(t *testing.T) {
+	for name, mkName := range map[string]func() Policy{
+		"mpc-gpm":     func() Policy { return &ModelPredictive{} },
+		"cache-aware": func() Policy { return &CacheAware{} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := func(vals []float64, nIslands uint8, budgetCenti uint16) bool {
+				n := int(nIslands)%8 + 1
+				budget := float64(budgetCenti)/100 + 1 // (1, 656]
+				p := mkName()
+				for epoch := 0; epoch < 4; epoch++ {
+					obs := adversarialObs(vals, n)
+					alloc := p.Provision(budget, obs)
+					checkPolicyInvariants(t, name, alloc, budget, n)
+				}
+				return !t.Failed()
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestNewPolicyInvariantsThroughManager replays the same adversarial drive
+// through the Manager, which additionally pins the budget-clipping contract
+// for the new policies.
+func TestNewPolicyInvariantsThroughManager(t *testing.T) {
+	for name, p := range newPolicies() {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewManager(p, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5, 0, 1e300, 5e-324, 20}
+			for epoch := 0; epoch < 6; epoch++ {
+				obs := adversarialObs(hostile[epoch%len(hostile):], 4)
+				alloc := m.Provision(obs)
+				checkPolicyInvariants(t, name, alloc, 80, 4)
+			}
+		})
+	}
+}
+
+// FuzzNewPolicyInvariants is the byte-level twin of the quick test: raw
+// fuzz bytes become float observables (every bit pattern reachable,
+// including signalling NaNs), driven through both new policies for several
+// epochs with the invariants asserted each time.
+func FuzzNewPolicyInvariants(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 4})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 9 {
+			return
+		}
+		n := int(raw[len(raw)-1])%8 + 1
+		vals := make([]float64, 0, len(raw)/8)
+		for i := 0; i+8 <= len(raw)-1; i += 8 {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])))
+		}
+		budget := 1 + math.Abs(math.Mod(float64(len(raw)), 97))
+		for name, p := range newPolicies() {
+			for epoch := 0; epoch < 3; epoch++ {
+				obs := adversarialObs(vals, n)
+				alloc := p.Provision(budget, obs)
+				checkPolicyInvariants(t, name, alloc, budget, n)
+			}
+		}
+	})
+}
+
+// TestModelPredictiveShiftsBudgetTowardResponsiveIsland checks the planner
+// does what the rollout model promises: an island whose BIPS baseline
+// dominates attracts budget, and the committed shares stay there.
+func TestModelPredictiveShiftsBudgetTowardResponsiveIsland(t *testing.T) {
+	p := &ModelPredictive{}
+	obs := []IslandObs{
+		{Island: 0, AllocW: 20, PowerW: 18, BIPS: 8, MaxPowerW: 48},
+		{Island: 1, AllocW: 20, PowerW: 18, BIPS: 1, MaxPowerW: 48},
+		{Island: 2, AllocW: 20, PowerW: 18, BIPS: 1, MaxPowerW: 48},
+		{Island: 3, AllocW: 20, PowerW: 18, BIPS: 1, MaxPowerW: 48},
+	}
+	alloc := p.Provision(80, obs)
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := range obs {
+			obs[i].AllocW = alloc[i]
+			obs[i].PowerW = alloc[i] * 0.95
+		}
+		alloc = p.Provision(80, obs)
+		checkPolicyInvariants(t, "mpc-gpm", alloc, 80, 4)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Errorf("planner left the dominant island at %v W (others %v W)", alloc[0], alloc[1])
+	}
+}
+
+// TestCacheAwareFavorsResidentIsland checks the occupancy weighting: equal
+// BIPS/W, but one island hits in L2 while another misses everything — the
+// resident island must end up with the larger provision.
+func TestCacheAwareFavorsResidentIsland(t *testing.T) {
+	p := &CacheAware{}
+	obs := []IslandObs{
+		{Island: 0, AllocW: 40, PowerW: 20, BIPS: 4, MaxPowerW: 48, L2Accesses: 1000, L2Misses: 10},
+		{Island: 1, AllocW: 40, PowerW: 20, BIPS: 4, MaxPowerW: 48, L2Accesses: 1000, L2Misses: 990},
+	}
+	alloc := p.Provision(80, obs)
+	for epoch := 0; epoch < 6; epoch++ {
+		for i := range obs {
+			obs[i].AllocW = alloc[i]
+		}
+		alloc = p.Provision(80, obs)
+		checkPolicyInvariants(t, "cache-aware", alloc, 80, 2)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Errorf("resident island got %v W, thrashing island %v W", alloc[0], alloc[1])
+	}
+}
+
+// TestWantsCacheSignalsProbe pins the capability probe, including traversal
+// through decorator chains.
+func TestWantsCacheSignalsProbe(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		want bool
+	}{
+		{"nil", nil, false},
+		{"equal-share", EqualShare{}, false},
+		{"performance", &PerformanceAware{}, false},
+		{"mpc", &ModelPredictive{}, false},
+		{"cache-aware", &CacheAware{}, true},
+		{"energy over cache-aware", &EnergyAware{Base: &CacheAware{}}, true},
+		{"energy over performance", &EnergyAware{Base: &PerformanceAware{}}, false},
+	}
+	for _, tc := range cases {
+		if got := WantsCacheSignals(tc.p); got != tc.want {
+			t.Errorf("%s: WantsCacheSignals = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

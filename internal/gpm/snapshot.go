@@ -223,3 +223,41 @@ func restoreBase(d *snapshot.Decoder, base Policy) error {
 	}
 	return sp.RestoreState(d)
 }
+
+// SnapshotState implements StatefulPolicy: the committed share vector of
+// the receding-horizon plan and its primed flag.
+func (p *ModelPredictive) SnapshotState(e *snapshot.Encoder) {
+	e.Bool(p.primed)
+	e.F64s(p.shares)
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *ModelPredictive) RestoreState(d *snapshot.Decoder) error {
+	primed := d.Bool()
+	shares := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.primed = primed
+	p.shares = shares
+	return nil
+}
+
+// SnapshotState implements StatefulPolicy: the EMA-smoothed occupancy
+// weights and their primed flag.
+func (p *CacheAware) SnapshotState(e *snapshot.Encoder) {
+	e.Bool(p.primed)
+	e.F64s(p.w)
+}
+
+// RestoreState implements StatefulPolicy.
+func (p *CacheAware) RestoreState(d *snapshot.Decoder) error {
+	primed := d.Bool()
+	w := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.primed = primed
+	p.w = w
+	return nil
+}

@@ -93,6 +93,8 @@ func TestManagerSnapshotRoundTrip(t *testing.T) {
 		"equal-share": func() Policy { return EqualShare{} },
 		"performance": func() Policy { return &PerformanceAware{} },
 		"variation":   func() Policy { return &VariationAware{} },
+		"mpc":         func() Policy { return &ModelPredictive{} },
+		"cache-aware": func() Policy { return &CacheAware{} },
 		"energy":      func() Policy { return &EnergyAware{Base: &PerformanceAware{}, FloorBIPS: 5} },
 		"thermal": func() Policy {
 			return &ThermalAware{

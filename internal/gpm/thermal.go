@@ -204,3 +204,7 @@ func redistribute(alloc []float64, freed float64, excluded map[int]bool) {
 		}
 	}
 }
+
+// BaseOf implements BasePolicy, exposing the wrapped policy to capability
+// probes (see WantsCacheSignals).
+func (p *ThermalAware) BaseOf() Policy { return p.Base }

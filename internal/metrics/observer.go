@@ -67,6 +67,11 @@ type Observer struct {
 	picInteg  []*Gauge
 	picFreq   []*Gauge
 	picTarget []*Gauge
+	// Adaptive-mode series, populated only when the controllers run the
+	// adaptive-gain estimator (nil slices otherwise — fixed-gain runs
+	// export no estimator telemetry at all).
+	picScale   []*Gauge
+	picGainEst []*Gauge
 	picEst    []*Gauge
 
 	// cache series, indexed l1i/l1d/l2
@@ -195,11 +200,22 @@ func (o *Observer) initPICs() {
 		"Provisioned budget as a fraction of island max power.", "run", "island")
 	estV := o.reg.GaugeVec("cpm_pic_est_power_frac",
 		"Smoothed feedback power estimate as a fraction of island max power.", "run", "island")
+	var scaleV, gainV *GaugeVec
+	if o.pics[0].Adaptive() {
+		scaleV = o.reg.GaugeVec("cpm_pic_gain_scale",
+			"Adaptive-gain rescale factor applied to the design PID gains (1 = design gains).", "run", "island")
+		gainV = o.reg.GaugeVec("cpm_pic_plant_gain_est",
+			"RLS estimate of the island plant gain dP/df (power fraction per normalized frequency).", "run", "island")
+	}
 	for i, p := range o.pics {
 		is := strconv.Itoa(i)
 		o.picInteg = append(o.picInteg, integV.With(o.label, is))
 		o.picFreq = append(o.picFreq, freqV.With(o.label, is))
 		o.picTarget = append(o.picTarget, targetV.With(o.label, is))
+		if scaleV != nil {
+			o.picScale = append(o.picScale, scaleV.With(o.label, is))
+			o.picGainEst = append(o.picGainEst, gainV.With(o.label, is))
+		}
 		est := estV.With(o.label, is)
 		o.picEst = append(o.picEst, est)
 		hist := o.trackErrHist
@@ -253,6 +269,10 @@ func (o *Observer) ObserveStep(st engine.Step) {
 		o.picInteg[i].Set(p.Integrator())
 		o.picFreq[i].Set(p.FreqNorm())
 		o.picTarget[i].Set(p.TargetFrac())
+		if o.picScale != nil {
+			o.picScale[i].Set(p.GainScale())
+			o.picGainEst[i].Set(p.PlantGainEstimate())
+		}
 	}
 	if o.chip != nil {
 		cur := o.chip.CacheStats()

@@ -173,3 +173,66 @@ func TestObserverWithoutChip(t *testing.T) {
 		}
 	}
 }
+
+// TestObserverAdaptiveGauges checks the adaptive-mode series: present and
+// live for an adaptive controller, absent entirely for a fixed-gain one.
+func TestObserverAdaptiveGauges(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 7
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.New(cmp, core.Config{
+		BudgetW: 30, GPMPeriod: 10, UseOraclePower: true,
+		Adaptive: &pic.AdaptiveConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	obs := NewObserver(reg, ObserverOptions{Label: "ad", Chip: cmp, PICs: picsOf(cmp, ctl)})
+	s, err := engine.NewSession(engine.NewCPMRunner(ctl), engine.SessionConfig{
+		WarmEpochs: 1, MeasureEpochs: 3, Period: 10, BudgetW: 30, Label: "ad",
+	}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	byName := map[string]Family{}
+	for _, f := range reg.Gather() {
+		byName[f.Name] = f
+	}
+	for _, name := range []string{"cpm_pic_gain_scale", "cpm_pic_plant_gain_est"} {
+		fam, ok := byName[name]
+		if !ok {
+			t.Fatalf("adaptive run exported no %s family", name)
+		}
+		if len(fam.Samples) != cmp.NumIslands() {
+			t.Errorf("%s has %d samples, want one per island (%d)", name, len(fam.Samples), cmp.NumIslands())
+		}
+		for _, smp := range fam.Samples {
+			if smp.Value <= 0 {
+				t.Errorf("%s sample %v = %v, want positive", name, smp.Labels, smp.Value)
+			}
+		}
+	}
+
+	// A fixed-gain run must not register the adaptive families at all.
+	cmp2, ctl2 := newManaged(t, 10)
+	reg2 := NewRegistry()
+	obs2 := NewObserver(reg2, ObserverOptions{Label: "fx", Chip: cmp2, PICs: picsOf(cmp2, ctl2)})
+	s2, err := engine.NewSession(engine.NewCPMRunner(ctl2), engine.SessionConfig{
+		WarmEpochs: 1, MeasureEpochs: 2, Period: 10, BudgetW: 30, Label: "fx",
+	}, obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	for _, f := range reg2.Gather() {
+		if f.Name == "cpm_pic_gain_scale" || f.Name == "cpm_pic_plant_gain_est" {
+			t.Errorf("fixed-gain run exported %s", f.Name)
+		}
+	}
+}

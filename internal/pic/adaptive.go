@@ -1,0 +1,226 @@
+package pic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/cpm-sim/cpm/internal/control"
+)
+
+// AdaptiveConfig enables the adaptive-gain mode of the controller (the
+// Chen & Wardi direction named in the roadmap): the plant gain a = dP/df —
+// island power fraction per normalized frequency, the paper's a ≈ 0.79 — is
+// estimated online by recursive least squares over the controller's own
+// observables (the transducer power estimate it already smooths, and the
+// frequency command it already applies), and the PID gains are rescaled by
+// seed/â so the loop gain a·K stays at its design value as the plant drifts.
+//
+// A stability guard bounds the adaptation: the paper's Jury analysis proves
+// the fixed-gain loop stable for plant drifts up to MaxStableGainScale, so
+// whenever â leaves that verified region (or the rescaled loop fails its own
+// Jury check), the controller falls back to control.PaperGains until the
+// estimate returns.
+type AdaptiveConfig struct {
+	// SeedGain is the initial plant-gain estimate — normally the sysid fit
+	// (core.Calibration.PlantGain). Zero selects control.PaperPlantGain.
+	SeedGain float64
+	// Lambda is the RLS forgetting factor in (0, 1]: smaller forgets the
+	// past faster and tracks plant drift sooner at the cost of estimate
+	// variance. Zero selects 0.98.
+	Lambda float64
+	// Period is the number of controller invocations between gain
+	// rescales. Zero selects 20 — one GPM epoch, so gains are stable
+	// within an epoch and adapt at provisioning cadence.
+	Period int
+	// MaxScale bounds how far the estimate may drift from SeedGain before
+	// the guard trips, as a factor (the verified region is
+	// (seed/MaxScale, seed·MaxScale)). Zero derives the bound from the
+	// Jury criterion via control.MaxStableGainScale — the paper's
+	// "stable for 0 < g < 2.1" robustness result.
+	MaxScale float64
+	// InitCov is the initial RLS covariance: larger trusts the seed less
+	// and moves the estimate faster on the first observations. Zero
+	// selects 1.
+	InitCov float64
+}
+
+// adaptiveCovMax bounds the RLS covariance so a long excitation drought
+// (df ≈ 0 for many epochs under forgetting) cannot inflate it to the point
+// where one noisy observation teleports the estimate.
+const adaptiveCovMax = 1e3
+
+// adaptiveState is the controller's resolved adaptive-mode state.
+type adaptiveState struct {
+	// resolved configuration
+	seed     float64
+	lambda   float64
+	period   int
+	maxScale float64
+	initCov  float64
+	base     control.Gains // design gains the scale multiplies
+
+	// RLS state
+	aHat float64
+	cov  float64
+
+	// measurement pairing: the estimate at invoke k pairs
+	// ΔP = ema_k − ema_{k−1} with Δf = norm(level applied at k−1) −
+	// norm(level applied at k−2), because each invocation's measurement was
+	// taken at the level the previous invocation applied.
+	prevEma      float64
+	prevNorm     float64
+	prevPrevNorm float64
+	havePrev     bool
+	havePrev2    bool
+
+	invokes  int
+	scale    float64 // gain scale currently applied to the PID
+	fellBack bool    // true while the guard holds the paper gains
+}
+
+// newAdaptiveState resolves and validates an AdaptiveConfig against the
+// controller's design gains.
+func newAdaptiveState(cfg AdaptiveConfig, base control.Gains) (*adaptiveState, error) {
+	ad := &adaptiveState{
+		seed:    cfg.SeedGain,
+		lambda:  cfg.Lambda,
+		period:  cfg.Period,
+		initCov: cfg.InitCov,
+		base:    base,
+	}
+	if ad.seed == 0 {
+		ad.seed = control.PaperPlantGain
+	}
+	if !(ad.seed > 0) || math.IsInf(ad.seed, 0) {
+		return nil, fmt.Errorf("pic: adaptive seed gain %v must be positive and finite", cfg.SeedGain)
+	}
+	if ad.lambda == 0 {
+		ad.lambda = 0.98
+	}
+	if !(ad.lambda > 0 && ad.lambda <= 1) {
+		return nil, fmt.Errorf("pic: adaptive forgetting factor %v outside (0, 1]", cfg.Lambda)
+	}
+	if ad.period == 0 {
+		ad.period = 20
+	}
+	if ad.period < 0 {
+		return nil, errors.New("pic: negative adaptive period")
+	}
+	if ad.initCov == 0 {
+		ad.initCov = 1
+	}
+	if !(ad.initCov > 0) || math.IsInf(ad.initCov, 0) {
+		return nil, fmt.Errorf("pic: adaptive initial covariance %v must be positive and finite", cfg.InitCov)
+	}
+	ad.maxScale = cfg.MaxScale
+	if ad.maxScale == 0 {
+		ms, err := control.MaxStableGainScale(ad.seed, base, 0)
+		if err != nil {
+			return nil, fmt.Errorf("pic: deriving adaptive stability bound: %w", err)
+		}
+		ad.maxScale = ms
+	}
+	if !(ad.maxScale > 1) {
+		return nil, fmt.Errorf("pic: adaptive MaxScale %v must exceed 1", ad.maxScale)
+	}
+	ad.aHat = ad.seed
+	ad.cov = ad.initCov
+	ad.scale = 1
+	return ad, nil
+}
+
+// reset returns the adaptive state to its just-constructed condition.
+func (ad *adaptiveState) reset() {
+	ad.aHat = ad.seed
+	ad.cov = ad.initCov
+	ad.prevEma, ad.prevNorm, ad.prevPrevNorm = 0, 0, 0
+	ad.havePrev, ad.havePrev2 = false, false
+	ad.invokes = 0
+	ad.scale = 1
+	ad.fellBack = false
+}
+
+// adaptUpdate runs one RLS step against the freshly smoothed measurement
+// and, every period invocations, re-derives the PID gains. Called before the
+// PID update so a rescale applies to the current invocation.
+func (c *Controller) adaptUpdate(emaNow float64) {
+	ad := c.ad
+	if ad.havePrev2 {
+		df := ad.prevNorm - ad.prevPrevNorm
+		dP := emaNow - ad.prevEma
+		// Update only under excitation: a zero frequency delta carries no
+		// gain information, and dividing by it would poison the estimate.
+		if math.Abs(df) > 1e-9 && !math.IsNaN(dP) && !math.IsInf(dP, 0) {
+			k := ad.cov * df / (ad.lambda + ad.cov*df*df)
+			ad.aHat += k * (dP - ad.aHat*df)
+			ad.cov = (ad.cov - k*ad.cov*df) / ad.lambda
+			if ad.cov > adaptiveCovMax {
+				ad.cov = adaptiveCovMax
+			}
+		}
+	}
+	ad.invokes++
+	if ad.invokes%ad.period == 0 {
+		c.rescaleGains()
+	}
+}
+
+// rescaleGains applies the certainty-equivalence rule K ← K_design·seed/â,
+// holding the design loop gain constant as the plant estimate moves — unless
+// the estimate has left the jury-verified region, in which case the
+// controller falls back to the paper gains (known stable across the whole
+// region) until the estimate returns.
+func (c *Controller) rescaleGains() {
+	ad := c.ad
+	if lo, hi := ad.seed/ad.maxScale, ad.seed*ad.maxScale; !math.IsNaN(ad.aHat) && ad.aHat > lo && ad.aHat < hi {
+		r := ad.seed / ad.aHat
+		cand := control.Gains{KP: ad.base.KP * r, KI: ad.base.KI * r, KD: ad.base.KD * r}
+		// Belt and braces: certify the candidate loop at the estimated
+		// plant before applying it, not just the region membership.
+		if stable, err := control.IsStablePoly(control.CharacteristicPoly(ad.aHat, cand)); err == nil && stable {
+			ad.scale, ad.fellBack = r, false
+			c.pid.KP, c.pid.KI, c.pid.KD = cand.KP, cand.KI, cand.KD
+			return
+		}
+	}
+	ad.scale, ad.fellBack = 1, true
+	c.pid.KP, c.pid.KI, c.pid.KD = control.PaperGains.KP, control.PaperGains.KI, control.PaperGains.KD
+}
+
+// adaptShift records this invocation's outputs for the next RLS pairing:
+// the level just applied becomes the frequency the *next* measurement will
+// have run at, and the current EMA becomes the next delta's baseline.
+func (c *Controller) adaptShift() {
+	ad := c.ad
+	ad.prevPrevNorm, ad.havePrev2 = ad.prevNorm, ad.havePrev
+	t := c.cfg.Table
+	ad.prevNorm = t.NormFreq(t.Point(c.lastLevel).FreqMHz)
+	ad.havePrev = true
+	ad.prevEma = c.ema
+}
+
+// Adaptive reports whether the controller runs in adaptive-gain mode.
+func (c *Controller) Adaptive() bool { return c.ad != nil }
+
+// PlantGainEstimate returns the current RLS plant-gain estimate â, or the
+// configured seed when the controller is not adaptive.
+func (c *Controller) PlantGainEstimate() float64 {
+	if c.ad == nil {
+		return control.PaperPlantGain
+	}
+	return c.ad.aHat
+}
+
+// GainScale returns the gain scale currently applied to the PID (1 for a
+// fixed-gain controller, and while the stability guard holds the fallback).
+func (c *Controller) GainScale() float64 {
+	if c.ad == nil {
+		return 1
+	}
+	return c.ad.scale
+}
+
+// AdaptiveFellBack reports whether the stability guard is currently holding
+// the paper gains because the estimate left the jury-verified region.
+func (c *Controller) AdaptiveFellBack() bool { return c.ad != nil && c.ad.fellBack }

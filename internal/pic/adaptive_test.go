@@ -1,0 +1,204 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+func newAdaptiveController(t *testing.T, plant *islandPlant, acfg AdaptiveConfig) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Table = plant.table
+	cfg.IslandMaxW = plant.maxW
+	cfg.UseOraclePower = true
+	cfg.Adaptive = &acfg
+	c, err := New(cfg, plant.level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// driveAdaptive runs the closed loop with a target schedule that steps
+// between fractions every few invocations — the excitation the RLS
+// estimator needs (a settled loop's Δf is zero and carries no information).
+func driveAdaptive(c *Controller, plant *islandPlant, n int, fracs []float64) {
+	for k := 0; k < n; k++ {
+		c.SetTargetWatts(fracs[(k/7)%len(fracs)] * plant.maxW)
+		util, pw := plant.observe()
+		lvl := c.Invoke(util, pw)
+		plant.apply(lvl)
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	plant := defaultPlant()
+	bad := []AdaptiveConfig{
+		{SeedGain: -1},
+		{SeedGain: math.NaN()},
+		{Lambda: 1.5},
+		{Lambda: -0.1},
+		{Period: -3},
+		{InitCov: -2},
+		{MaxScale: 0.5},
+		{SeedGain: 1e6}, // no stable scale bound exists at this plant gain
+	}
+	for _, acfg := range bad {
+		base := DefaultConfig()
+		base.Table = plant.table
+		base.IslandMaxW = plant.maxW
+		base.UseOraclePower = true
+		base.Adaptive = &acfg
+		if _, err := New(base, plant.level); err == nil {
+			t.Errorf("AdaptiveConfig %+v should be rejected", acfg)
+		}
+	}
+}
+
+// The plant slope is exactly observable through the synthetic island (power
+// fraction affine in the quantized normalized frequency), so the RLS
+// estimate must converge from the paper seed to the true slope, and the
+// gains must rescale by seed/â.
+func TestAdaptiveEstimateConvergesToPlantSlope(t *testing.T) {
+	plant := defaultPlant() // slope 0.6, within the jury-verified region of seed 0.79
+	c := newAdaptiveController(t, plant, AdaptiveConfig{Period: 10})
+	driveAdaptive(c, plant, 200, []float64{0.35, 0.8, 0.55})
+
+	if !c.Adaptive() {
+		t.Fatal("controller is not in adaptive mode")
+	}
+	if got := c.PlantGainEstimate(); math.Abs(got-plant.slope) > 0.05 {
+		t.Errorf("plant-gain estimate %v, want ≈ true slope %v", got, plant.slope)
+	}
+	wantScale := control.PaperPlantGain / plant.slope
+	if got := c.GainScale(); math.Abs(got-wantScale) > 0.1 {
+		t.Errorf("gain scale %v, want ≈ seed/slope = %v", got, wantScale)
+	}
+	if c.AdaptiveFellBack() {
+		t.Error("guard tripped inside the verified region")
+	}
+}
+
+// A plant far outside the jury-verified region must trip the guard: gains
+// fall back to the paper design (scale 1) instead of chasing an estimate
+// the stability analysis does not cover — and recover once the plant
+// returns to the verified region.
+func TestAdaptiveGuardFallsBackAndRecovers(t *testing.T) {
+	plant := defaultPlant()
+	plant.slope, plant.offset = 2.5, 0.1 // well above seed·maxScale ≈ 0.79·2.1
+	c := newAdaptiveController(t, plant, AdaptiveConfig{Period: 10, Lambda: 0.9})
+	driveAdaptive(c, plant, 120, []float64{0.5, 1.8, 1.0})
+
+	if !c.AdaptiveFellBack() {
+		t.Fatalf("guard did not trip at estimate %v", c.PlantGainEstimate())
+	}
+	if got := c.GainScale(); got != 1 {
+		t.Errorf("fallback gain scale %v, want 1", got)
+	}
+
+	// The plant drifts back inside the verified region; the estimator
+	// follows and the guard releases.
+	plant.slope, plant.offset = 0.7, 0.2
+	driveAdaptive(c, plant, 300, []float64{0.35, 0.8, 0.55})
+	if c.AdaptiveFellBack() {
+		t.Errorf("guard still holding at estimate %v after plant returned", c.PlantGainEstimate())
+	}
+}
+
+// A fixed-gain controller must be bit-identical to an adaptive one whose
+// rescale has not yet fired only in its *outputs before the first rescale*;
+// what this test pins instead is the basic fixed-gain invariant: without
+// Adaptive config, GainScale is 1 and the estimate reads the paper seed.
+func TestFixedGainAccessors(t *testing.T) {
+	plant := defaultPlant()
+	c := newController(t, plant, false)
+	if c.Adaptive() {
+		t.Error("fixed-gain controller reports adaptive mode")
+	}
+	if c.GainScale() != 1 {
+		t.Errorf("fixed-gain scale %v, want 1", c.GainScale())
+	}
+	if c.PlantGainEstimate() != control.PaperPlantGain {
+		t.Errorf("fixed-gain estimate %v, want paper seed", c.PlantGainEstimate())
+	}
+}
+
+// Mid-run snapshot/restore of an adaptive controller must resume
+// bit-identically: same levels, same frequency state, same estimate — and
+// critically the same rescaled PID gains, which are runtime state in
+// adaptive mode.
+func TestAdaptiveSnapshotResume(t *testing.T) {
+	mk := func() (*Controller, *islandPlant) {
+		plant := defaultPlant()
+		return newAdaptiveController(t, plant, AdaptiveConfig{Period: 10}), plant
+	}
+	src, srcPlant := mk()
+	driveAdaptive(src, srcPlant, 57, []float64{0.35, 0.8, 0.55})
+
+	enc := snapshot.NewEncoder()
+	src.Snapshot(enc)
+
+	dst, dstPlant := mk()
+	*dstPlant = *srcPlant
+	if err := dst.Restore(snapshot.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 90; k++ {
+		frac := []float64{0.35, 0.8, 0.55}[(k/7)%3]
+		src.SetTargetWatts(frac * srcPlant.maxW)
+		dst.SetTargetWatts(frac * dstPlant.maxW)
+		su, sp := srcPlant.observe()
+		du, dp := dstPlant.observe()
+		sl, dl := src.Invoke(su, sp), dst.Invoke(du, dp)
+		if sl != dl {
+			t.Fatalf("step %d: levels diverge (%d vs %d)", k, sl, dl)
+		}
+		srcPlant.apply(sl)
+		dstPlant.apply(dl)
+	}
+	if src.FreqNorm() != dst.FreqNorm() || src.PlantGainEstimate() != dst.PlantGainEstimate() || src.GainScale() != dst.GainScale() {
+		t.Errorf("resumed state diverged: fNorm %v vs %v, â %v vs %v, scale %v vs %v",
+			src.FreqNorm(), dst.FreqNorm(), src.PlantGainEstimate(), dst.PlantGainEstimate(), src.GainScale(), dst.GainScale())
+	}
+}
+
+// An adaptive snapshot must not restore into a fixed-gain controller (and
+// vice versa): the modes disagree on what the PID gains mean.
+func TestAdaptiveSnapshotModeMismatch(t *testing.T) {
+	plant := defaultPlant()
+	adaptive := newAdaptiveController(t, plant, AdaptiveConfig{})
+	fixed := newController(t, plant, false)
+
+	enc := snapshot.NewEncoder()
+	adaptive.Snapshot(enc)
+	if err := fixed.Restore(snapshot.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("adaptive snapshot restored into a fixed-gain controller")
+	}
+
+	enc = snapshot.NewEncoder()
+	fixed.Snapshot(enc)
+	if err := adaptive.Restore(snapshot.NewDecoder(enc.Bytes())); err == nil {
+		t.Error("fixed-gain snapshot restored into an adaptive controller")
+	}
+}
+
+// Reset must clear the adaptive state too: estimate back to the seed,
+// scale back to 1, design gains reinstated.
+func TestAdaptiveReset(t *testing.T) {
+	plant := defaultPlant()
+	c := newAdaptiveController(t, plant, AdaptiveConfig{Period: 10})
+	driveAdaptive(c, plant, 100, []float64{0.35, 0.8, 0.55})
+	if c.GainScale() == 1 {
+		t.Fatal("drive did not move the gain scale; test cannot observe Reset")
+	}
+	c.Reset(plant.level)
+	if got := c.PlantGainEstimate(); got != control.PaperPlantGain {
+		t.Errorf("estimate after Reset %v, want seed %v", got, control.PaperPlantGain)
+	}
+	if c.GainScale() != 1 {
+		t.Errorf("gain scale after Reset %v, want 1", c.GainScale())
+	}
+}

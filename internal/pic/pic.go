@@ -50,6 +50,12 @@ type Config struct {
 	// transducer, smoothing buys no tracking accuracy and only adds loop
 	// lag; the knob remains for sensitivity studies.
 	SmoothAlpha float64
+	// Adaptive, when non-nil, runs the controller in adaptive-gain mode:
+	// the plant gain dP/df is estimated online by recursive least squares
+	// and the PID gains rescaled to hold the design loop gain, with a
+	// Jury-criterion stability guard (see AdaptiveConfig). Gains then names
+	// the *design* gains the scale multiplies.
+	Adaptive *AdaptiveConfig
 	// DeadbandFrac is the upper tracking-error deadband as a fraction of
 	// island max power (default 0.045 — about half the power gap between
 	// adjacent DVFS levels). With a quantized actuator, integral action on
@@ -104,6 +110,8 @@ type Controller struct {
 	// lastLevel is the DVFS level the controller most recently applied —
 	// the level the incoming measurement was taken at.
 	lastLevel int
+	// ad is the adaptive-gain state; nil for fixed-gain controllers.
+	ad *adaptiveState
 
 	invokeHooks []func(targetFrac, estFrac float64, level int)
 }
@@ -165,6 +173,13 @@ func New(cfg Config, initialLevel int) (*Controller, error) {
 	c := &Controller{cfg: cfg, pid: pid, lastLevel: cfg.Table.ClampLevel(initialLevel)}
 	op := cfg.Table.Point(c.lastLevel)
 	c.fNorm = cfg.Table.NormFreq(op.FreqMHz)
+	if cfg.Adaptive != nil {
+		ad, err := newAdaptiveState(*cfg.Adaptive, cfg.Gains)
+		if err != nil {
+			return nil, err
+		}
+		c.ad = ad
+	}
 	return c, nil
 }
 
@@ -219,6 +234,11 @@ func (c *Controller) invoke(meanUtil, oraclePowerW float64) int {
 	} else {
 		c.ema = c.cfg.SmoothAlpha*estFrac + (1-c.cfg.SmoothAlpha)*c.ema
 	}
+	// Adaptive mode: fold the fresh measurement into the plant-gain
+	// estimate (and possibly rescale the gains) before the PID acts on it.
+	if c.ad != nil {
+		c.adaptUpdate(c.ema)
+	}
 	e := c.targetFrac - c.ema
 
 	// Quantization deadband: an error no single level step can correct
@@ -231,6 +251,9 @@ func (c *Controller) invoke(meanUtil, oraclePowerW float64) int {
 		c.pid.Frozen = true
 		c.pid.Update(e)
 		c.clampToCapture()
+		if c.ad != nil {
+			c.adaptShift()
+		}
 		return c.lastLevel
 	}
 
@@ -248,6 +271,9 @@ func (c *Controller) invoke(meanUtil, oraclePowerW float64) int {
 		c.fNorm = 1
 	}
 	c.lastLevel = c.cfg.Table.NearestLevel(c.cfg.Table.DenormFreq(c.fNorm))
+	if c.ad != nil {
+		c.adaptShift()
+	}
 	return c.lastLevel
 }
 
@@ -302,4 +328,8 @@ func (c *Controller) Reset(initialLevel int) {
 	c.targetFrac = 0
 	c.lastLevel = c.cfg.Table.ClampLevel(initialLevel)
 	c.fNorm = c.cfg.Table.NormFreq(c.cfg.Table.Point(c.lastLevel).FreqMHz)
+	if c.ad != nil {
+		c.ad.reset()
+		c.pid.KP, c.pid.KI, c.pid.KD = c.ad.base.KP, c.ad.base.KI, c.ad.base.KD
+	}
 }

@@ -1,11 +1,15 @@
 package pic
 
-import "github.com/cpm-sim/cpm/internal/snapshot"
+import (
+	"github.com/cpm-sim/cpm/internal/control"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
 
 // Snapshot appends the controller's complete dynamic state: the PID's
 // accumulator and derivative memory, the continuous frequency state, the
-// provisioned target, the measurement EMA with its primed flag, and the
-// last applied DVFS level. Configuration (gains, table, transducer) is
+// provisioned target, the measurement EMA with its primed flag, the last
+// applied DVFS level, and — in adaptive-gain mode — the RLS estimator and
+// rescale state. Configuration (gains, table, transducer) is
 // construction-time and not captured; invoke hooks are observers and are
 // re-attached by whoever rebuilds the stack.
 func (c *Controller) Snapshot(e *snapshot.Encoder) {
@@ -16,6 +20,20 @@ func (c *Controller) Snapshot(e *snapshot.Encoder) {
 	e.F64(c.ema)
 	e.Bool(c.emaPrimed)
 	e.Int(c.lastLevel)
+	e.Bool(c.ad != nil)
+	if c.ad != nil {
+		ad := c.ad
+		e.F64(ad.aHat)
+		e.F64(ad.cov)
+		e.F64(ad.prevEma)
+		e.F64(ad.prevNorm)
+		e.F64(ad.prevPrevNorm)
+		e.Bool(ad.havePrev)
+		e.Bool(ad.havePrev2)
+		e.Int(ad.invokes)
+		e.F64(ad.scale)
+		e.Bool(ad.fellBack)
+	}
 }
 
 // Restore reads state written by Snapshot, validating the level against
@@ -30,16 +48,57 @@ func (c *Controller) Restore(d *snapshot.Decoder) error {
 	ema := d.F64()
 	emaPrimed := d.Bool()
 	lastLevel := d.Int()
+	hadAdaptive := d.Bool()
+	var ad adaptiveState
+	if hadAdaptive {
+		ad.aHat = d.F64()
+		ad.cov = d.F64()
+		ad.prevEma = d.F64()
+		ad.prevNorm = d.F64()
+		ad.prevPrevNorm = d.F64()
+		ad.havePrev = d.Bool()
+		ad.havePrev2 = d.Bool()
+		ad.invokes = d.Int()
+		ad.scale = d.F64()
+		ad.fellBack = d.Bool()
+	}
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if lastLevel != c.cfg.Table.ClampLevel(lastLevel) {
 		return snapshot.ShapeErrorf("pic level %d outside the DVFS table", lastLevel)
 	}
+	if hadAdaptive != (c.ad != nil) {
+		return snapshot.ShapeErrorf("snapshot pic adaptive-mode %v, controller %v", hadAdaptive, c.ad != nil)
+	}
 	c.fNorm = fNorm
 	c.targetFrac = targetFrac
 	c.ema = ema
 	c.emaPrimed = emaPrimed
 	c.lastLevel = lastLevel
+	if c.ad != nil {
+		if ad.invokes < 0 {
+			return snapshot.ShapeErrorf("negative pic adaptive invoke count %d", ad.invokes)
+		}
+		c.ad.aHat = ad.aHat
+		c.ad.cov = ad.cov
+		c.ad.prevEma = ad.prevEma
+		c.ad.prevNorm = ad.prevNorm
+		c.ad.prevPrevNorm = ad.prevPrevNorm
+		c.ad.havePrev = ad.havePrev
+		c.ad.havePrev2 = ad.havePrev2
+		c.ad.invokes = ad.invokes
+		c.ad.scale = ad.scale
+		c.ad.fellBack = ad.fellBack
+		// The PID's gains are runtime state in adaptive mode (the PID
+		// snapshot captures only accumulator and memory): re-derive them
+		// from the restored rescale state.
+		if c.ad.fellBack {
+			c.pid.KP, c.pid.KI, c.pid.KD = control.PaperGains.KP, control.PaperGains.KI, control.PaperGains.KD
+		} else {
+			b, r := c.ad.base, c.ad.scale
+			c.pid.KP, c.pid.KI, c.pid.KD = b.KP*r, b.KI*r, b.KD*r
+		}
+	}
 	return nil
 }

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Retry-After only speaks integral seconds: a sub-second configured
+// back-off must round up to 1, never truncate to 0 ("retry immediately").
+// The pre-fix code rendered int(Seconds()), so 250ms became "0".
+func TestRetryAfterRoundsUpToWholeSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{250 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	for _, tc := range cases {
+		srv := NewServer(Options{Workers: 1, RetryAfter: tc.d})
+		rec := httptest.NewRecorder()
+		srv.writeJSONError(rec, http.StatusTooManyRequests, "queue full")
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("RetryAfter %v: header %q, want %q", tc.d, got, tc.want)
+		}
+		// Non-pressure codes must not advertise a retry hint.
+		rec = httptest.NewRecorder()
+		srv.writeJSONError(rec, http.StatusBadRequest, "bad request")
+		if got := rec.Header().Get("Retry-After"); got != "" {
+			t.Errorf("RetryAfter %v: 400 carried Retry-After %q", tc.d, got)
+		}
+		srv.Close()
+	}
+}
+
+// The draining health probe advertises the same rounded-up back-off.
+func TestHealthzDrainingRetryAfterHeader(t *testing.T) {
+	srv := NewServer(Options{Workers: 1, RetryAfter: 100 * time.Millisecond})
+	defer srv.Close()
+	go srv.Drain()
+	// Drain flips the stats flag before waiting on workers; poll until the
+	// probe observes it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		srv.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code == http.StatusServiceUnavailable {
+			if got := rec.Header().Get("Retry-After"); got != "1" {
+				t.Fatalf("draining healthz Retry-After = %q, want \"1\"", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

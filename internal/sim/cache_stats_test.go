@@ -85,3 +85,64 @@ func TestCacheStatsSharedL2Dedupe(t *testing.T) {
 		t.Errorf("shared L2 stats equal the per-core overcount %+v — dedupe not applied", overcounted)
 	}
 }
+
+// TestIslandCacheStatsSumToChip checks the per-island accessor partitions
+// the chip-level counters exactly: summing IslandCacheStats over islands
+// must reproduce CacheStats, with and without a shared L2.
+func TestIslandCacheStatsSumToChip(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		cfg := DefaultConfig(workload.Mix1())
+		cfg.Seed = 11
+		cfg.SharedL2 = shared
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5; k++ {
+			c.Step()
+		}
+		var got CacheStats
+		for i := 0; i < c.NumIslands(); i++ {
+			is := c.IslandCacheStats(i)
+			addCacheStats(&got.L1I, is.L1I)
+			addCacheStats(&got.L1D, is.L1D)
+			addCacheStats(&got.L2, is.L2)
+		}
+		if want := c.CacheStats(); got != want {
+			t.Errorf("sharedL2=%v: Σ island stats %+v != chip stats %+v", shared, got, want)
+		}
+	}
+}
+
+// TestSamplerIslandCacheStatsMatchLiveChip checks the sampler's per-island
+// view is identical to a live chip's after consuming the same intervals —
+// the property that makes cache-aware provisioning bit-identical between
+// the scalar and the record-driven farm paths.
+func TestSamplerIslandCacheStatsMatchLiveChip(t *testing.T) {
+	cfg := DefaultConfig(workload.Mix1())
+	cfg.Seed = 11
+	cfg.Parallel = false
+	live, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := NewSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewWithRecords(cfg, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetCacheStatsSource(sampler.CacheStats)
+	rec.SetIslandCacheStatsSource(sampler.IslandCacheStats)
+	for k := 0; k < 5; k++ {
+		live.Step()
+		rec.Step()
+	}
+	for i := 0; i < live.NumIslands(); i++ {
+		if got, want := rec.IslandCacheStats(i), live.IslandCacheStats(i); got != want {
+			t.Errorf("island %d: record-chip stats %+v != live-chip stats %+v", i, got, want)
+		}
+	}
+}

@@ -153,6 +153,24 @@ func (s *Sampler) CacheStats() CacheStats {
 	return out
 }
 
+// IslandCacheStats aggregates island i's cumulative cache counters exactly
+// as CMP.IslandCacheStats would for the live twin chip: summed over the
+// island's cores, a shared L2 counted once. Record-driven chips delegate
+// here via CMP.SetIslandCacheStatsSource.
+func (s *Sampler) IslandCacheStats(i int) CacheStats {
+	var out CacheStats
+	isl := s.islands[i]
+	for j, core := range isl.cores {
+		l1i, l1d, l2 := core.CacheStats()
+		addCacheStats(&out.L1I, l1i)
+		addCacheStats(&out.L1D, l1d)
+		if isl.shared == nil || j == 0 {
+			addCacheStats(&out.L2, l2)
+		}
+	}
+	return out
+}
+
 // Snapshot appends the sampler's complete dynamic state: the cursor and
 // per island its shared L2 (once, when shared) and per-core generator and
 // cache state. The cached record batch is not captured — snapshots are

@@ -215,6 +215,8 @@ type CMP struct {
 	// cacheStatsSrc, when non-nil, overrides CacheStats — record-driven
 	// chips have no caches of their own and delegate to their sampler.
 	cacheStatsSrc func() CacheStats
+	// islandCacheStatsSrc is the per-island twin of cacheStatsSrc.
+	islandCacheStatsSrc func(int) CacheStats
 
 	nCores     int
 	maxChipW   float64
@@ -551,6 +553,11 @@ func (c *CMP) TotalInstructions() float64 { return c.totalInstr }
 // feeds them. A nil source restores the chip's own counters.
 func (c *CMP) SetCacheStatsSource(f func() CacheStats) { c.cacheStatsSrc = f }
 
+// SetIslandCacheStatsSource overrides IslandCacheStats with an external
+// per-island supplier, the island-resolution twin of SetCacheStatsSource.
+// A nil source restores the chip's own counters.
+func (c *CMP) SetIslandCacheStatsSource(f func(int) CacheStats) { c.islandCacheStatsSrc = f }
+
 // CorePowers copies the previous interval's per-core oracle power (W) into
 // dst, which must have NumCores capacity; it returns dst[:NumCores].
 // Allocation-free when dst is large enough — the farm layer's column
@@ -625,6 +632,31 @@ func (c *CMP) CacheStats() CacheStats {
 			if !c.cfg.SharedL2 || j == 0 {
 				addCacheStats(&out.L2, l2)
 			}
+		}
+	}
+	return out
+}
+
+// IslandCacheStats returns island i's cumulative cache counters, the
+// per-island resolution of CacheStats with identical semantics: summed over
+// the island's cores, a shared L2 counted once. Record-driven chips
+// delegate to the sampler via SetIslandCacheStatsSource. Allocation-free;
+// safe to call between Steps.
+func (c *CMP) IslandCacheStats(i int) CacheStats {
+	if c.islandCacheStatsSrc != nil {
+		return c.islandCacheStatsSrc(i)
+	}
+	var out CacheStats
+	for j, core := range c.islands[i].cores {
+		cs, ok := core.(cacheStatser)
+		if !ok {
+			continue
+		}
+		l1i, l1d, l2 := cs.CacheStats()
+		addCacheStats(&out.L1I, l1i)
+		addCacheStats(&out.L1D, l1d)
+		if !c.cfg.SharedL2 || j == 0 {
+			addCacheStats(&out.L2, l2)
 		}
 	}
 	return out

@@ -38,7 +38,9 @@ import (
 const Magic uint32 = 0x534d5043
 
 // Version is the format version; bump on any layout change.
-const Version uint32 = 1
+// Version 2: the PIC section grew an adaptive-mode presence flag (plus the
+// RLS estimator state when set), and the CPM section a cache-signal latch.
+const Version uint32 = 2
 
 // Section tags. Every composite object's Snapshot opens with one, and the
 // matching Restore verifies it — a cheap structural checksum that turns
