@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke policy-check scorecard all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke policy-check resilience-check resilience-smoke scorecard all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR6.json
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test ./internal/snapshot -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzServeRequestDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gpm -fuzz FuzzNewPolicyInvariants -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sweepd -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME)
 
 # Checkpoint/restore gate: codec round-trips, every layer's snapshot tests,
 # the six-scenario resume-equivalence proof (snapshot mid-run, restore into a
@@ -97,6 +98,27 @@ policy-check:
 	$(GO) test -race ./internal/check -run 'TestGoldenScenarios$$/(adaptive-pic|mpc-gpm|cache-aware)|TestGoldenSnapshotResumeEquivalence'
 	$(GO) test -race ./internal/core -run 'TestAdaptive|TestCacheSignals|TestSnapshotRoundTripCacheAdaptive'
 	$(GO) test -race ./cmd/cpmsweep -run 'TestSweepAdaptiveAndPredictiveRoutes|TestMakePolicyNames'
+
+# Crash-safety gate (race-enabled): pool panic containment, the sweepd
+# coordinator/checkpoint/kill-plan unit suite, the nine-scenario golden
+# kill-equivalence proof (a worker kill at EVERY interval boundary, digests
+# still bit-identical to the unkilled goldens), the farm mid-round snapshot
+# guard, the resilient-vs-default sweep CSV byte-identity, and a short
+# migration-path fuzz smoke (corrupt checkpoints must error, never resume
+# divergently).
+resilience-check:
+	$(GO) test -race ./internal/sweepd
+	$(GO) test -race ./internal/engine -run 'TestPool'
+	$(GO) test -race ./internal/farm -run 'TestFarmSnapshot'
+	$(GO) test -race ./internal/check -run 'TestResilient'
+	$(GO) test -race ./cmd/cpmsweep -run 'TestResilient|TestParseSweepCLIResilient'
+	$(GO) test ./internal/sweepd -fuzz FuzzCheckpointRestore -fuzztime 10s
+
+# Informational resilience report: a small resilient sweep with kills
+# injected every 3 intervals; stderr carries the checkpoint sizes, kill and
+# migration counts (ci.yml archives it as resilience-report.txt).
+resilience-smoke: build
+	$(GO) run ./cmd/cpmsweep -resilient -kill-every 3 -ckpt-every 5 -mix mix1 -budgets 0.7,0.8,0.9 -warm 2 -epochs 4
 
 # Adaptive/predictive policy scorecard (tracking error, settling time,
 # BIPS/W vs the fixed-gain baseline on two mixes); CSV series land in

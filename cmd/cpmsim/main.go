@@ -254,8 +254,20 @@ func checkpointFingerprint(name string, seed uint64) string {
 	return fmt.Sprintf("%s/seed=%d", name, seed)
 }
 
+// defaultCheckpointAt resolves the checkpoint boundary when -at is not
+// given: the end of warmup, or — for runs with no warm-up intervals, where
+// that default would be 0 and fail the range check even though the user
+// passed nothing — the run's midpoint.
+func defaultCheckpointAt(warmIntervals, totalIntervals int) int {
+	if warmIntervals > 0 {
+		return warmIntervals
+	}
+	return totalIntervals / 2
+}
+
 // runCheckpoint builds a canonical scenario, advances it -at intervals
-// (defaulting to the end of warmup) and writes the full-state snapshot.
+// (defaulting to the end of warmup, or the midpoint of a zero-warmup run)
+// and writes the full-state snapshot.
 func runCheckpoint(c cliConfig, out io.Writer) error {
 	name := c.ids[0]
 	sc, err := scenarioByName(name)
@@ -270,7 +282,7 @@ func runCheckpoint(c cliConfig, out io.Writer) error {
 	total := info.WarmIntervals + info.MeasureIntervals
 	at := c.ckptAt
 	if at == 0 {
-		at = info.WarmIntervals
+		at = defaultCheckpointAt(info.WarmIntervals, total)
 	}
 	if at <= 0 || at >= total {
 		return fmt.Errorf("cpmsim checkpoint: -at %d outside the run's (0, %d) interval range", at, total)

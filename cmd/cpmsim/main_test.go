@@ -121,6 +121,35 @@ func TestParseCLIRejects(t *testing.T) {
 // non-finite telemetry: a scenario run plus a zero-access miss-rate gauge
 // (NaN, as sim.Stats.MissRate reports before any access) must still export
 // JSON that encoding/json accepts, with the NaN encoded as null.
+// TestDefaultCheckpointAt pins the -at default: the end of warmup when a
+// warm-up window exists, the run's midpoint when it does not. The zero-warmup
+// row is the regression case — the old default resolved to 0 and failed the
+// range check with a misleading "outside the run's interval range" error even
+// though the user never passed -at.
+func TestDefaultCheckpointAt(t *testing.T) {
+	cases := []struct {
+		name        string
+		warm, total int
+		want        int
+	}{
+		{"default scenario windows", 40, 120, 40},
+		{"long warmup", 200, 500, 200},
+		{"zero warmup", 0, 120, 60},
+		{"zero warmup single epoch", 0, 20, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := defaultCheckpointAt(c.warm, c.total)
+			if got != c.want {
+				t.Errorf("defaultCheckpointAt(%d, %d) = %d, want %d", c.warm, c.total, got, c.want)
+			}
+			if got <= 0 || got >= c.total {
+				t.Errorf("default %d outside the valid (0, %d) range", got, c.total)
+			}
+		})
+	}
+}
+
 func TestScenarioMetricsJSONRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden scenario replay in -short mode")

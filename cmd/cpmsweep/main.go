@@ -58,6 +58,9 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	warmstart := fs.Bool("warmstart", false, "warm the chip once unmanaged, snapshot it, and fork every budget point from the snapshot (skips per-point warm-up; trajectories differ slightly from the default per-point managed warm-up)")
 	scalar := fs.Bool("scalar", false, "run every point as an independent full simulation instead of a shared-sampler farm (slower; identical CSV)")
 	farmSize := fs.Int("farm-size", 0, "max chips per farm sampler group; 0 = unlimited (one shared group per workload)")
+	resilient := fs.Bool("resilient", false, "route points through the crash-safe sweepd coordinator: workers checkpoint at interval boundaries and killed or panicked workers migrate their point to a survivor (identical CSV)")
+	killEvery := fs.Int("kill-every", 0, "inject a deterministic worker kill each time a point first completes an interval divisible by N (requires -resilient; 0 = off)")
+	ckptEvery := fs.Int("ckpt-every", 0, "checkpoint cadence in intervals for -resilient workers (0 = every 20)")
 	dflags := diag.AddFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return sweepOptions{}, err
@@ -76,6 +79,18 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 	}
 	if *farmSize < 0 {
 		return sweepOptions{}, fmt.Errorf("cpmsweep: -farm-size must be >= 0, got %d", *farmSize)
+	}
+	if *killEvery < 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -kill-every must be >= 0, got %d", *killEvery)
+	}
+	if *ckptEvery < 0 {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -ckpt-every must be >= 0, got %d", *ckptEvery)
+	}
+	if !*resilient && (*killEvery > 0 || *ckptEvery > 0) {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -kill-every and -ckpt-every require -resilient")
+	}
+	if *resilient && *scalar {
+		return sweepOptions{}, fmt.Errorf("cpmsweep: -resilient and -scalar are mutually exclusive (the resilient route already runs independent points)")
 	}
 	mix, err := workload.MixByName(*mixName)
 	if err != nil {
@@ -102,6 +117,9 @@ func parseSweepCLI(argv []string, stderr io.Writer) (sweepOptions, error) {
 		WarmStart: *warmstart,
 		Scalar:    *scalar,
 		FarmSize:  *farmSize,
+		Resilient: *resilient,
+		KillEvery: *killEvery,
+		CkptEvery: *ckptEvery,
 		Diag:      dflags,
 	}, nil
 }
@@ -128,9 +146,9 @@ type sweepOptions struct {
 	// estimator, seeded from the sweep's calibrated plant gain.
 	Adaptive bool
 	Fracs    []float64
-	Seed   uint64
-	Warm   int
-	Epochs int
+	Seed     uint64
+	Warm     int
+	Epochs   int
 	// Workers is the engine.Pool size (0 = GOMAXPROCS).
 	Workers int
 	// Parallel selects the simulator's island-parallel executor inside each
@@ -154,6 +172,18 @@ type sweepOptions struct {
 	// FarmSize caps the chips per farm sampler group (0 = unlimited).
 	// Grouping changes scheduling only, never the CSV.
 	FarmSize int
+	// Resilient routes every point through the sweepd coordinator:
+	// independent sessions checkpointed at interval boundaries, with dead
+	// workers' points migrated to survivors. CSV is byte-identical to the
+	// other routes.
+	Resilient bool
+	// KillEvery injects a deterministic worker kill each time a point
+	// first completes an interval divisible by KillEvery (0 = off;
+	// requires Resilient). Used to prove crash-equivalence.
+	KillEvery int
+	// CkptEvery is the resilient route's checkpoint cadence in intervals
+	// (0 = every 20).
+	CkptEvery int
 	// Diag holds the shared diagnostics flags (-metrics, -pprof, -trace).
 	Diag *diag.Flags
 	// Metrics, when non-nil, attaches a telemetry observer to every run.
@@ -185,9 +215,12 @@ func sweep(o sweepOptions, out, logw io.Writer) error {
 		o.Mix.Name, cal.UnmanagedPowerW, cal.PlantGain)
 
 	var rows []sweepRow
-	if o.Scalar {
+	switch {
+	case o.Resilient:
+		rows, err = sweepResilient(cfg, cal, o, logw)
+	case o.Scalar:
 		rows, err = sweepScalar(cfg, cal, o, logw)
-	} else {
+	default:
 		rows, err = sweepFarm(cfg, cal, o, logw)
 	}
 	if err != nil {
@@ -294,11 +327,14 @@ func forkWarmChip(cfg sim.Config, warmState []byte, warm int) (*sim.CMP, int, er
 	return cmp, 0, nil
 }
 
-func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry, warmState []byte) (engine.Summary, error) {
+// buildUnmanaged constructs the baseline point's stack without running it,
+// so both the blocking route (measureUnmanaged) and the resilient
+// coordinator route drive identical sessions.
+func buildUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry, warmState []byte) (*engine.Session, *check.Suite, error) {
 	cfg.InitialLevel = -1
 	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	var obs []engine.Observer
 	var suite *check.Suite
@@ -313,6 +349,14 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metri
 		WarmEpochs: warm, MeasureEpochs: epochs, Label: "unmanaged",
 	}, obs...)
 	if err != nil {
+		return nil, nil, err
+	}
+	return s, suite, nil
+}
+
+func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metrics.Registry, warmState []byte) (engine.Summary, error) {
+	s, suite, err := buildUnmanaged(cfg, warm, epochs, checked, reg, warmState)
+	if err != nil {
 		return engine.Summary{}, err
 	}
 	sum := s.Run()
@@ -324,14 +368,15 @@ func measureUnmanaged(cfg sim.Config, warm, epochs int, checked bool, reg *metri
 	return sum, nil
 }
 
-func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, adaptive bool, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+// buildCPM constructs one managed budget point's stack without running it.
+func buildCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, adaptive bool, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (*engine.Session, *check.Suite, error) {
 	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	c, err := core.New(cmp, core.Config{BudgetW: budget, Policy: pol, Transducers: cal.Transducers, Adaptive: adaptiveConfig(adaptive, cal)})
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	var obs []engine.Observer
 	var suite *check.Suite
@@ -352,6 +397,14 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "cpm",
 	}, obs...)
 	if err != nil {
+		return nil, nil, err
+	}
+	return s, suite, nil
+}
+
+func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Policy, adaptive bool, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+	s, suite, err := buildCPM(cfg, cal, budget, pol, adaptive, warm, epochs, checked, reg, frac, warmState)
+	if err != nil {
 		return engine.Summary{}, err
 	}
 	sum := s.Run()
@@ -363,21 +416,22 @@ func measureCPM(cfg sim.Config, cal core.Calibration, budget float64, pol gpm.Po
 	return sum, nil
 }
 
-func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+// buildMaxBIPS constructs one MaxBIPS budget point's stack without running it.
+func buildMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (*engine.Session, *check.Suite, error) {
 	cmp, warm, err := forkWarmChip(cfg, warmState, warm)
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	planner, err := maxbips.New(cmp.Table())
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)
 	if err != nil {
-		return engine.Summary{}, err
+		return nil, nil, err
 	}
 	var obs []engine.Observer
 	var suite *check.Suite
@@ -398,6 +452,14 @@ func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bo
 	s, err := engine.NewSession(r, engine.SessionConfig{
 		WarmEpochs: warm, MeasureEpochs: epochs, BudgetW: budget, Label: "maxbips",
 	}, obs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, suite, nil
+}
+
+func measureMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool, reg *metrics.Registry, frac float64, warmState []byte) (engine.Summary, error) {
+	s, suite, err := buildMaxBIPS(cfg, budget, warm, epochs, checked, reg, frac, warmState)
 	if err != nil {
 		return engine.Summary{}, err
 	}

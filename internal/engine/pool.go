@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"github.com/cpm-sim/cpm/internal/stats"
@@ -43,18 +45,47 @@ func (p Pool) Run(n int, job func(i int) error) error {
 	return err
 }
 
+// PanicError is the error a job that panicked fails with. Only that job
+// fails: its panic is recovered inside the pool, so the process — and every
+// other job, serial or pooled — completes normally.
+type PanicError struct {
+	// Job is the index of the panicking job.
+	Job int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error names the job and the panic value; the captured stack rides in the
+// Stack field for callers that want the full trace.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v", p.Job, p.Value)
+}
+
 // Map executes jobs 0..n-1 and returns their results in job order. Like
-// Run, it executes every job and reports the lowest-indexed error.
+// Run, it executes every job and reports the lowest-indexed error. A job
+// that panics fails with a *PanicError instead of crashing the process (or,
+// on the serial path, propagating to the caller); the remaining jobs still
+// run.
 func Map[T any](p Pool, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	run := func(i int) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return job(i)
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
 	w := p.workers(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = job(i)
+			out[i], errs[i] = run(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -64,7 +95,7 @@ func Map[T any](p Pool, n int, job func(i int) (T, error)) ([]T, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					out[i], errs[i] = job(i)
+					out[i], errs[i] = run(i)
 				}
 			}()
 		}
@@ -76,6 +107,10 @@ func Map[T any](p Pool, n int, job func(i int) (T, error)) ([]T, error) {
 	}
 	for i, err := range errs {
 		if err != nil {
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				return out, fmt.Errorf("engine: %w", err)
+			}
 			return out, fmt.Errorf("engine: job %d: %w", i, err)
 		}
 	}

@@ -45,6 +45,62 @@ func TestPoolRunsEveryJobAndReportsLowestError(t *testing.T) {
 	}
 }
 
+// TestPoolPanicContainment pins the crash-safety contract on both executor
+// paths: a panicking job fails with an error naming the job and carrying the
+// stack, while the process survives and every other job completes normally.
+func TestPoolPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var ran atomic.Int64
+			out, err := Map(Pool{Workers: workers}, 10, func(i int) (int, error) {
+				ran.Add(1)
+				if i == 3 {
+					panic("boom")
+				}
+				return i * i, nil
+			})
+			if got := ran.Load(); got != 10 {
+				t.Errorf("ran %d jobs, want 10 (other jobs must complete despite the panic)", got)
+			}
+			if err == nil {
+				t.Fatal("panicking job reported no error")
+			}
+			if !strings.Contains(err.Error(), "job 3 panicked: boom") {
+				t.Errorf("error = %v, want %q", err, "job 3 panicked: boom")
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *PanicError", err)
+			}
+			if pe.Job != 3 || pe.Value != "boom" {
+				t.Errorf("PanicError = job %d value %v, want job 3 value boom", pe.Job, pe.Value)
+			}
+			if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+				t.Error("PanicError does not carry the stack")
+			}
+			for i, v := range out {
+				if i != 3 && v != i*i {
+					t.Errorf("result[%d] = %d, want %d (non-panicking jobs must deliver)", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolPanicLowestIndexWins pins deterministic reporting when several
+// jobs panic: the lowest-indexed panic is the returned error.
+func TestPoolPanicLowestIndexWins(t *testing.T) {
+	_, err := Map(Pool{Workers: 4}, 10, func(i int) (int, error) {
+		if i == 2 || i == 6 {
+			panic(i)
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "job 2 panicked: 2") {
+		t.Fatalf("error = %v, want the lowest-indexed panic (job 2)", err)
+	}
+}
+
 func TestPoolZeroJobs(t *testing.T) {
 	out, err := Map(Pool{}, 0, func(i int) (int, error) { return 0, errors.New("never") })
 	if err != nil || out != nil {

@@ -121,6 +121,28 @@ func (s *Session) Info() RunInfo {
 	}
 }
 
+// Started reports whether the session has begun stepping (or was restored
+// from a snapshot).
+func (s *Session) Started() bool { return s.prog != nil }
+
+// Finished reports whether the session has produced its summary.
+func (s *Session) Finished() bool { return s.prog != nil && s.prog.finished }
+
+// Completed returns the number of intervals stepped so far (warmup and
+// measurement combined; 0 before the session starts).
+func (s *Session) Completed() int {
+	if s.prog == nil {
+		return 0
+	}
+	return s.prog.k
+}
+
+// TotalIntervals returns the session's interval budget: warmup plus
+// measurement.
+func (s *Session) TotalIntervals() int {
+	return (s.cfg.WarmEpochs + s.cfg.MeasureEpochs) * s.cfg.Period
+}
+
 // start initializes progress and announces the run to observers.
 func (s *Session) start() {
 	n := s.runner.Chip().NumIslands()

@@ -90,6 +90,11 @@ type group struct {
 	sampler *sim.Sampler
 	members []member
 	fr      *engine.FarmRunner
+	// baseCursor is the sampler cursor at construction time (non-zero only
+	// for warm-started farms). Between lockstep rounds the cursor equals
+	// baseCursor plus the round count, which is what Snapshot's torn-state
+	// guard checks.
+	baseCursor int
 }
 
 // Farm is a constructed fleet: grouped chips, sessions and SoA columns,
@@ -158,7 +163,7 @@ func buildGroup(key WorkloadKey, specs []ChipSpec, idxs []int, samplerState []by
 			return nil, fmt.Errorf("farm: restoring sampler for %s: %w", key, err)
 		}
 	}
-	g := &group{key: key, sampler: sampler}
+	g := &group{key: key, sampler: sampler, baseCursor: sampler.Cursor()}
 	for _, i := range idxs {
 		spec := specs[i]
 		cmp, err := sim.NewWithRecords(spec.Config, sampler)

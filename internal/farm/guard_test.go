@@ -1,0 +1,119 @@
+package farm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/engine"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/snapshot"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// guardFarm builds a two-chip shared-sampler farm of unmanaged sessions,
+// small enough for the torn-state tests to step by hand.
+func guardFarm(t *testing.T, measureEpochs int) *Farm {
+	t.Helper()
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 1
+	cfg.Parallel = false
+	spec := ChipSpec{
+		Config: cfg,
+		NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+			return engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+				MeasureEpochs: measureEpochs, Label: "guard",
+			})
+		},
+	}
+	f, err := New([]ChipSpec{spec, spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() != 1 {
+		t.Fatalf("equal-config chips built %d groups, want 1", f.NumGroups())
+	}
+	return f
+}
+
+func snapshotErr(f *Farm) error {
+	return f.Snapshot(snapshot.NewEncoder())
+}
+
+// TestFarmSnapshotMidRoundGuard pins the "valid between rounds" contract:
+// a snapshot attempted while one chip of a sharing group is an interval
+// ahead of the other must fail with a shape error instead of encoding torn
+// state.
+func TestFarmSnapshotMidRoundGuard(t *testing.T) {
+	f := guardFarm(t, 1)
+	pool := engine.Pool{Workers: 1}
+	if err := f.RunRounds(pool, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotErr(f); err != nil {
+		t.Fatalf("between-rounds snapshot rejected: %v", err)
+	}
+
+	// Tear the group: advance one member only, exactly the illegal point a
+	// naive checkpointer could hit inside a round.
+	f.groups[0].members[0].sess.RunIntervals(1)
+	err := snapshotErr(f)
+	if err == nil {
+		t.Fatal("mid-round snapshot accepted torn state")
+	}
+	if !errors.Is(err, snapshot.ErrShape) {
+		t.Fatalf("mid-round snapshot error %v does not wrap snapshot.ErrShape", err)
+	}
+
+	// Completing the round restores consistency.
+	f.groups[0].members[1].sess.RunIntervals(1)
+	if err := snapshotErr(f); err != nil {
+		t.Fatalf("snapshot after completing the round rejected: %v", err)
+	}
+}
+
+// TestFarmSnapshotBeforeStartAndAfterFinish pins the window edges: before
+// any round has run and after sessions have finished, Snapshot must refuse.
+func TestFarmSnapshotBeforeStartAndAfterFinish(t *testing.T) {
+	f := guardFarm(t, 1)
+	if err := snapshotErr(f); !errors.Is(err, snapshot.ErrShape) {
+		t.Fatalf("snapshot before first round = %v, want shape error", err)
+	}
+	if _, err := f.Run(engine.Pool{Workers: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotErr(f); !errors.Is(err, snapshot.ErrShape) {
+		t.Fatalf("snapshot after finish = %v, want shape error", err)
+	}
+}
+
+// TestFarmSnapshotAllowsExhaustedMembers pins the legal asymmetry: members
+// with shorter interval budgets stop early without finishing, and a
+// between-rounds snapshot of such a fleet is still valid.
+func TestFarmSnapshotAllowsExhaustedMembers(t *testing.T) {
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cfg.Seed = 1
+	cfg.Parallel = false
+	spec := func(epochs int) ChipSpec {
+		return ChipSpec{
+			Config: cfg,
+			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
+				return engine.NewSession(engine.NewChipRunner(cmp), engine.SessionConfig{
+					MeasureEpochs: epochs, Label: "guard",
+				})
+			},
+		}
+	}
+	f, err := New([]ChipSpec{spec(1), spec(2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := engine.Pool{Workers: 1}
+	// 25 rounds: the 20-interval member is exhausted, the 40-interval one
+	// mid-run — a legal between-rounds state.
+	if err := f.RunRounds(pool, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotErr(f); err != nil {
+		t.Fatalf("between-rounds snapshot with an exhausted member rejected: %v", err)
+	}
+}

@@ -2,12 +2,56 @@ package farm
 
 import "github.com/cpm-sim/cpm/internal/snapshot"
 
+// checkBetweenRounds enforces Snapshot's "valid between rounds" contract
+// instead of trusting callers: every session must have started and none
+// finished, every member still inside its interval budget must sit exactly
+// at the group's round, and the shared sampler's cursor must agree with
+// that round. Anything else is torn state — some chips one interval ahead
+// of others or of the sampler they share — which would encode a fleet that
+// can never have existed between rounds and resume divergently.
+func (f *Farm) checkBetweenRounds() error {
+	for gi, g := range f.groups {
+		round := 0
+		for _, m := range g.members {
+			if !m.sess.Started() {
+				return snapshot.ShapeErrorf("farm: snapshot before group %d chip %d started (run at least one round first)", gi, m.spec)
+			}
+			if m.sess.Finished() {
+				return snapshot.ShapeErrorf("farm: snapshot after group %d chip %d finished", gi, m.spec)
+			}
+			if k := m.sess.Completed(); k > round {
+				round = k
+			}
+		}
+		for _, m := range g.members {
+			want := round
+			if total := m.sess.TotalIntervals(); total < want {
+				want = total // exhausted members legitimately stop early
+			}
+			if k := m.sess.Completed(); k != want {
+				return snapshot.ShapeErrorf("farm: snapshot taken mid-round: group %d chip %d at interval %d, round at %d",
+					gi, m.spec, k, round)
+			}
+		}
+		if c := g.sampler.Cursor(); c != g.baseCursor+round {
+			return snapshot.ShapeErrorf("farm: snapshot taken mid-round: group %d sampler cursor %d, members at round %d (base %d)",
+				gi, c, round, g.baseCursor)
+		}
+	}
+	return nil
+}
+
 // Snapshot appends the fleet's complete dynamic state: per group its
 // sampler and every member session (runner and chip included). Valid only
 // between lockstep rounds (see RunRounds) after every session has started
 // and before any has finished — the one moment chips and samplers are
-// mutually consistent.
+// mutually consistent. That contract is enforced: a snapshot attempted
+// mid-round (or before start / after finish) returns a shape error instead
+// of silently encoding torn state.
 func (f *Farm) Snapshot(e *snapshot.Encoder) error {
+	if err := f.checkBetweenRounds(); err != nil {
+		return err
+	}
 	e.Tag(snapshot.TagFarm)
 	e.Int(f.nSpecs)
 	e.Int(len(f.groups))

@@ -72,7 +72,7 @@ type Observer struct {
 	// export no estimator telemetry at all).
 	picScale   []*Gauge
 	picGainEst []*Gauge
-	picEst    []*Gauge
+	picEst     []*Gauge
 
 	// cache series, indexed l1i/l1d/l2
 	cacheHits     [3]*Counter

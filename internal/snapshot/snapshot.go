@@ -180,6 +180,13 @@ func (e *Encoder) Ints(v []int) {
 	}
 }
 
+// Blob appends a length-prefixed opaque byte slice — a nested encoding
+// carried verbatim, e.g. a checkpoint body covered by an integrity digest.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 // Header writes the file header (magic, version, kind, fingerprint).
 func (e *Encoder) Header(h Header) {
 	e.U32(Magic)
@@ -303,6 +310,22 @@ func (d *Decoder) String() string {
 	s := string(d.buf[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+// Blob reads a length-prefixed opaque byte slice written by Encoder.Blob.
+// The returned slice aliases the decoder's buffer; copy before mutating.
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if n > d.Remaining() {
+		d.fail("blob length %d exceeds %d remaining bytes at offset %d", n, d.Remaining(), d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
 }
 
 // count reads a slice length prefix and bounds it by the remaining bytes

@@ -1,0 +1,169 @@
+package sweepd
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/snapshot"
+)
+
+// midRunCheckpoint builds a test point, advances it to interval 30, and
+// returns the point, a checkpoint, and the summary of running the original
+// to completion.
+func midRunCheckpoint(t *testing.T) (Point, []byte, float64) {
+	t.Helper()
+	p := Point{Name: "ckpt-test", Build: func() (*Instance, error) {
+		inst, _, err := buildTestInstance(9)
+		return inst, err
+	}}
+	inst, _ := testInstance(t, 9)
+	if n := inst.Session.RunIntervals(30); n != 30 {
+		t.Fatalf("advanced %d intervals, want 30", n)
+	}
+	data, err := EncodeCheckpoint(p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, data, inst.Session.Run().Instructions
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p, data, wantInstr := midRunCheckpoint(t)
+	inst, cs := testInstance(t, 9)
+	k, err := RestoreCheckpoint(p, inst, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 30 {
+		t.Errorf("restored at interval %d, want 30", k)
+	}
+	if cs.steps != 30 {
+		t.Errorf("aux state restored to %d steps, want 30", cs.steps)
+	}
+	if got := inst.Session.Run().Instructions; got != wantInstr {
+		t.Errorf("resumed run diverged: %v instructions, want %v", got, wantInstr)
+	}
+	// A restored instance checkpoints to the identical bytes: the restore ∘
+	// encode identity the fuzz target generalizes.
+	inst2, _ := testInstance(t, 9)
+	if _, err := RestoreCheckpoint(p, inst2, data); err != nil {
+		t.Fatal(err)
+	}
+	re, err := EncodeCheckpoint(p, inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Error("re-encoded checkpoint differs from original")
+	}
+}
+
+func TestCheckpointRejectsWrongPoint(t *testing.T) {
+	_, data, _ := midRunCheckpoint(t)
+	other := Point{Name: "other-point"}
+	inst, _ := testInstance(t, 9)
+	_, err := RestoreCheckpoint(other, inst, data)
+	if !errors.Is(err, snapshot.ErrShape) || !strings.Contains(err.Error(), "ckpt-test") {
+		t.Errorf("wrong-point restore = %v, want shape error naming the source point", err)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	p, data, _ := midRunCheckpoint(t)
+	t.Run("bit flip", func(t *testing.T) {
+		for _, off := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+			mut := bytes.Clone(data)
+			mut[off] ^= 0x40
+			inst, _ := testInstance(t, 9)
+			if _, err := RestoreCheckpoint(p, inst, mut); err == nil {
+				t.Errorf("bit flip at offset %d restored silently", off)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, n := range []int{0, 4, len(data) / 2, len(data) - 1} {
+			inst, _ := testInstance(t, 9)
+			if _, err := RestoreCheckpoint(p, inst, data[:n]); err == nil {
+				t.Errorf("truncation to %d bytes restored silently", n)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		inst, _ := testInstance(t, 9)
+		if _, err := RestoreCheckpoint(p, inst, append(bytes.Clone(data), 0xEE)); err == nil {
+			t.Error("trailing byte restored silently")
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		e := snapshot.NewEncoder()
+		e.Header(snapshot.Header{Kind: "cpmsim-session", Fingerprint: p.Name})
+		inst, _ := testInstance(t, 9)
+		if _, err := RestoreCheckpoint(p, inst, e.Bytes()); err == nil || !strings.Contains(err.Error(), "cpmsim-session") {
+			t.Errorf("wrong-kind restore = %v", err)
+		}
+	})
+}
+
+func TestTreeLineage(t *testing.T) {
+	tr := NewTree()
+	root, err := tr.Add(-1, "warm", 20, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := tr.Add(root, "cpm-0.8", 25, []byte{2})
+	b, _ := tr.Add(root, "cpm-0.6", 25, []byte{3})
+	a2, _ := tr.Add(a, "cpm-0.8", 30, []byte{4})
+	if got := tr.Roots(); len(got) != 1 || got[0] != root {
+		t.Errorf("roots = %v", got)
+	}
+	if got := tr.Children(root); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("children(root) = %v", got)
+	}
+	if got := tr.Path(a2); len(got) != 3 || got[0] != root || got[1] != a || got[2] != a2 {
+		t.Errorf("path(a2) = %v", got)
+	}
+	if _, err := tr.Add(99, "x", 0, nil); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if tr.Len() != 4 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+// TestCoordinatorTreeLineage: periodic checkpoints chain under the
+// configured base node, so a resilient run's tree reads as one branch per
+// point descending from its fork base.
+func TestCoordinatorTreeLineage(t *testing.T) {
+	tr := NewTree()
+	base, err := tr.Add(-1, "base", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := testPoints(t, 2)
+	c, err := New(pts, Config{Workers: 1, CheckpointEvery: 20, Tree: tr, TreeBase: []int{base, base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tree() != tr {
+		t.Fatal("coordinator did not adopt the provided tree")
+	}
+	// base + 2 checkpoints per point.
+	if tr.Len() != 5 {
+		t.Fatalf("tree has %d nodes, want 5", tr.Len())
+	}
+	for pi, name := range []string{"pt-a", "pt-b"} {
+		tip := c.tip[pi]
+		path := tr.Path(tip)
+		if len(path) != 3 || path[0] != base {
+			t.Errorf("%s lineage = %v, want base plus two checkpoints", name, path)
+		}
+		if n := tr.Node(tip); n.Label != name || n.Interval != 40 {
+			t.Errorf("%s tip = %+v, want interval 40", name, n)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sweepd
+
+import "github.com/cpm-sim/cpm/internal/metrics"
+
+// Instruments are the coordinator's exported telemetry. All instruments are
+// optional: a nil *Instruments (or nil fields) disables export without
+// branching at every call site.
+type Instruments struct {
+	// Checkpoints counts checkpoints taken (cpmsweep_checkpoints_total).
+	Checkpoints *metrics.Counter
+	// Migrations counts points reassigned after a worker death
+	// (cpmsweep_migrations_total).
+	Migrations *metrics.Counter
+	// Kills counts injected worker deaths (cpmsweep_kills_total).
+	Kills *metrics.Counter
+	// CheckpointBytes accumulates encoded checkpoint sizes
+	// (cpmsweep_checkpoint_bytes_total).
+	CheckpointBytes *metrics.Counter
+	// LastCheckpointBytes tracks the most recent checkpoint's size
+	// (cpmsweep_checkpoint_last_bytes).
+	LastCheckpointBytes *metrics.Gauge
+}
+
+// NewInstruments registers the sweepd instrument set on r, labelled by
+// sweep run. Returns nil when r is nil so callers can thread an optional
+// registry straight through.
+func NewInstruments(r *metrics.Registry, run string) *Instruments {
+	if r == nil {
+		return nil
+	}
+	return &Instruments{
+		Checkpoints: r.CounterVec("cpmsweep_checkpoints_total",
+			"Point checkpoints taken at interval boundaries by the resilient sweep coordinator.",
+			"run").With(run),
+		Migrations: r.CounterVec("cpmsweep_migrations_total",
+			"Sweep points reassigned to a surviving worker after a worker death.",
+			"run").With(run),
+		Kills: r.CounterVec("cpmsweep_kills_total",
+			"Injected worker deaths fired by the deterministic kill plan.",
+			"run").With(run),
+		CheckpointBytes: r.CounterVec("cpmsweep_checkpoint_bytes_total",
+			"Total encoded size of all checkpoints taken, in bytes.",
+			"run").With(run),
+		LastCheckpointBytes: r.GaugeVec("cpmsweep_checkpoint_last_bytes",
+			"Encoded size of the most recent checkpoint, in bytes.",
+			"run").With(run),
+	}
+}
+
+func (m *Instruments) checkpoint(bytes int) {
+	if m == nil {
+		return
+	}
+	if m.Checkpoints != nil {
+		m.Checkpoints.Inc()
+	}
+	if m.CheckpointBytes != nil {
+		m.CheckpointBytes.Add(float64(bytes))
+	}
+	if m.LastCheckpointBytes != nil {
+		m.LastCheckpointBytes.Set(float64(bytes))
+	}
+}
+
+func (m *Instruments) migration() {
+	if m == nil || m.Migrations == nil {
+		return
+	}
+	m.Migrations.Inc()
+}
+
+func (m *Instruments) kill() {
+	if m == nil || m.Kills == nil {
+		return
+	}
+	m.Kills.Inc()
+}

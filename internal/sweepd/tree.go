@@ -1,0 +1,80 @@
+package sweepd
+
+import "fmt"
+
+// TreeNode is one snapshot in a checkpoint lineage: an opaque encoded state
+// (a sweepd checkpoint, or a chip snapshot used as a fork base), the
+// interval it was captured at, and the node it grew from.
+type TreeNode struct {
+	ID       int
+	Parent   int // -1 for roots
+	Label    string
+	Interval int
+	State    []byte
+}
+
+// Tree records checkpoint lineage for a resilient run. It generalizes the
+// linear warm-start snapshot into a snapshot tree: any node's state can be
+// forked into parameter variants (new child points restoring the same
+// base), and each point's periodic checkpoints chain as descendants of the
+// node it was forked from. Nodes are append-only; IDs are dense indices in
+// insertion order. Tree is not safe for concurrent mutation — the
+// coordinator appends only from its own event loop.
+type Tree struct {
+	nodes []TreeNode
+}
+
+// NewTree returns an empty lineage tree.
+func NewTree() *Tree { return &Tree{} }
+
+// Add appends a node under parent (or as a root when parent is -1) and
+// returns its ID. The state slice is stored as given, not copied.
+func (t *Tree) Add(parent int, label string, interval int, state []byte) (int, error) {
+	if parent < -1 || parent >= len(t.nodes) {
+		return 0, fmt.Errorf("sweepd: tree parent %d out of range [-1, %d)", parent, len(t.nodes))
+	}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, TreeNode{ID: id, Parent: parent, Label: label, Interval: interval, State: state})
+	return id, nil
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Node returns node id; it panics on an out-of-range ID, which is a
+// programming error rather than a data error.
+func (t *Tree) Node(id int) TreeNode { return t.nodes[id] }
+
+// Roots returns the IDs of all parentless nodes in insertion order.
+func (t *Tree) Roots() []int {
+	var ids []int
+	for _, n := range t.nodes {
+		if n.Parent == -1 {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Children returns the IDs of id's direct children in insertion order.
+func (t *Tree) Children(id int) []int {
+	var ids []int
+	for _, n := range t.nodes {
+		if n.Parent == id {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Path returns the IDs from the root down to id, inclusive.
+func (t *Tree) Path(id int) []int {
+	var rev []int
+	for cur := id; cur != -1; cur = t.nodes[cur].Parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
