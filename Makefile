@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke policy-check resilience-check resilience-smoke scorecard all
+.PHONY: build test race vet bench bench-sweep sweep fuzz cover golden telemetry test-metrics-race snapshot-check farm-check fleet-bench serve-check serve-smoke policy-check resilience-check resilience-smoke tech-check scorecard all
 
 # Perf trajectory output of `make bench` (see EXPERIMENTS.md).
 BENCH_OUT ?= BENCH_PR6.json
@@ -113,6 +113,21 @@ resilience-check:
 	$(GO) test -race ./internal/check -run 'TestResilient'
 	$(GO) test -race ./cmd/cpmsweep -run 'TestResilient|TestParseSweepCLIResilient'
 	$(GO) test ./internal/sweepd -fuzz FuzzCheckpointRestore -fuzztime 10s
+
+# Technology/heterogeneity gate (race-enabled): the tech-scaling property
+# suite and per-island model plumbing, the two new pinned golden scenarios
+# (hetero-biglittle, tech-16nm) through the scalar, farm, snapshot-resume
+# and serve-over-HTTP routes, plus the per-island planner/observer audit
+# regressions and a short chip-snapshot v3 fuzz smoke.
+tech-check:
+	$(GO) test -race ./internal/power ./internal/uarch ./internal/maxbips
+	$(GO) test -race ./internal/sim -run 'TestHeterogeneous|TestTech|TestIslandClasses|TestSnapshotRejectsIslandIdentityMismatch'
+	$(GO) test -race ./internal/check -run 'TestGoldenScenarios$$/(hetero-biglittle|tech-16nm)|TestGoldenSnapshotResumeEquivalence/(hetero-biglittle|tech-16nm)|TestFarmSingleChipGolden/(hetero-biglittle|tech-16nm)|TestFarmSharedSamplerGolden'
+	$(GO) test -race ./internal/serve -run 'TestGoldenOverHTTP'
+	$(GO) test -race ./internal/engine -run 'TestStaticPredictionTablePerIsland|TestStaticPlannerHeterogeneous'
+	$(GO) test -race ./internal/metrics -run 'TestResidencyCardinalityPerIsland'
+	$(GO) test -race ./internal/experiments -run 'TestQuantumWSinglePointTable'
+	$(GO) test ./internal/sim -fuzz FuzzChipSnapshotV3Restore -fuzztime 10s
 
 # Informational resilience report: a small resilient sweep with kills
 # injected every 3 intervals; stderr carries the checkpoint sizes, kill and

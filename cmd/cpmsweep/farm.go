@@ -9,7 +9,6 @@ import (
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/farm"
-	"github.com/cpm-sim/cpm/internal/maxbips"
 	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
@@ -110,11 +109,8 @@ func sweepFarm(cfg sim.Config, cal core.Calibration, o sweepOptions, logw io.Wri
 			Config: cfg,
 			Init:   restoreWarmTemplate(warmManaged),
 			NewSession: func(cmp *sim.CMP) (*engine.Session, error) {
-				planner, err := maxbips.New(cmp.Table())
+				planner, err := engine.NewStaticPlanner(cmp)
 				if err != nil {
-					return nil, err
-				}
-				if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
 					return nil, err
 				}
 				r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)

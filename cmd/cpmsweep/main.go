@@ -31,7 +31,6 @@ import (
 	"github.com/cpm-sim/cpm/internal/diag"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
-	"github.com/cpm-sim/cpm/internal/maxbips"
 	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
@@ -422,11 +421,8 @@ func buildMaxBIPS(cfg sim.Config, budget float64, warm, epochs int, checked bool
 	if err != nil {
 		return nil, nil, err
 	}
-	planner, err := maxbips.New(cmp.Table())
+	planner, err := engine.NewStaticPlanner(cmp)
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
 		return nil, nil, err
 	}
 	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)

@@ -214,6 +214,9 @@ type Config struct {
 	// Table is the DVFS table every actuated operating point must belong
 	// to; nil disables DVFSLegality.
 	Table *power.DVFSTable
+	// Tables are per-island DVFS tables for heterogeneous chips; when set
+	// they override Table and island i is judged against Tables[i].
+	Tables []*power.DVFSTable
 	// BudgetW is the chip power budget; 0 disables BudgetConservation.
 	BudgetW float64
 	// IslandMaxW are the per-island maximum powers, used to scale the
@@ -279,7 +282,9 @@ func All(cfg Config) *Suite {
 	if cfg.BudgetW > 0 {
 		s.Add(NewBudgetConservation(cfg))
 	}
-	if cfg.Table != nil {
+	if cfg.Tables != nil {
+		s.Add(NewDVFSLegalityPerIsland(cfg.Tables))
+	} else if cfg.Table != nil {
 		s.Add(NewDVFSLegality(cfg.Table))
 	}
 	if cfg.MaxCorePowerW > 0 {

@@ -113,7 +113,8 @@ func (c *BudgetConservation) RunEnd(*engine.Summary) {}
 // with the simulator.
 type DVFSLegality struct {
 	recorder
-	table    *power.DVFSTable
+	table    *power.DVFSTable   // shared table (legacy homogeneous chips)
+	tables   []*power.DVFSTable // per-island tables; overrides table when set
 	prevFreq []float64
 	havePrev bool
 }
@@ -121,6 +122,21 @@ type DVFSLegality struct {
 // NewDVFSLegality builds the check against the chip's shared table.
 func NewDVFSLegality(table *power.DVFSTable) *DVFSLegality {
 	return &DVFSLegality{recorder: recorder{name: "dvfs-legality"}, table: table}
+}
+
+// NewDVFSLegalityPerIsland builds the check for a chip whose islands run
+// their own tables: island i's operating points are judged against
+// tables[i].
+func NewDVFSLegalityPerIsland(tables []*power.DVFSTable) *DVFSLegality {
+	return &DVFSLegality{recorder: recorder{name: "dvfs-legality"}, tables: tables}
+}
+
+// tbl returns the table island i's operating points must belong to.
+func (c *DVFSLegality) tbl(i int) *power.DVFSTable {
+	if c.tables != nil && i < len(c.tables) {
+		return c.tables[i]
+	}
+	return c.table
 }
 
 // RunStart implements engine.Observer.
@@ -132,11 +148,12 @@ func (c *DVFSLegality) RunStart(info engine.RunInfo) {
 // ObserveStep implements engine.Observer.
 func (c *DVFSLegality) ObserveStep(st engine.Step) {
 	for i, ir := range st.Sim.Islands {
-		lvl, ok := c.table.LevelOf(ir.FreqMHz)
+		tbl := c.tbl(i)
+		lvl, ok := tbl.LevelOf(ir.FreqMHz)
 		if !ok {
 			c.report(Violation{
 				Interval: st.Index, Epoch: -1, Island: i,
-				Observed: ir.FreqMHz, Bound: c.table.Max().FreqMHz,
+				Observed: ir.FreqMHz, Bound: tbl.Max().FreqMHz,
 				Msg: "actuated frequency is not a table operating point",
 			})
 		} else if lvl != ir.Level {
@@ -146,10 +163,10 @@ func (c *DVFSLegality) ObserveStep(st engine.Step) {
 				Msg: "reported level disagrees with actuated frequency",
 			})
 		}
-		if ir.Level < 0 || ir.Level >= c.table.Levels() {
+		if ir.Level < 0 || ir.Level >= tbl.Levels() {
 			c.report(Violation{
 				Interval: st.Index, Epoch: -1, Island: i,
-				Observed: float64(ir.Level), Bound: float64(c.table.Levels() - 1),
+				Observed: float64(ir.Level), Bound: float64(tbl.Levels() - 1),
 				Msg: "DVFS level outside the table",
 			})
 		}

@@ -9,8 +9,8 @@ import (
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
-	"github.com/cpm-sim/cpm/internal/maxbips"
 	"github.com/cpm-sim/cpm/internal/pic"
+	"github.com/cpm-sim/cpm/internal/power"
 	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/thermal"
 	"github.com/cpm-sim/cpm/internal/variation"
@@ -49,6 +49,12 @@ type Scenario struct {
 	// Adaptive runs every PIC with the adaptive-gain estimator, seeded
 	// from the scenario's own calibrated plant gain (core.Config.Adaptive).
 	Adaptive bool
+	// Tech, when enabled, rescales the chip to the given technology node
+	// (sim.Config.Tech).
+	Tech power.TechConfig
+	// Classes, when non-nil, assigns per-island core classes — the
+	// big.LITTLE axis (sim.Config.IslandClasses).
+	Classes []power.CoreClass
 	// WarmEpochs/MeasureEpochs shape the run; zero means the canonical
 	// 2 warm + 4 measured epochs.
 	WarmEpochs    int
@@ -69,8 +75,8 @@ func (s Scenario) meas() int {
 	return 4
 }
 
-// Canonical returns the nine pinned scenarios. Names are stable — they key
-// the golden files.
+// Canonical returns the eleven pinned scenarios. Names are stable — they
+// key the golden files.
 func Canonical() []Scenario {
 	return []Scenario{
 		{Name: "cpm-default", Mix: workload.Mix1, BudgetFrac: 0.8},
@@ -96,6 +102,16 @@ func Canonical() []Scenario {
 		{
 			Name: "cache-aware", Mix: workload.Mix1, BudgetFrac: 0.7,
 			Policy: func() (gpm.Policy, error) { return &gpm.CacheAware{}, nil },
+		},
+		{
+			Name: "hetero-biglittle", Mix: workload.Mix1, BudgetFrac: 0.8,
+			Classes: []power.CoreClass{
+				power.ClassOoO, power.ClassLittleIO, power.ClassOoO, power.ClassLittleIO,
+			},
+		},
+		{
+			Name: "tech-16nm", Mix: workload.Mix1, BudgetFrac: 0.8,
+			Tech: power.TechConfig{Node: power.Node16, Variant: power.ITRS},
 		},
 	}
 }
@@ -155,7 +171,8 @@ var (
 )
 
 func (s Scenario) calibrate(cfg sim.Config) (core.Calibration, error) {
-	key := fmt.Sprintf("%s/var=%d/seed=%d", cfg.Mix.Name, s.Variation.Len(), cfg.Seed)
+	key := fmt.Sprintf("%s/var=%d/seed=%d/tech=%s/classes=%v",
+		cfg.Mix.Name, s.Variation.Len(), cfg.Seed, cfg.Tech, cfg.IslandClasses)
 	scenarioCalMu.Lock()
 	cal, ok := scenarioCal[key]
 	scenarioCalMu.Unlock()
@@ -205,6 +222,8 @@ func (s Scenario) BuildConfig(seed uint64) sim.Config {
 	cfg.Seed = seed
 	cfg.Parallel = false // sequential: golden digests must not depend on GOMAXPROCS
 	cfg.Variation = s.Variation
+	cfg.Tech = s.Tech
+	cfg.IslandClasses = s.Classes
 	return cfg
 }
 
@@ -279,11 +298,8 @@ func (s Scenario) buildCPM(cmp *sim.CMP, cal core.Calibration, budget float64, e
 }
 
 func (s Scenario) buildMaxBIPS(cmp *sim.CMP, budget float64, extra ...engine.Observer) (*engine.Session, *Suite, error) {
-	planner, err := maxbips.New(cmp.Table())
+	planner, err := engine.NewStaticPlanner(cmp)
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := planner.SetStaticTable(engine.StaticPredictionTable(cmp)); err != nil {
 		return nil, nil, err
 	}
 	r, err := engine.NewMaxBIPSRunner(cmp, planner, budget, 20)

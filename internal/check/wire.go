@@ -3,6 +3,7 @@ package check
 import (
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/pic"
+	"github.com/cpm-sim/cpm/internal/power"
 	"github.com/cpm-sim/cpm/internal/sim"
 )
 
@@ -15,14 +16,28 @@ func ForChip(cmp *sim.CMP, budgetW float64) Config {
 	for i := 0; i < n; i++ {
 		islandMax[i] = cmp.IslandMaxPowerW(i)
 	}
-	return Config{
-		Table:         cmp.Table(),
+	cfg := Config{
 		BudgetW:       budgetW,
 		IslandMaxW:    islandMax,
 		MaxChipPowerW: cmp.MaxChipPowerW(),
 		Thermal:       cmp.Thermals().Config(),
-		MaxCorePowerW: cmp.Model().CoreMaxPower(),
 	}
+	if cmp.Heterogeneous() {
+		// Per-island legality tables; the thermal envelope bounds the
+		// hottest core class.
+		tables := make([]*power.DVFSTable, n)
+		for i := 0; i < n; i++ {
+			tables[i] = cmp.IslandTable(i)
+			if w := cmp.IslandModel(i).CoreMaxPower(); w > cfg.MaxCorePowerW {
+				cfg.MaxCorePowerW = w
+			}
+		}
+		cfg.Tables = tables
+	} else {
+		cfg.Table = cmp.Table()
+		cfg.MaxCorePowerW = cmp.Model().CoreMaxPower()
+	}
+	return cfg
 }
 
 // ForCPM wires the full standard suite for a managed run: everything All

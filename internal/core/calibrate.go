@@ -128,16 +128,32 @@ func Calibrate(cfg sim.Config, warm, measure int) (Calibration, error) {
 	}
 	sumU := make([]float64, n)
 	sumP := make([]float64, n)
+	// One chip-wide draw range even on a heterogeneous chip: the draw spans
+	// the largest island table and each island clamps to its own range, so
+	// the RNG stream — and with it every calibration number — is unchanged
+	// on homogeneous chips.
+	maxLevels := 0
+	for i := 0; i < n; i++ {
+		if l := cmp.IslandTable(i).Levels(); l > maxLevels {
+			maxLevels = l
+		}
+	}
 	for w := 0; w < windows; w++ {
 		// One random level per window for the whole chip: memory-channel
 		// contention then matches what the deployed controllers see when
 		// they drive all islands into the same region of the table, which
 		// per-island independent draws would systematically understate.
-		lvl := minLevel + rng.Intn(cmp.Table().Levels()-minLevel)
+		base, span := minLevel, maxLevels-minLevel
+		if span < 1 {
+			// Tables shorter than the excluded band (e.g. single-point
+			// islands) draw over their whole range instead.
+			base, span = 0, maxLevels
+		}
+		lvl := base + rng.Intn(span)
 		for i := 0; i < n; i++ {
 			cmp.SetLevel(i, lvl)
 			sumU[i], sumP[i] = 0, 0
-			lvls[i] = append(lvls[i], lvl)
+			lvls[i] = append(lvls[i], cmp.Level(i))
 		}
 		var norm []float64
 		for k := 0; k < holdIntervals; k++ {
@@ -148,7 +164,11 @@ func Calibrate(cfg sim.Config, warm, measure int) (Calibration, error) {
 			if norm == nil {
 				norm = make([]float64, n)
 				for i, ir := range r.Islands {
-					norm[i] = cmp.Table().NormFreq(ir.FreqMHz)
+					// Each island's frequency normalizes on its *own*
+					// table's axis, so per-island (Δpower, Δfrequency)
+					// pairs — and the plant gain pooled from them — are
+					// dimensionless in the same sense the PICs use.
+					norm[i] = cmp.IslandTable(i).NormFreq(ir.FreqMHz)
 				}
 			}
 			for i, ir := range r.Islands {
@@ -178,7 +198,7 @@ func Calibrate(cfg sim.Config, warm, measure int) (Calibration, error) {
 		}
 		cal.LinearTransducers = append(cal.LinearTransducers, lin)
 		cal.R2 = append(cal.R2, r2)
-		lt, lr2, err := sensor.FitLevelTransducer(lvls[i], utils[i], fracs[i], cmp.Table().Levels())
+		lt, lr2, err := sensor.FitLevelTransducer(lvls[i], utils[i], fracs[i], cmp.IslandTable(i).Levels())
 		if err != nil {
 			return Calibration{}, fmt.Errorf("core: island %d level transducer: %w", i, err)
 		}
@@ -192,15 +212,15 @@ func Calibrate(cfg sim.Config, warm, measure int) (Calibration, error) {
 	cal.PlantGain = gain
 
 	// Power elasticity: regress ln(chip power) on ln(frequency) over the
-	// white-noise windows (levels are chip-wide per window, so island 0's
-	// level list describes every window).
+	// white-noise windows (the draw is chip-wide per window, so island 0's
+	// level list — clamped to its own table — describes every window).
 	var lnF, lnP []float64
 	for w, lvl := range lvls[0] {
 		chip := 0.0
 		for i := 0; i < n; i++ {
 			chip += fracs[i][w]
 		}
-		lnF = append(lnF, math.Log(cmp.Table().Point(lvl).FreqMHz))
+		lnF = append(lnF, math.Log(cmp.IslandTable(0).Point(lvl).FreqMHz))
 		lnP = append(lnP, math.Log(chip))
 	}
 	efit, err := stats.LinReg(lnF, lnP)

@@ -176,7 +176,7 @@ func New(cmp *sim.CMP, cfg Config) (*CPM, error) {
 		}
 		p, err := pic.New(pic.Config{
 			Gains:          cfg.Gains,
-			Table:          cmp.Table(),
+			Table:          cmp.IslandTable(i),
 			IslandMaxW:     cmp.IslandMaxPowerW(i),
 			Transducer:     tr,
 			UseOraclePower: cfg.UseOraclePower,

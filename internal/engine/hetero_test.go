@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/sim"
+	"github.com/cpm-sim/cpm/internal/workload"
+)
+
+// heteroChip builds the smallest asymmetric-table chip: one big (OoO) and
+// one little (in-order) island, each with its own DVFS table.
+func heteroChip(t testing.TB) *sim.CMP {
+	t.Helper()
+	cfg := sim.DefaultConfig(workload.Mix{
+		Name:    "tiny",
+		Islands: [][]string{{"bschls"}, {"fsim"}},
+	})
+	cfg.IslandClasses = []power.CoreClass{power.ClassOoO, power.ClassLittleIO}
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+// TestStaticPredictionTablePerIsland is the audit regression for the
+// chip-global Table()/Model() assumption: under asymmetric tables every
+// prediction row must be sized and priced by its island's *own* table —
+// code routed through the legacy chip-wide accessors cannot even build the
+// table (they panic on a heterogeneous chip), and a chip-wide row length
+// would misindex the little island's shorter table.
+func TestStaticPredictionTablePerIsland(t *testing.T) {
+	cmp := heteroChip(t)
+	tbl := StaticPredictionTable(cmp)
+	if len(tbl) != cmp.NumIslands() {
+		t.Fatalf("prediction table has %d rows for %d islands", len(tbl), cmp.NumIslands())
+	}
+	for i, row := range tbl {
+		want := cmp.IslandTable(i).Levels()
+		if len(row) != want {
+			t.Errorf("island %d row has %d levels, its table has %d", i, len(row), want)
+		}
+		for l := 1; l < len(row); l++ {
+			if row[l] <= row[l-1] {
+				t.Errorf("island %d prediction not increasing at level %d: %.4f <= %.4f",
+					i, l, row[l], row[l-1])
+			}
+		}
+	}
+	// The little island's top-level prediction must be cheaper than the
+	// big island's: that is the whole point of its class-scaled model.
+	bigTop := tbl[0][len(tbl[0])-1]
+	littleTop := tbl[1][len(tbl[1])-1]
+	if littleTop >= bigTop {
+		t.Errorf("little island top prediction %.3f W not below big %.3f W", littleTop, bigTop)
+	}
+}
+
+// TestStaticPlannerHeterogeneous runs the full MaxBIPS baseline over an
+// asymmetric-table chip: the planner must pick levels legal for each
+// island's own table at every epoch.
+func TestStaticPlannerHeterogeneous(t *testing.T) {
+	cmp := heteroChip(t)
+	planner, err := NewStaticPlanner(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewMaxBIPSRunner(cmp, planner, 0.7*cmp.MaxChipPowerW(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3*20; k++ {
+		st := r.Step()
+		for i, ir := range st.Sim.Islands {
+			if max := cmp.IslandTable(i).Levels(); ir.Level < 0 || ir.Level >= max {
+				t.Fatalf("interval %d: island %d at level %d, table has %d levels",
+					k, i, ir.Level, max)
+			}
+		}
+	}
+}

@@ -92,18 +92,46 @@ func (r *MaxBIPSRunner) Step() Step {
 // MaxBIPS selects from: per island and level, the nominal power of its
 // cores at a typical 70% activity plus reference-temperature leakage — the
 // kind of offline table a datasheet-driven implementation would carry.
+// Every island is characterized from its *own* model and table, so row
+// lengths differ on a chip whose islands run different tables.
 func StaticPredictionTable(cmp *sim.CMP) [][]float64 {
-	m := cmp.Model()
-	levels := cmp.Table().Levels()
 	out := make([][]float64, cmp.NumIslands())
 	for i := range out {
-		out[i] = make([]float64, levels)
-		for l := 0; l < levels; l++ {
-			op := cmp.Table().Point(l)
+		m := cmp.IslandModel(i)
+		tbl := cmp.IslandTable(i)
+		out[i] = make([]float64, tbl.Levels())
+		for l := 0; l < tbl.Levels(); l++ {
+			op := tbl.Point(l)
 			corePred := 0.7*m.Dynamic.Power(op, power.FullActivity()) +
 				m.Leakage.Power(op.VoltageV, m.Leakage.TRefC, 1)
 			out[i][l] = corePred * float64(cmp.IslandCores(i))
 		}
 	}
 	return out
+}
+
+// NewPlanner builds an observation-driven (adaptive) MaxBIPS planner over
+// the chip's own per-island tables, so heterogeneous chips are planned on
+// the right axes.
+func NewPlanner(cmp *sim.CMP) (*maxbips.Planner, error) {
+	tables := make([]*power.DVFSTable, cmp.NumIslands())
+	for i := range tables {
+		tables[i] = cmp.IslandTable(i)
+	}
+	return maxbips.NewPerIsland(tables)
+}
+
+// NewStaticPlanner builds the static-table MaxBIPS planner for a chip —
+// one planning table per island plus the StaticPredictionTable — the one
+// constructor every driver (sweep, farm, serve, experiments) should use so
+// heterogeneous chips are planned on the right axes.
+func NewStaticPlanner(cmp *sim.CMP) (*maxbips.Planner, error) {
+	planner, err := NewPlanner(cmp)
+	if err != nil {
+		return nil, err
+	}
+	if err := planner.SetStaticTable(StaticPredictionTable(cmp)); err != nil {
+		return nil, err
+	}
+	return planner, nil
 }

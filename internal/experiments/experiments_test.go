@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"ext1", "ext2", "ext3", "scorecard",
+		"ext1", "ext2", "ext3", "scorecard", "technode",
 	}
 	all := All()
 	if len(all) != len(want) {

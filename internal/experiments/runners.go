@@ -7,7 +7,6 @@ import (
 	"github.com/cpm-sim/cpm/internal/core"
 	"github.com/cpm-sim/cpm/internal/engine"
 	"github.com/cpm-sim/cpm/internal/gpm"
-	"github.com/cpm-sim/cpm/internal/maxbips"
 	"github.com/cpm-sim/cpm/internal/metrics"
 	"github.com/cpm-sim/cpm/internal/pic"
 	"github.com/cpm-sim/cpm/internal/sim"
@@ -114,7 +113,7 @@ func runMaxBIPS(cfg sim.Config, budgetW float64, gpmPeriod, warmEpochs, measEpoc
 	if err != nil {
 		return runSummary{}, err
 	}
-	planner, err := maxbips.New(cmp.Table())
+	planner, err := engine.NewPlanner(cmp)
 	if err != nil {
 		return runSummary{}, err
 	}

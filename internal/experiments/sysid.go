@@ -48,7 +48,7 @@ func runFig5(o Options) (Result, error) {
 	}
 	const hold = 4
 	rng := stats.NewRand(stats.DeriveSeed(cfg.Seed, 0xf165))
-	table := cmp.Table()
+	table := cmp.IslandTable(0)
 
 	var actual []float64
 	var freqDeltas []float64
@@ -134,7 +134,7 @@ func runFig6(o Options) (Result, error) {
 		var utils, fracs []float64
 		const hold = 6
 		for w := 0; w < windows; w++ {
-			lvl := rng.Intn(cmp.Table().Levels())
+			lvl := rng.Intn(cmp.IslandTable(0).Levels())
 			for i := 0; i < cmp.NumIslands(); i++ {
 				cmp.SetLevel(i, lvl)
 			}

@@ -7,6 +7,7 @@ import (
 	"github.com/cpm-sim/cpm/internal/cache"
 	"github.com/cpm-sim/cpm/internal/mem"
 	"github.com/cpm-sim/cpm/internal/power"
+	"github.com/cpm-sim/cpm/internal/sim"
 	"github.com/cpm-sim/cpm/internal/trace"
 	"github.com/cpm-sim/cpm/internal/uarch"
 	"github.com/cpm-sim/cpm/internal/workload"
@@ -39,19 +40,27 @@ func runTable1(o Options) (Result, error) {
 	l1 := cache.TableIL1()
 	l2 := cache.TableIL2PerCore()
 	m := mem.TableI()
+	// The technology and CMP-configuration rows are derived from the chip
+	// the default configuration actually builds — not hardcoded — so a
+	// tech-scaled or heterogeneous default would be reported truthfully.
+	cfg := sim.DefaultConfig(workload.Mix1())
+	cmp, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	rows := [][]string{
-		{"Technology", "90 nm-class, 2 GHz nominal"},
+		{"Technology", describeTech(cmp)},
 		{"Core fetch/issue/commit width", fmt.Sprintf("%d/%d/%d", p.FetchWidth, p.IssueWidth, p.CommitWidth)},
 		{"ROB / issue queue", fmt.Sprintf("%d / %d entries", p.ROBSize, p.IQSize)},
 		{"L1 data cache", describeCache(l1)},
 		{"L1 instruction cache", describeCache(l1)},
 		{"L2 cache", describeCache(l2) + " per core"},
 		{"Memory", fmt.Sprintf("%.0f ns (%.0f cycles at 2 GHz), %.1f GB/s", m.BaseLatencyNs, m.BaseLatencyNs*2, m.BandwidthGBs)},
-		{"CMP configuration", "8 out-of-order cores (4 islands, 2 cores per island)"},
+		{"CMP configuration", describeCMP(cmp)},
 	}
 	b.WriteString(trace.Table([]string{"Parameter", "Value"}, rows))
 	b.WriteString("\nDVFS operating points (Pentium-M derived):\n")
-	tbl := power.PentiumM()
+	tbl := cmp.IslandTable(0)
 	var vf [][]string
 	for i := 0; i < tbl.Levels(); i++ {
 		op := tbl.Point(i)
@@ -126,4 +135,61 @@ func runTable3(o Options) (Result, error) {
 func describeCache(c cache.Config) string {
 	return fmt.Sprintf("%d KB, %d-way, %d B blocks, %d-cycle",
 		c.SizeBytes/1024, c.Assoc, c.BlockBytes, c.LatencyCycles)
+}
+
+// describeTech renders the chip's technology row from its actual
+// configuration: the 90 nm-class baseline when no scaling is enabled,
+// otherwise the node/variant with the scaled top frequency.
+func describeTech(cmp *sim.CMP) string {
+	top := 0.0
+	for i := 0; i < cmp.NumIslands(); i++ {
+		if f := cmp.IslandTable(i).Max().FreqMHz; f > top {
+			top = f
+		}
+	}
+	if tech := cmp.Tech(); tech.Enabled() {
+		return fmt.Sprintf("%s (Lumos-scaled), %.2g GHz nominal", tech, top/1000)
+	}
+	return fmt.Sprintf("90 nm-class, %.2g GHz nominal", top/1000)
+}
+
+// describeCMP renders the chip-organization row from the chip itself:
+// core count, island count and per-island population, and — on a
+// heterogeneous chip — the per-class split instead of a blanket
+// "out-of-order".
+func describeCMP(cmp *sim.CMP) string {
+	n := cmp.NumIslands()
+	perIsland := cmp.IslandCores(0)
+	uniform := true
+	counts := map[power.CoreClass]int{}
+	for i := 0; i < n; i++ {
+		if cmp.IslandCores(i) != perIsland {
+			uniform = false
+		}
+		counts[cmp.IslandClass(i)] += cmp.IslandCores(i)
+	}
+	var kind string
+	if cmp.Heterogeneous() {
+		var parts []string
+		for _, class := range []power.CoreClass{power.ClassOoO, power.ClassLittleIO} {
+			if c := counts[class]; c > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", c, classDescription(class)))
+			}
+		}
+		kind = strings.Join(parts, " + ") + " cores"
+	} else {
+		kind = fmt.Sprintf("%d %s cores", cmp.NumCores(), classDescription(cmp.IslandClass(0)))
+	}
+	if uniform {
+		return fmt.Sprintf("%s (%d islands, %d cores per island)", kind, n, perIsland)
+	}
+	return fmt.Sprintf("%s (%d islands)", kind, n)
+}
+
+// classDescription spells a core class out for the configuration table.
+func classDescription(c power.CoreClass) string {
+	if c == power.ClassLittleIO {
+		return "in-order little"
+	}
+	return "out-of-order"
 }

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestTechNodeStudy pins the shape of the budget-split-vs-node study: every
+// node reports a best split inside the swept grid with positive BIPS, the
+// legacy 90 nm chip and the identity 45 nm node agree exactly, and the
+// scaled chips' budgets shrink with the node.
+func TestTechNodeStudy(t *testing.T) {
+	r := quick(t, "technode")
+	nodes := []string{"90nm-base", "45nm-itrs", "32nm-itrs", "22nm-itrs", "16nm-itrs", "11nm-itrs", "8nm-itrs"}
+	for _, n := range nodes {
+		share := r.Metrics["opt_big_share_"+n]
+		if share < 0.5 || share > 0.85 {
+			t.Errorf("%s optimal big share %.2f outside the swept grid", n, share)
+		}
+		if bips := r.Metrics["bips_"+n]; bips <= 0 {
+			t.Errorf("%s best BIPS %.3f not positive", n, bips)
+		}
+	}
+	if r.Metrics["bips_90nm-base"] != r.Metrics["bips_45nm-itrs"] ||
+		r.Metrics["budget_w_90nm-base"] != r.Metrics["budget_w_45nm-itrs"] {
+		t.Error("45 nm ITRS is the identity scaling and must match the 90 nm-class baseline exactly")
+	}
+	for i := 2; i < len(nodes); i++ {
+		prev, cur := r.Metrics["budget_w_"+nodes[i-1]], r.Metrics["budget_w_"+nodes[i]]
+		if cur >= prev {
+			t.Errorf("budget did not shrink %s -> %s: %.2f W >= %.2f W", nodes[i-1], nodes[i], cur, prev)
+		}
+	}
+}

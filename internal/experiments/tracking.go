@@ -292,12 +292,19 @@ func runFig10(o Options) (Result, error) {
 // of the table, the tracking resolution.
 func quantumW(cfg sim.Config, islandIdx int) float64 {
 	// One level step changes island power by roughly swing/(levels-1);
-	// use the calibrated island max power with a 0.6 swing estimate.
+	// use the calibrated island max power with a 0.6 swing estimate. The
+	// island's own table sets the step count; a single-point table has no
+	// steps, so the divisor clamps to 1 (the quantum degenerates to the
+	// whole swing) instead of dividing by zero.
 	c, err := sim.New(cfg)
 	if err != nil {
 		return 1
 	}
-	return 0.6 * c.IslandMaxPowerW(islandIdx) / float64(c.Table().Levels()-1)
+	steps := c.IslandTable(islandIdx).Levels() - 1
+	if steps < 1 {
+		steps = 1
+	}
+	return 0.6 * c.IslandMaxPowerW(islandIdx) / float64(steps)
 }
 
 func mean(xs []float64) float64 {

@@ -45,8 +45,18 @@ type WorkloadKey string
 
 // KeyOf derives the workload key of a configuration.
 func KeyOf(cfg sim.Config) WorkloadKey {
-	return WorkloadKey(fmt.Sprintf("seed=%d/mix=%s%v/core=%+v/sharedl2=%v/pref=%d",
-		cfg.Seed, cfg.Mix.Name, cfg.Mix.Islands, cfg.Core, cfg.SharedL2, cfg.L2PrefetchDegree))
+	k := fmt.Sprintf("seed=%d/mix=%s%v/core=%+v/sharedl2=%v/pref=%d",
+		cfg.Seed, cfg.Mix.Name, cfg.Mix.Islands, cfg.Core, cfg.SharedL2, cfg.L2PrefetchDegree)
+	// Trace records depend on each island's core pipeline and frequency
+	// axis, so the tech node and island classes are part of workload
+	// identity; appended only when in use, legacy keys stay byte-identical.
+	if cfg.Tech.Enabled() {
+		k += "/tech=" + cfg.Tech.String()
+	}
+	if cfg.IslandClasses != nil {
+		k += fmt.Sprintf("/classes=%v", cfg.IslandClasses)
+	}
+	return WorkloadKey(k)
 }
 
 // ChipSpec describes one member chip of a farm.

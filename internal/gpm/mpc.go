@@ -145,6 +145,13 @@ func (p *ModelPredictive) Provision(budgetW float64, obs []IslandObs) []float64 
 		if f := demonstratedFloorFrac * pow[i] / budgetW; f > floor[i] {
 			floor[i] = f
 		}
+		// A floor above the island's physical cap would pin budget on an
+		// island that cannot spend it — on a heterogeneous chip a little
+		// island's cap share sits well below the equal split, so the floor
+		// clamps to the cap first.
+		if cap := caps[i] / budgetW; floor[i] > cap {
+			floor[i] = cap
+		}
 		if floor[i] > p.shares[i] {
 			floor[i] = p.shares[i]
 		}

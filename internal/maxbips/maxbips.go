@@ -40,7 +40,10 @@ type IslandObs struct {
 
 // Planner chooses DVFS level combinations.
 type Planner struct {
-	table  *power.DVFSTable
+	// shared is the chip-global table in legacy mode (every island planned
+	// on the same axis); tables carries one table per island otherwise.
+	shared *power.DVFSTable
+	tables []*power.DVFSTable
 	static [][]float64
 	// ExhaustiveLimit is the largest island count planned exhaustively;
 	// larger configurations use the DP (default 6: 8⁶ ≈ 262k combinations).
@@ -49,28 +52,63 @@ type Planner struct {
 	PowerQuantum float64
 }
 
-// New builds a planner over the given DVFS table.
+// New builds a planner over a chip-global DVFS table, applied to every
+// island — the legacy homogeneous mode.
 func New(table *power.DVFSTable) (*Planner, error) {
 	if table == nil {
 		return nil, errors.New("maxbips: nil DVFS table")
 	}
-	return &Planner{table: table, ExhaustiveLimit: 6, PowerQuantum: 0.25}, nil
+	return &Planner{shared: table, ExhaustiveLimit: 6, PowerQuantum: 0.25}, nil
+}
+
+// NewPerIsland builds a planner over per-island DVFS tables (one per
+// island, in island order) so heterogeneous chips are planned on each
+// island's own operating points. Observations passed to Choose must cover
+// exactly these islands.
+func NewPerIsland(tables []*power.DVFSTable) (*Planner, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("maxbips: no island tables")
+	}
+	for i, t := range tables {
+		if t == nil {
+			return nil, fmt.Errorf("maxbips: nil DVFS table for island %d", i)
+		}
+	}
+	return &Planner{tables: tables, ExhaustiveLimit: 6, PowerQuantum: 0.25}, nil
+}
+
+// tbl returns island i's planning table.
+func (p *Planner) tbl(i int) *power.DVFSTable {
+	if p.shared != nil {
+		return p.shared
+	}
+	return p.tables[i]
+}
+
+// islands returns the island count the planner is sized for, or -1 in
+// chip-global mode (any count).
+func (p *Planner) islands() int {
+	if p.shared != nil {
+		return -1
+	}
+	return len(p.tables)
 }
 
 // predict fills per-island predicted power and BIPS for every level,
 // scaling the observed operating point by the static table: BIPS ∝ f,
 // P ∝ V²f (both normalized to the observed level).
 func (p *Planner) predict(obs []IslandObs) (pw, bips [][]float64) {
-	l := p.table.Levels()
 	pw = make([][]float64, len(obs))
 	bips = make([][]float64, len(obs))
 	for i, o := range obs {
+		t := p.tbl(i)
+		l := t.Levels()
 		pw[i] = make([]float64, l)
 		bips[i] = make([]float64, l)
-		cur := p.table.Point(p.table.ClampLevel(o.Level))
+		cur := t.Point(t.ClampLevel(o.Level))
 		curVF := cur.VoltageV * cur.VoltageV * cur.FreqMHz
 		for lvl := 0; lvl < l; lvl++ {
-			op := p.table.Point(lvl)
+			op := t.Point(lvl)
 			pw[i][lvl] = o.PowerW * (op.VoltageV * op.VoltageV * op.FreqMHz) / curVF
 			bips[i][lvl] = o.BIPS * op.FreqMHz / cur.FreqMHz
 		}
@@ -85,6 +123,9 @@ func (p *Planner) predict(obs []IslandObs) (pw, bips [][]float64) {
 func (p *Planner) Choose(budgetW float64, obs []IslandObs) []int {
 	if len(obs) == 0 {
 		return nil
+	}
+	if n := p.islands(); n >= 0 && len(obs) != n {
+		panic(fmt.Sprintf("maxbips: %d observations for a planner over %d island tables", len(obs), n))
 	}
 	if p.static != nil {
 		return p.chooseStaticUniform(budgetW, len(obs))
@@ -101,14 +142,14 @@ func (p *Planner) Choose(budgetW float64, obs []IslandObs) []int {
 // completion already busts the budget.
 func (p *Planner) exhaustive(budgetW float64, pw, bips [][]float64) []int {
 	n := len(pw)
-	l := p.table.Levels()
 
 	// minTail[i] = Σ_{j>=i} min_l pw[j][l]: the cheapest possible
-	// completion from island i on.
+	// completion from island i on. Level counts are per island (pw rows
+	// are sized by each island's own table).
 	minTail := make([]float64, n+1)
 	for i := n - 1; i >= 0; i-- {
 		minP := math.Inf(1)
-		for lvl := 0; lvl < l; lvl++ {
+		for lvl := 0; lvl < len(pw[i]); lvl++ {
 			if pw[i][lvl] < minP {
 				minP = pw[i][lvl]
 			}
@@ -132,7 +173,7 @@ func (p *Planner) exhaustive(budgetW float64, pw, bips [][]float64) []int {
 			}
 			return
 		}
-		for lvl := l - 1; lvl >= 0; lvl-- { // try fast levels first
+		for lvl := len(pw[i]) - 1; lvl >= 0; lvl-- { // try fast levels first
 			cur[i] = lvl
 			rec(i+1, usedPower+pw[i][lvl], gotBIPS+bips[i][lvl])
 		}
@@ -145,7 +186,6 @@ func (p *Planner) exhaustive(budgetW float64, pw, bips [][]float64) []int {
 // power quantized to PowerQuantum bins.
 func (p *Planner) quantizedDP(budgetW float64, pw, bips [][]float64) []int {
 	n := len(pw)
-	l := p.table.Levels()
 	q := p.PowerQuantum
 	if q <= 0 {
 		q = 0.25
@@ -173,7 +213,7 @@ func (p *Planner) quantizedDP(budgetW float64, pw, bips [][]float64) []int {
 			if !reach[b] {
 				continue
 			}
-			for lvl := 0; lvl < l; lvl++ {
+			for lvl := 0; lvl < len(pw[i]); lvl++ {
 				cost := int(math.Ceil(pw[i][lvl] / q))
 				nb := b + cost
 				if nb >= bins {
@@ -241,9 +281,12 @@ func (p *Planner) SetStaticTable(table [][]float64) error {
 	if len(table) == 0 {
 		return errors.New("maxbips: empty static table")
 	}
+	if n := p.islands(); n >= 0 && len(table) != n {
+		return fmt.Errorf("maxbips: static table covers %d islands, planner has %d", len(table), n)
+	}
 	for i, row := range table {
-		if len(row) != p.table.Levels() {
-			return fmt.Errorf("maxbips: island %d has %d levels, want %d", i, len(row), p.table.Levels())
+		if len(row) != p.tblForRow(i).Levels() {
+			return fmt.Errorf("maxbips: island %d has %d levels, want %d", i, len(row), p.tblForRow(i).Levels())
 		}
 	}
 	p.static = table
@@ -253,17 +296,43 @@ func (p *Planner) SetStaticTable(table [][]float64) error {
 // Static reports whether a static table is installed.
 func (p *Planner) Static() bool { return p.static != nil }
 
+// tblForRow returns the table governing static-table row i; chip-global
+// planners use the shared table for every row.
+func (p *Planner) tblForRow(i int) *power.DVFSTable {
+	if p.shared != nil {
+		return p.shared
+	}
+	if i >= len(p.tables) {
+		i = len(p.tables) - 1
+	}
+	return p.tables[i]
+}
+
 // chooseStaticUniform picks the highest uniform level fitting the budget.
+// On a heterogeneous chip "uniform" means the same level index with each
+// island clamped to its own table: shorter tables saturate at their top
+// while longer ones keep climbing.
 func (p *Planner) chooseStaticUniform(budgetW float64, n int) []int {
 	out := make([]int, n)
 	if n > len(p.static) {
 		n = len(p.static)
 	}
+	maxLevels := 0
+	for i := 0; i < n; i++ {
+		if l := len(p.static[i]); l > maxLevels {
+			maxLevels = l
+		}
+	}
 	best := 0
-	for lvl := p.table.Levels() - 1; lvl >= 0; lvl-- {
+	for lvl := maxLevels - 1; lvl >= 0; lvl-- {
 		total := 0.0
 		for i := 0; i < n; i++ {
-			total += p.static[i][lvl]
+			row := p.static[i]
+			li := lvl
+			if li >= len(row) {
+				li = len(row) - 1
+			}
+			total += row[li]
 		}
 		if total <= budgetW {
 			best = lvl
@@ -271,7 +340,11 @@ func (p *Planner) chooseStaticUniform(budgetW float64, n int) []int {
 		}
 	}
 	for i := range out {
-		out[i] = best
+		li := best
+		if i < len(p.static) && li >= len(p.static[i]) {
+			li = len(p.static[i]) - 1
+		}
+		out[i] = li
 	}
 	return out
 }

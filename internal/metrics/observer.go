@@ -162,9 +162,11 @@ func (o *Observer) ensureIslands(n int) {
 func (o *Observer) initChip(chip *sim.CMP) {
 	resV := o.reg.CounterVec("cpm_island_level_residency_intervals_total",
 		"Intervals the island spent at each DVFS level.", "run", "island", "level")
-	levels := chip.Table().Levels()
 	o.residency = make([][]*Counter, chip.NumIslands())
 	for i := range o.residency {
+		// Each island's counter cardinality is its *own* table depth — on a
+		// heterogeneous chip islands legitimately differ.
+		levels := chip.IslandTable(i).Levels()
 		is := strconv.Itoa(i)
 		o.residency[i] = make([]*Counter, levels)
 		for l := 0; l < levels; l++ {

@@ -1,0 +1,190 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTechDisabledIsIdentity pins the bit-identity contract of the legacy
+// path: a zero TechConfig and the OoO class return the *same* table and
+// model pointers, so an unscaled chip cannot drift from the seed numerics.
+func TestTechDisabledIsIdentity(t *testing.T) {
+	base := DefaultModel()
+	tbl, err := ScaleTable(base.Table, TechConfig{})
+	if err != nil {
+		t.Fatalf("ScaleTable: %v", err)
+	}
+	if tbl != base.Table {
+		t.Fatal("disabled ScaleTable did not return the input table pointer")
+	}
+	m, err := ScaleModel(base, TechConfig{})
+	if err != nil {
+		t.Fatalf("ScaleModel: %v", err)
+	}
+	if m != base {
+		t.Fatal("disabled ScaleModel did not return the input model pointer")
+	}
+	m, err = ModelFor(base, TechConfig{}, ClassOoO)
+	if err != nil {
+		t.Fatalf("ModelFor: %v", err)
+	}
+	if m != base {
+		t.Fatal("ModelFor with zero config did not return the input model pointer")
+	}
+}
+
+// TestTechScalingMonotone is the shrink-axis property test: walking the
+// nodes from 45 nm down to 8 nm, top frequency must not decrease, supply
+// voltage must not increase, switching power must not increase, and the
+// leakage share of nominal power must not decrease — for both variants.
+func TestTechScalingMonotone(t *testing.T) {
+	base := DefaultModel()
+	for _, variant := range []TechVariant{ITRS, Conservative} {
+		prevFreq, prevVdd := 0.0, math.Inf(1)
+		prevPow, prevShare := math.Inf(1), 0.0
+		for _, node := range Nodes() {
+			cfg := TechConfig{Node: node, Variant: variant}
+			m, err := ScaleModel(base, cfg)
+			if err != nil {
+				t.Fatalf("%s: ScaleModel: %v", cfg, err)
+			}
+			top := m.Table.Max()
+			if top.FreqMHz < prevFreq {
+				t.Errorf("%s: top frequency %.1f MHz decreased under shrink (prev %.1f)", cfg, top.FreqMHz, prevFreq)
+			}
+			if top.VoltageV > prevVdd {
+				t.Errorf("%s: top voltage %.3f V increased under shrink (prev %.3f)", cfg, top.VoltageV, prevVdd)
+			}
+			if m.Dynamic.CoreMaxW > prevPow {
+				t.Errorf("%s: dynamic power %.3f W increased under shrink (prev %.3f)", cfg, m.Dynamic.CoreMaxW, prevPow)
+			}
+			share := m.Leakage.NomW / m.Dynamic.CoreMaxW
+			if share < prevShare {
+				t.Errorf("%s: leakage share %.4f decreased under shrink (prev %.4f)", cfg, share, prevShare)
+			}
+			prevFreq, prevVdd, prevPow, prevShare = top.FreqMHz, top.VoltageV, m.Dynamic.CoreMaxW, share
+		}
+	}
+}
+
+// TestTechLeakageOrdering checks the variant property: at every node the
+// aggressive ITRS projection carries a leakage share of nominal power at
+// least as large as the conservative one.
+func TestTechLeakageOrdering(t *testing.T) {
+	base := DefaultModel()
+	for _, node := range Nodes() {
+		itrs, err := ScaleModel(base, TechConfig{Node: node, Variant: ITRS})
+		if err != nil {
+			t.Fatalf("%s itrs: %v", node, err)
+		}
+		cons, err := ScaleModel(base, TechConfig{Node: node, Variant: Conservative})
+		if err != nil {
+			t.Fatalf("%s cons: %v", node, err)
+		}
+		si := itrs.Leakage.NomW / itrs.Dynamic.CoreMaxW
+		sc := cons.Leakage.NomW / cons.Dynamic.CoreMaxW
+		if si < sc {
+			t.Errorf("%s: ITRS leakage share %.4f below conservative %.4f", node, si, sc)
+		}
+	}
+}
+
+// TestTechTablesValid re-validates every scaled table through NewDVFSTable
+// and checks the vth floor: no surviving point may sit below MinVddV, and
+// the expected level counts pin where the floor bites (ITRS loses the
+// bottom of the Pentium-M table from 16 nm on; conservative never does).
+func TestTechTablesValid(t *testing.T) {
+	wantLevels := map[TechVariant]map[TechNode]int{
+		ITRS:         {Node45: 8, Node32: 8, Node22: 8, Node16: 7, Node11: 6, Node8: 5},
+		Conservative: {Node45: 8, Node32: 8, Node22: 8, Node16: 8, Node11: 8, Node8: 8},
+	}
+	base := PentiumM()
+	for _, variant := range []TechVariant{ITRS, Conservative} {
+		for _, node := range Nodes() {
+			cfg := TechConfig{Node: node, Variant: variant}
+			tbl, err := ScaleTable(base, cfg)
+			if err != nil {
+				t.Fatalf("%s: ScaleTable: %v", cfg, err)
+			}
+			if got, want := tbl.Levels(), wantLevels[variant][node]; got != want {
+				t.Errorf("%s: %d levels, want %d", cfg, got, want)
+			}
+			floor, err := MinVddV(node)
+			if err != nil {
+				t.Fatalf("%s: MinVddV: %v", node, err)
+			}
+			pts := make([]OperatingPoint, 0, tbl.Levels())
+			for i := 0; i < tbl.Levels(); i++ {
+				p := tbl.Point(i)
+				if p.VoltageV < floor {
+					t.Errorf("%s level %d: voltage %.4f below floor %.4f", cfg, i, p.VoltageV, floor)
+				}
+				pts = append(pts, p)
+			}
+			if _, err := NewDVFSTable(pts); err != nil {
+				t.Errorf("%s: scaled points fail validation: %v", cfg, err)
+			}
+		}
+	}
+}
+
+// TestModelForClassLittle checks the little-core specialization: ~0.31×
+// power in both components, a frequency axis stretched ~13% at unchanged
+// voltages, and the OoO class as a pointer-identity no-op.
+func TestModelForClassLittle(t *testing.T) {
+	base := DefaultModel()
+	same, err := ModelForClass(base, ClassOoO)
+	if err != nil {
+		t.Fatalf("ModelForClass(OoO): %v", err)
+	}
+	if same != base {
+		t.Fatal("ClassOoO did not return the input model pointer")
+	}
+	little, err := ModelForClass(base, ClassLittleIO)
+	if err != nil {
+		t.Fatalf("ModelForClass(LittleIO): %v", err)
+	}
+	if little.Table.Levels() != base.Table.Levels() {
+		t.Fatalf("little table has %d levels, want %d", little.Table.Levels(), base.Table.Levels())
+	}
+	for i := 0; i < base.Table.Levels(); i++ {
+		b, l := base.Table.Point(i), little.Table.Point(i)
+		if l.VoltageV != b.VoltageV {
+			t.Errorf("level %d: little voltage %.4f differs from big %.4f", i, l.VoltageV, b.VoltageV)
+		}
+		if got, want := l.FreqMHz, b.FreqMHz*littleFreqScale; math.Abs(got-want) > 1e-9*want {
+			t.Errorf("level %d: little frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+	if got, want := little.Dynamic.CoreMaxW, base.Dynamic.CoreMaxW*littlePowerScale; got != want {
+		t.Errorf("little CoreMaxW %.4f, want %.4f", got, want)
+	}
+	if got, want := little.Leakage.NomW, base.Leakage.NomW*littlePowerScale; got != want {
+		t.Errorf("little leakage NomW %.4f, want %.4f", got, want)
+	}
+	if little.CoreMaxPower() >= base.CoreMaxPower() {
+		t.Errorf("little core max power %.3f W not below big %.3f W", little.CoreMaxPower(), base.CoreMaxPower())
+	}
+}
+
+// TestTechConfigValidate rejects unknown nodes and variants.
+func TestTechConfigValidate(t *testing.T) {
+	if err := (TechConfig{}).Validate(); err != nil {
+		t.Errorf("zero config: %v", err)
+	}
+	if err := (TechConfig{Node: 7}).Validate(); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := (TechConfig{Node: Node16, Variant: 9}).Validate(); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if err := CoreClass(9).Validate(); err == nil {
+		t.Error("unknown core class accepted")
+	}
+	if _, err := ScaleTable(PentiumM(), TechConfig{Node: 7}); err == nil {
+		t.Error("ScaleTable accepted unknown node")
+	}
+	if _, err := ModelFor(nil, TechConfig{}, ClassOoO); err == nil {
+		t.Error("ModelFor accepted nil base model")
+	}
+}

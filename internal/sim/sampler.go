@@ -70,9 +70,21 @@ func NewSampler(cfg Config) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The per-island core configurations must match the live chip's exactly
+	// — a class or tech mismatch would change the record stream (pipeline
+	// widths shape the CPI floor), so the sampler resolves islands through
+	// the same helpers as newChip.
+	_, islandModels, classes, err := resolveIslandModels(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Sampler{cfg: cfg}
 	coreID := 0
-	for _, islandProfiles := range profiles {
+	for islandID, islandProfiles := range profiles {
+		coreCfg, err := islandCoreConfig(cfg, classes[islandID], islandModels[islandID].Table)
+		if err != nil {
+			return nil, err
+		}
 		shared, err := islandL2(cfg, len(islandProfiles))
 		if err != nil {
 			return nil, err
@@ -83,7 +95,7 @@ func NewSampler(cfg Config) (*Sampler, error) {
 			if err != nil {
 				return nil, err
 			}
-			core, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), cfg.Core, prof, h, memsys)
+			core, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), coreCfg, prof, h, memsys)
 			if err != nil {
 				return nil, fmt.Errorf("sim: sampler core %d (%s): %w", coreID, prof.Name, err)
 			}

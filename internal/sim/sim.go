@@ -43,6 +43,18 @@ type Config struct {
 	Core uarch.Config
 	// Power is the power model (DefaultModel if nil).
 	Power *power.Model
+	// Tech selects a technology node that rescales the power model and the
+	// DVFS table (power.ScaleModel) before any per-island specialization.
+	// The zero value applies no scaling at all: the chip is bit-identical
+	// to one built before the tech axis existed.
+	Tech power.TechConfig
+	// IslandClasses assigns a core class per island for heterogeneous
+	// big.LITTLE chips: each island gets its own DVFS table, power-model
+	// scalars (power.ModelForClass) and pipeline preset
+	// (uarch.ParamsForClass). Nil means every island runs the big
+	// out-of-order class on the chip-wide model — the legacy homogeneous
+	// path. When non-nil the length must equal the mix's island count.
+	IslandClasses []power.CoreClass
 	// Mem is the memory system configuration.
 	Mem mem.Config
 	// Thermal is the RC thermal configuration.
@@ -182,6 +194,12 @@ type islandState struct {
 	isl       *island.Island
 	cores     []coreModel
 	maxPowerW float64
+	// model is the island's own power model: on a homogeneous chip every
+	// island aliases the chip model (pointer-identical, so the legacy
+	// numerics are untouched); on a heterogeneous or tech-scaled chip each
+	// class carries its own scaled table and reference parameters.
+	model *power.Model
+	class power.CoreClass
 	// sharedL2 is the island's shared banked L2 when Config.SharedL2 is
 	// set (nil otherwise); retained so a snapshot captures the shared
 	// state exactly once per island instead of once per core.
@@ -296,9 +314,9 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 	if cfg.L2PrefetchDegree > 0 && cfg.SharedL2 {
 		return nil, errors.New("sim: L2 prefetching requires private L2 slices")
 	}
-	model := cfg.Power
-	if model == nil {
-		model = power.DefaultModel()
+	model, islandModels, classes, err := resolveIslandModels(cfg)
+	if err != nil {
+		return nil, err
 	}
 	memsys, err := mem.New(cfg.Mem)
 	if err != nil {
@@ -320,14 +338,6 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 		return nil, err
 	}
 
-	initLevel := cfg.InitialLevel
-	if initLevel < 0 {
-		initLevel = model.Table.Levels() - 1
-	}
-	if initLevel != model.Table.ClampLevel(initLevel) {
-		return nil, fmt.Errorf("sim: initial level %d out of range", initLevel)
-	}
-
 	c := &CMP{
 		cfg:        cfg,
 		model:      model,
@@ -335,7 +345,6 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 		thermals:   th,
 		varmap:     cfg.Variation,
 		nCores:     nCores,
-		maxChipW:   model.MaxChipPower(nCores),
 		corePowers: make([]float64, nCores),
 		coreCPIs:   make([]float64, nCores),
 	}
@@ -359,7 +368,19 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 	c.recSrc = src
 	coreID := 0
 	for islandID, islandProfiles := range profiles {
-		st := &islandState{}
+		st := &islandState{model: islandModels[islandID], class: classes[islandID]}
+		coreCfg, err := islandCoreConfig(cfg, st.class, st.model.Table)
+		if err != nil {
+			return nil, err
+		}
+		initLevel := cfg.InitialLevel
+		if initLevel < 0 {
+			initLevel = st.model.Table.Levels() - 1
+		}
+		if initLevel != st.model.Table.ClampLevel(initLevel) {
+			return nil, fmt.Errorf("sim: initial level %d out of range for island %d (%d levels)",
+				initLevel, islandID, st.model.Table.Levels())
+		}
 		var coreIDs []int
 		if src == nil {
 			shared, err := islandL2(cfg, len(islandProfiles))
@@ -377,14 +398,14 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 				// are charged at is the Table I per-core figure in every
 				// L2 configuration (banked shares it; the prefetcher
 				// wraps a slice with it).
-				cc, err := uarch.NewComputeCore(coreID, cfg.Core, prof,
+				cc, err := uarch.NewComputeCore(coreID, coreCfg, prof,
 					cache.TableIL2PerCore().LatencyCycles, memsys)
 				if err != nil {
 					return nil, fmt.Errorf("sim: core %d (%s): %w", coreID, prof.Name, err)
 				}
 				core = cc
 			case cfg.Replay != nil:
-				rc, err := replayCoreFor(cfg, coreID, prof, memsys)
+				rc, err := replayCoreFor(cfg, coreCfg, coreID, prof, memsys)
 				if err != nil {
 					return nil, err
 				}
@@ -394,7 +415,7 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 				if err != nil {
 					return nil, err
 				}
-				live, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), cfg.Core, prof, h, memsys)
+				live, err := uarch.NewCore(coreID, stats.DeriveSeed(cfg.Seed, uint64(coreID)), coreCfg, prof, h, memsys)
 				if err != nil {
 					return nil, fmt.Errorf("sim: core %d (%s): %w", coreID, prof.Name, err)
 				}
@@ -414,18 +435,89 @@ func newChip(cfg Config, src RecordSource) (*CMP, error) {
 			coreIDs = append(coreIDs, coreID)
 			coreID++
 		}
-		isl, err := island.New(islandID, coreIDs, model.Table, initLevel)
+		isl, err := island.New(islandID, coreIDs, st.model.Table, initLevel)
 		if err != nil {
 			return nil, err
 		}
 		st.isl = isl
-		st.maxPowerW = float64(len(st.cores)) * model.CoreMaxPower()
+		st.maxPowerW = float64(len(st.cores)) * st.model.CoreMaxPower()
 		st.powers = make([]float64, len(st.cores))
 		st.cpis = make([]float64, len(st.cores))
 		c.islands = append(c.islands, st)
 	}
+	// On a homogeneous chip the chip maximum is computed exactly as it
+	// always was (n × per-core maximum); summing per-island maxima instead
+	// would perturb the last ulps of every percent-power figure.
+	if c.Heterogeneous() {
+		for _, st := range c.islands {
+			c.maxChipW += st.maxPowerW
+		}
+	} else {
+		c.maxChipW = model.MaxChipPower(nCores)
+	}
 	c.resIslands = make([]IslandResult, len(c.islands))
 	return c, nil
+}
+
+// resolveIslandModels derives the chip-level model (the base model scaled
+// to cfg.Tech) and the per-island models and classes. On a homogeneous
+// chip every island aliases the chip model pointer; heterogeneous chips
+// get one specialized model per class (shared by islands of that class).
+func resolveIslandModels(cfg Config) (*power.Model, []*power.Model, []power.CoreClass, error) {
+	base := cfg.Power
+	if base == nil {
+		base = power.DefaultModel()
+	}
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	chipModel, err := power.ScaleModel(base, cfg.Tech)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nIslands := len(cfg.Mix.Islands)
+	classes := make([]power.CoreClass, nIslands)
+	if cfg.IslandClasses != nil {
+		if len(cfg.IslandClasses) != nIslands {
+			return nil, nil, nil, fmt.Errorf("sim: %d island classes for %d islands", len(cfg.IslandClasses), nIslands)
+		}
+		copy(classes, cfg.IslandClasses)
+	}
+	models := make([]*power.Model, nIslands)
+	byClass := map[power.CoreClass]*power.Model{}
+	for i, class := range classes {
+		m, ok := byClass[class]
+		if !ok {
+			m, err = power.ModelForClass(chipModel, class)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("sim: island %d: %w", i, err)
+			}
+			byClass[class] = m
+		}
+		models[i] = m
+	}
+	return chipModel, models, classes, nil
+}
+
+// islandCoreConfig specializes the chip-wide core configuration to one
+// island: a non-OoO class replaces the pipeline preset, and once the tech
+// or class axis is in play the island table's top frequency becomes the
+// utilization denominator. The legacy path (no tech, OoO class) returns
+// cfg.Core untouched so existing chips keep their exact record streams.
+func islandCoreConfig(cfg Config, class power.CoreClass, table *power.DVFSTable) (uarch.Config, error) {
+	if !cfg.Tech.Enabled() && class == power.ClassOoO {
+		return cfg.Core, nil
+	}
+	cc := cfg.Core
+	if class != power.ClassOoO {
+		params, err := uarch.ParamsForClass(class)
+		if err != nil {
+			return uarch.Config{}, err
+		}
+		cc.Params = params
+	}
+	cc.NominalMaxMHz = table.Max().FreqMHz
+	return cc, nil
 }
 
 // islandL2 builds an island's shared banked L2 when cfg.SharedL2 is set:
@@ -493,11 +585,50 @@ func (c *CMP) NumIslands() int { return len(c.islands) }
 // NumCores returns the chip's core count.
 func (c *CMP) NumCores() int { return c.nCores }
 
-// Table returns the DVFS table shared by all islands.
-func (c *CMP) Table() *power.DVFSTable { return c.model.Table }
+// Table is the legacy chip-global accessor: it returns the DVFS table
+// shared by all islands, and panics on a heterogeneous chip, where no such
+// table exists — a caller reaching it there is a bug that would silently
+// mis-size every per-island computation. Use IslandTable.
+func (c *CMP) Table() *power.DVFSTable {
+	if c.Heterogeneous() {
+		panic("sim: heterogeneous chip has no chip-global DVFS table; use IslandTable")
+	}
+	return c.model.Table
+}
 
-// Model returns the power model.
-func (c *CMP) Model() *power.Model { return c.model }
+// Model is the legacy chip-global accessor for the power model, with the
+// same contract as Table: it panics on a heterogeneous chip (use
+// IslandModel).
+func (c *CMP) Model() *power.Model {
+	if c.Heterogeneous() {
+		panic("sim: heterogeneous chip has no chip-global power model; use IslandModel")
+	}
+	return c.model
+}
+
+// Heterogeneous reports whether any island carries a power model of its
+// own rather than aliasing the chip model.
+func (c *CMP) Heterogeneous() bool {
+	for _, st := range c.islands {
+		if st.model != c.model {
+			return true
+		}
+	}
+	return false
+}
+
+// IslandTable returns island i's own DVFS table. On a homogeneous chip
+// this is the chip-global table for every island.
+func (c *CMP) IslandTable(i int) *power.DVFSTable { return c.islands[i].model.Table }
+
+// IslandModel returns island i's own power model.
+func (c *CMP) IslandModel(i int) *power.Model { return c.islands[i].model }
+
+// IslandClass returns island i's core class.
+func (c *CMP) IslandClass(i int) power.CoreClass { return c.islands[i].class }
+
+// Tech returns the chip's technology configuration (zero when unscaled).
+func (c *CMP) Tech() power.TechConfig { return c.cfg.Tech }
 
 // IntervalSec returns the simulation interval length.
 func (c *CMP) IntervalSec() float64 { return c.cfg.IntervalSec }
@@ -751,8 +882,8 @@ func (c *CMP) stepIsland(st *islandState) {
 			cs = core.RunInterval(op.FreqMHz, c.cfg.IntervalSec, overhead)
 		}
 		act := power.DeriveActivity(cs.Activity)
-		pw := c.model.Dynamic.Power(op, act) +
-			c.model.Leakage.Power(op.VoltageV, c.thermals.Temp(coreID), c.varmap.CoreMult(coreID))
+		pw := st.model.Dynamic.Power(op, act) +
+			st.model.Leakage.Power(op.VoltageV, c.thermals.Temp(coreID), c.varmap.CoreMult(coreID))
 		st.powers[j] = pw
 		st.cpis[j] = cs.CPI
 		r.PowerW += pw
@@ -769,7 +900,7 @@ func (c *CMP) stepIsland(st *islandState) {
 
 // replayCoreFor validates the replay assignment for one core and builds its
 // ReplayCore.
-func replayCoreFor(cfg Config, coreID int, prof workload.Profile, memsys *mem.System) (*uarch.ReplayCore, error) {
+func replayCoreFor(cfg Config, coreCfg uarch.Config, coreID int, prof workload.Profile, memsys *mem.System) (*uarch.ReplayCore, error) {
 	bench, ok := cfg.Replay.Benchmarks[coreID]
 	if !ok {
 		return nil, fmt.Errorf("sim: replay set has no trace for core %d", coreID)
@@ -777,7 +908,7 @@ func replayCoreFor(cfg Config, coreID int, prof workload.Profile, memsys *mem.Sy
 	if bench != prof.Name {
 		return nil, fmt.Errorf("sim: core %d trace was recorded from %s, mix assigns %s", coreID, bench, prof.Name)
 	}
-	return uarch.NewReplayCore(coreID, cfg.Core, prof, cfg.Replay.Records[coreID],
+	return uarch.NewReplayCore(coreID, coreCfg, prof, cfg.Replay.Records[coreID],
 		cache.TableIL2PerCore().LatencyCycles, memsys)
 }
 

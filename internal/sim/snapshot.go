@@ -3,7 +3,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"github.com/cpm-sim/cpm/internal/power"
 	"github.com/cpm-sim/cpm/internal/snapshot"
 	"github.com/cpm-sim/cpm/internal/uarch"
 )
@@ -20,9 +22,23 @@ const (
 // configuration a snapshot must match to be restorable. It is embedded in
 // snapshot file headers by the CLIs.
 func (c *CMP) Fingerprint() string {
-	return fmt.Sprintf("mix=%s/seed=%d/cores=%d/islands=%d/sharedl2=%v/pref=%d/noc=%v",
+	fp := fmt.Sprintf("mix=%s/seed=%d/cores=%d/islands=%d/sharedl2=%v/pref=%d/noc=%v",
 		c.cfg.Mix.Name, c.cfg.Seed, c.nCores, len(c.islands),
 		c.cfg.SharedL2, c.cfg.L2PrefetchDegree, c.mesh != nil)
+	// The tech/heterogeneity axis joins the fingerprint only when in use,
+	// so every pre-existing fingerprint (serve cache keys, sweep warmstart
+	// headers) is preserved byte for byte.
+	if c.cfg.Tech.Enabled() {
+		fp += "/tech=" + c.cfg.Tech.String()
+	}
+	if c.Heterogeneous() {
+		classes := make([]string, len(c.islands))
+		for i, st := range c.islands {
+			classes[i] = st.class.String()
+		}
+		fp += "/classes=" + strings.Join(classes, ",")
+	}
+	return fp
 }
 
 // Snapshot appends the chip's complete dynamic state: interval counter,
@@ -42,6 +58,20 @@ func (c *CMP) Snapshot(e *snapshot.Encoder) error {
 	e.Int(len(c.islands))
 	for _, st := range c.islands {
 		e.Int(len(st.cores))
+	}
+	// v3: per-island identity — the technology configuration plus each
+	// island's core class and DVFS-table shape. Restore rejects any
+	// mismatch, so a snapshot cannot silently land on a chip whose islands
+	// run different tables (per-island DVFS state would be reinterpreted
+	// against the wrong operating points).
+	e.Int(int(c.cfg.Tech.Node))
+	e.U8(uint8(c.cfg.Tech.Variant))
+	for _, st := range c.islands {
+		e.U8(uint8(st.class))
+		tbl := st.model.Table
+		e.Int(tbl.Levels())
+		e.F64(tbl.Min().FreqMHz)
+		e.F64(tbl.Max().FreqMHz)
 	}
 	e.Int(c.interval)
 	e.F64(c.totalInstr)
@@ -99,6 +129,33 @@ func (c *CMP) Restore(d *snapshot.Decoder) error {
 	for i, st := range c.islands {
 		if n := d.Int(); d.Err() == nil && n != len(st.cores) {
 			return snapshot.ShapeErrorf("snapshot island %d has %d cores, target has %d", i, n, len(st.cores))
+		}
+	}
+	techNode := d.Int()
+	techVariant := d.U8()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if power.TechNode(techNode) != c.cfg.Tech.Node || power.TechVariant(techVariant) != c.cfg.Tech.Variant {
+		return snapshot.ShapeErrorf("snapshot tech %s, target %s",
+			power.TechConfig{Node: power.TechNode(techNode), Variant: power.TechVariant(techVariant)}, c.cfg.Tech)
+	}
+	for i, st := range c.islands {
+		class := d.U8()
+		levels := d.Int()
+		minF := d.F64()
+		maxF := d.F64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if power.CoreClass(class) != st.class {
+			return snapshot.ShapeErrorf("snapshot island %d class %s, target %s",
+				i, power.CoreClass(class), st.class)
+		}
+		tbl := st.model.Table
+		if levels != tbl.Levels() || minF != tbl.Min().FreqMHz || maxF != tbl.Max().FreqMHz {
+			return snapshot.ShapeErrorf("snapshot island %d table %d levels %.1f–%.1f MHz, target %d levels %.1f–%.1f MHz",
+				i, levels, minF, maxF, tbl.Levels(), tbl.Min().FreqMHz, tbl.Max().FreqMHz)
 		}
 	}
 	c.interval = d.Int()

@@ -40,7 +40,11 @@ const Magic uint32 = 0x534d5043
 // Version is the format version; bump on any layout change.
 // Version 2: the PIC section grew an adaptive-mode presence flag (plus the
 // RLS estimator state when set), and the CPM section a cache-signal latch.
-const Version uint32 = 2
+// Version 3: the chip section carries a per-island identity block —
+// technology node/variant plus each island's core class and DVFS-table
+// shape — validated on restore, so a snapshot cannot silently restore
+// into a chip with different tables.
+const Version uint32 = 3
 
 // Section tags. Every composite object's Snapshot opens with one, and the
 // matching Restore verifies it — a cheap structural checksum that turns

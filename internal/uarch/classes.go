@@ -1,0 +1,33 @@
+package uarch
+
+import (
+	"fmt"
+
+	"github.com/cpm-sim/cpm/internal/power"
+)
+
+// OoOParams returns the pipeline parameters of the big out-of-order core
+// class — the Table I machine, under its heterogeneous-chip name.
+func OoOParams() Params { return TableIParams() }
+
+// LittleIOParams returns the little in-order core class: scalar issue and
+// commit behind a 2-wide fetch, with a window an order of magnitude
+// smaller than the big core's. Its issue-limited CPI floor is 1 (vs the
+// big core's 0.5), so a little island delivers roughly half the
+// throughput per MHz — the other side of the BIPS/W trade-off its ~0.31×
+// power model opens up.
+func LittleIOParams() Params {
+	return Params{FetchWidth: 2, IssueWidth: 1, CommitWidth: 1, ROBSize: 32, IQSize: 8}
+}
+
+// ParamsForClass maps a core class to its pipeline preset.
+func ParamsForClass(c power.CoreClass) (Params, error) {
+	switch c {
+	case power.ClassOoO:
+		return OoOParams(), nil
+	case power.ClassLittleIO:
+		return LittleIOParams(), nil
+	default:
+		return Params{}, fmt.Errorf("uarch: unknown core class %d", uint8(c))
+	}
+}
